@@ -1,0 +1,163 @@
+package lrd_test
+
+// The benchmark harness regenerates, per iteration, the data behind every
+// figure of the paper's evaluation (quick grids; run cmd/lrdfigs for the
+// full paper-scale grids). Each benchmark reports rows/op — the number of
+// table rows the experiment produced — so a bench run doubles as an
+// end-to-end smoke test of the entire reproduction pipeline:
+//
+//	go test -bench=. -benchmem
+//
+// Component-level micro-benchmarks (solver step, FFT, FGN synthesis)
+// accompany the figure benches at the bottom of the file.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lrd"
+	"lrd/internal/core"
+	"lrd/internal/fgn"
+	"lrd/internal/solver"
+)
+
+// benchOpts keeps the figure benches fast while still exercising every
+// code path: quick grids and a modest solver budget.
+func benchOpts() core.RunOptions {
+	return core.RunOptions{
+		Seed:   1,
+		Quick:  true,
+		Solver: solver.Config{InitialBins: 64, MaxBins: 1024, MaxIterations: 10000},
+	}
+}
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := core.ExperimentByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		table, err := e.Run(opts)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		rows = len(table.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows/op")
+}
+
+func BenchmarkFig02BoundConvergence(b *testing.B)     { benchExperiment(b, "fig2") }
+func BenchmarkFig03Marginals(b *testing.B)            { benchExperiment(b, "fig3") }
+func BenchmarkFig04LossSurfaceMTV(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFig05LossSurfaceBC(b *testing.B)        { benchExperiment(b, "fig5") }
+func BenchmarkFig06Shuffle(b *testing.B)              { benchExperiment(b, "fig6") }
+func BenchmarkFig07ShuffleMTV(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFig08ShuffleBC(b *testing.B)            { benchExperiment(b, "fig8") }
+func BenchmarkFig09MarginalComparison(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10HurstVsScaling(b *testing.B)       { benchExperiment(b, "fig10") }
+func BenchmarkFig11HurstVsSuperposition(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12BufferVsScalingMTV(b *testing.B)   { benchExperiment(b, "fig12") }
+func BenchmarkFig13BufferVsScalingBC(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14CorrelationHorizon(b *testing.B)   { benchExperiment(b, "fig14") }
+func BenchmarkHurstEstimators(b *testing.B)           { benchExperiment(b, "hurst") }
+func BenchmarkMarkovBaseline(b *testing.B)            { benchExperiment(b, "markov") }
+func BenchmarkARQvsFEC(b *testing.B)                  { benchExperiment(b, "arqfec") }
+func BenchmarkEq26AnalyticHorizon(b *testing.B)       { benchExperiment(b, "eq26") }
+func BenchmarkModelVsSimulationFit(b *testing.B)      { benchExperiment(b, "modelfit") }
+func BenchmarkDelayQuantiles(b *testing.B)            { benchExperiment(b, "delay") }
+
+// --- component micro-benchmarks ---
+
+func benchQueue(b *testing.B, cutoff float64) lrd.Queue {
+	b.Helper()
+	m := lrd.MustMarginal([]float64{0, 2}, []float64{0.5, 0.5})
+	src, err := lrd.NewSource(m, lrd.TruncatedPareto{Theta: 0.05, Alpha: 1.4, Cutoff: cutoff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := lrd.NewQueueNormalized(src, 0.8, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+// BenchmarkSolveOnOff measures one full solver run (the paper's "typical
+// runtime was less than a second on a workstation").
+func BenchmarkSolveOnOff(b *testing.B) {
+	q := benchQueue(b, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lrd.Solve(q, lrd.SolverConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverStep measures a single Lindley iteration of both bound
+// processes at M = 1024 (the per-step FFT convolution cost).
+func BenchmarkSolverStep(b *testing.B) {
+	q := benchQueue(b, 2)
+	it, err := lrd.NewIterator(q, lrd.SolverConfig{InitialBins: 1024, MaxBins: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Step()
+	}
+}
+
+// BenchmarkMonteCarloMillion measures the simulation path the solver is
+// validated against: one million renewal epochs.
+func BenchmarkMonteCarloMillion(b *testing.B) {
+	q := benchQueue(b, 2)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lrd.MonteCarloLoss(q.Source, q.ServiceRate, q.Buffer, 1_000_000, 0, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFGNSynthesis measures exact Davies–Harte FGN generation at the
+// MTV trace length.
+func BenchmarkFGNSynthesis(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fgn.DaviesHarte(0.83, 107892, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHurstWhittle measures the local Whittle estimator on a 64k
+// sample series.
+func BenchmarkHurstWhittle(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x, err := fgn.DaviesHarte(0.9, 1<<16, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := lrd.EstimateHurst(x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.IsNaN(est.LocalWhittle) {
+			b.Fatal("estimator returned NaN")
+		}
+	}
+}

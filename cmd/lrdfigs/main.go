@@ -1,0 +1,88 @@
+// Command lrdfigs regenerates the data behind every figure of the paper's
+// evaluation (and the extension experiments), writing one TSV per
+// experiment into an output directory and printing a one-line summary per
+// experiment as it completes.
+//
+// Example:
+//
+//	lrdfigs -out results -quick      # fast smoke run
+//	lrdfigs -out results             # full paper-scale grids
+//	lrdfigs -out results -only fig4,fig5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lrd/internal/core"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "results", "output directory for the TSV files")
+		seed  = flag.Int64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "use shrunken grids")
+		only  = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "lrdfigs: %v\n", err)
+		os.Exit(1)
+	}
+	var selected map[string]bool
+	if *only != "" {
+		selected = map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	opts := core.RunOptions{Seed: *seed, Quick: *quick}
+	failures := 0
+	for _, e := range core.Experiments() {
+		if selected != nil && !selected[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lrdfigs: %s FAILED: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		path := filepath.Join(*out, e.ID+".tsv")
+		if err := writeTSV(path, e, table); err != nil {
+			fmt.Fprintf(os.Stderr, "lrdfigs: %s: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		fmt.Printf("%-8s %4d rows  %8s  %s\n", e.ID, len(table.Rows), time.Since(start).Round(time.Millisecond), path)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func writeTSV(path string, e core.Experiment, table core.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "# %s: %s\n", e.ID, e.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(f, strings.Join(table.Header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range table.Rows {
+		if _, err := fmt.Fprintln(f, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,55 @@
+// Command lrdsweep runs one named experiment from the paper's evaluation
+// and prints its rows as TSV. Experiment ids match the paper's figures
+// (fig2 … fig14) plus the extension experiments (hurst, markov, arqfec,
+// eq26); run with -list to enumerate them.
+//
+// Example:
+//
+//	lrdsweep -exp fig9 -quick          # fast, shrunken grids
+//	lrdsweep -exp fig4 -seed 7 > fig4.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lrd/internal/core"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list)")
+		seed  = flag.Int64("seed", 1, "random seed for trace synthesis and shuffling")
+		quick = flag.Bool("quick", false, "use shrunken grids for a fast run")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "lrdsweep: -exp is required (use -list to enumerate)")
+		os.Exit(1)
+	}
+	e, err := core.ExperimentByID(*exp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrdsweep: %v\n", err)
+		os.Exit(1)
+	}
+	table, err := e.Run(core.RunOptions{Seed: *seed, Quick: *quick})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrdsweep: %s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s: %s\n", e.ID, e.Title)
+	fmt.Println(strings.Join(table.Header, "\t"))
+	for _, row := range table.Rows {
+		fmt.Println(strings.Join(row, "\t"))
+	}
+}

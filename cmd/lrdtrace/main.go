@@ -1,0 +1,129 @@
+// Command lrdtrace synthesizes and analyzes binned rate traces.
+//
+// Generation modes (-gen):
+//
+//	mtv       — the MTV stand-in (107,892 NTSC frames, H = 0.83)
+//	bellcore  — the Bellcore Ethernet stand-in (10 ms bins, H = 0.9)
+//	lognormal — custom copula-FGN trace (-mean, -cov, -hurst, -bins, -binwidth)
+//	onoff     — superposition of heavy-tailed on/off sources (-sources, ...)
+//
+// Analysis (-analyze FILE or -gen X without -out) prints the trace's mean
+// rate, 50-bin marginal summary, mean epoch duration, and all four Hurst
+// estimates — the statistics the paper's §III extracts from its traces.
+//
+// Examples:
+//
+//	lrdtrace -gen mtv -out mtv.csv
+//	lrdtrace -analyze mtv.csv
+//	lrdtrace -gen onoff -sources 64 -hurst 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"lrd/internal/lrdest"
+	"lrd/internal/onoff"
+	"lrd/internal/traces"
+)
+
+func main() {
+	var (
+		gen      = flag.String("gen", "", "trace to generate: mtv, bellcore, lognormal, onoff")
+		analyze  = flag.String("analyze", "", "CSV trace file to analyze")
+		out      = flag.String("out", "", "write the generated trace to this CSV file")
+		seed     = flag.Int64("seed", 1, "random seed")
+		mean     = flag.Float64("mean", 5, "lognormal: mean rate")
+		cov      = flag.Float64("cov", 0.5, "lognormal: coefficient of variation")
+		hurst    = flag.Float64("hurst", 0.85, "lognormal/onoff: Hurst parameter")
+		bins     = flag.Int("bins", 1<<15, "lognormal: number of samples")
+		binWidth = flag.Float64("binwidth", 0.01, "lognormal/onoff: seconds per bin")
+		sources  = flag.Int("sources", 32, "onoff: number of superposed sources")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "lrdtrace: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	var tr traces.Trace
+	switch {
+	case *analyze != "" && *gen != "":
+		fail("give either -gen or -analyze, not both")
+	case *analyze != "":
+		f, err := os.Open(*analyze)
+		if err != nil {
+			fail("%v", err)
+		}
+		tr, err = traces.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fail("%v", err)
+		}
+	case *gen != "":
+		rng := rand.New(rand.NewSource(*seed))
+		var err error
+		switch *gen {
+		case "mtv":
+			tr, err = traces.MTV(rng)
+		case "bellcore":
+			tr, err = traces.Bellcore(rng)
+		case "lognormal":
+			tr, err = traces.Synthesize(traces.Config{
+				Name:     "lognormal",
+				Hurst:    *hurst,
+				Bins:     *bins,
+				BinWidth: *binWidth,
+				Quantile: traces.LognormalQuantile(*mean, *cov),
+			}, rng)
+		case "onoff":
+			alpha := 3 - 2**hurst
+			tr, err = onoff.Aggregate(onoff.SourceParams{
+				PeakRate: 1, MeanOn: 10 * *binWidth, MeanOff: 30 * *binWidth,
+				AlphaOn: alpha, AlphaOff: alpha,
+			}, *sources, *bins, *binWidth, rng)
+		default:
+			fail("unknown generator %q", *gen)
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+	default:
+		fail("one of -gen or -analyze is required")
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			fail("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote %d samples to %s\n", len(tr.Rates), *out)
+		return
+	}
+
+	// Analysis report.
+	fmt.Printf("trace      %s\n", tr.Name)
+	fmt.Printf("samples    %d × %.4g s = %.4g s\n", len(tr.Rates), tr.BinWidth, tr.Duration())
+	fmt.Printf("mean rate  %.6g\n", tr.MeanRate())
+	if m, err := tr.Marginal(50); err == nil {
+		fmt.Printf("marginal   %v\n", m)
+	}
+	if ep, err := tr.MeanEpoch(50); err == nil {
+		fmt.Printf("mean epoch %.4g s\n", ep)
+	}
+	est, err := lrdest.EstimateAll(tr.Rates)
+	if err != nil {
+		fail("Hurst estimation: %v", err)
+	}
+	fmt.Printf("Hurst      aggvar %.3f | R/S %.3f | Whittle %.3f | wavelet %.3f | GPH %.3f\n",
+		est.AggregatedVariance, est.RescaledRange, est.LocalWhittle, est.AbryVeitch, est.GPH)
+}

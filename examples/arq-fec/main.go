@@ -1,0 +1,60 @@
+// ARQ vs FEC: which error-control scheme wins depends on the time scale of
+// correlation in the loss process (paper §V).
+//
+// A correlated loss sequence is generated from a bursty cutoff-correlated
+// source; external shuffling then produces variants whose loss correlation
+// extends over 1, 10, 100, … packet slots while the marginal loss rate
+// stays identical. FEC (a block erasure code) and ARQ (retransmission with
+// one feedback round per loss burst) are evaluated on every variant.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lrd"
+)
+
+func main() {
+	// Loss intensities: near-lossless 90 % of the time, heavy loss
+	// episodes 10 % of the time, correlated up to 5 s.
+	marginal := lrd.MustMarginal([]float64{0.001, 0.6}, []float64{0.9, 0.1})
+	src, err := lrd.NewSource(marginal, lrd.TruncatedPareto{
+		Theta: 0.02, Alpha: 1.2, Cutoff: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	losses, err := lrd.GenerateLosses(src, 1_000_000, 0.001, rng) // 1 kHz packet rate
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fec := lrd.FECParams{BlockLen: 16, MaxRepair: 2} // (16, 14) erasure code
+	points, err := lrd.CompareErrorControl(losses, []int{1, 10, 100, 1000, 10000}, fec, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("loss-correlation time scale vs error-control performance")
+	fmt.Printf("(FEC: %d-packet blocks repairing up to %d losses)\n\n", fec.BlockLen, fec.MaxRepair)
+	fmt.Printf("%16s  %14s  %14s  %16s\n", "corr. scale", "FEC residual", "ARQ burst len", "ARQ req/1k pkts")
+	for _, p := range points {
+		label := fmt.Sprintf("%d slots", p.BlockLen)
+		if p.BlockLen == -1 {
+			label = "full (original)"
+		} else if p.BlockLen == 1 {
+			label = "none (i.i.d.)"
+		}
+		fmt.Printf("%16s  %14.4g  %14.3g  %16.3g\n",
+			label, p.FEC.ResidualRate, p.ARQ.MeanBurstLen, p.ARQ.RequestsPerKP)
+	}
+	fmt.Println("\nAs correlation extends over more time scales, FEC's residual loss")
+	fmt.Println("grows (bursts overwhelm the block code) while ARQ amortizes one")
+	fmt.Println("feedback round over ever-longer bursts: the advantage shifts to ARQ.")
+	fmt.Println("Evaluating error control therefore needs a model that is faithful")
+	fmt.Println("across *all* time scales — a self-similar one (paper §V).")
+}

@@ -1,0 +1,54 @@
+// Quickstart: define a cutoff-correlated fluid source, feed it to a
+// finite-buffer queue, and compute the loss rate with the paper's bounded
+// solver — then watch the correlation horizon appear as the cutoff lag
+// grows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"lrd"
+)
+
+func main() {
+	// A three-level VBR-like source: 2, 8, or 16 Mb/s with the given
+	// probabilities (mean 9 Mb/s).
+	marginal := lrd.MustMarginal(
+		[]float64{2, 8, 16},
+		[]float64{0.3, 0.5, 0.2},
+	)
+
+	// Correlation structure: Hurst parameter 0.9 (tail index α = 1.2),
+	// mean epoch duration 80 ms — the paper's MTV calibration style.
+	theta, err := lrd.CalibrateTheta(lrd.AlphaFromHurst(0.9), 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("loss rate vs cutoff lag (utilization 0.8, buffer 0.5 s)")
+	fmt.Printf("%10s  %12s  %24s\n", "cutoff", "loss", "bounds")
+	for _, cutoff := range []float64{0.1, 0.5, 2, 10, 50, math.Inf(1)} {
+		src, err := lrd.NewSource(marginal, lrd.TruncatedPareto{
+			Theta: theta, Alpha: lrd.AlphaFromHurst(0.9), Cutoff: cutoff,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// 80 % utilization and half a second of buffering.
+		q, err := lrd.NewQueueNormalized(src, 0.8, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := lrd.Solve(q, lrd.SolverConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9.4gs  %12.4g  [%.4g, %.4g]\n", cutoff, res.Loss, res.Lower, res.Upper)
+	}
+	fmt.Println()
+	fmt.Println("Note how the loss saturates once the cutoff exceeds the")
+	fmt.Println("correlation horizon of this buffer: correlation beyond that")
+	fmt.Println("time scale is irrelevant to the loss rate (the paper's main result).")
+}

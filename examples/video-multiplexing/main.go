@@ -1,0 +1,78 @@
+// Video multiplexing: how much does statistical multiplexing of VBR video
+// streams help compared with adding buffer space?
+//
+// The paper's third result (Figs. 11–12): for long-range dependent video
+// traffic, superposing even a moderate number of streams sharply decreases
+// the loss rate, while increasing the buffer is largely ineffective. This
+// example builds an MTV-like video source and quantifies both controls.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"lrd"
+)
+
+func main() {
+	// Synthesize a short MTV-like VBR video trace (H = 0.83, mean
+	// 9.5222 Mb/s, narrow JPEG-like marginal) and fit the paper's model.
+	tr, err := lrd.SynthesizeTrace(lrd.TraceConfig{
+		Name:     "video",
+		Hurst:    0.83,
+		Bins:     1 << 14,
+		BinWidth: 1.0 / 30,
+		Quantile: lrd.LognormalQuantile(9.5222, 0.30),
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm, err := lrd.BuildTraceModel(tr, 0.83)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted video model: marginal %v, mean epoch %.0f ms\n\n",
+		tm.Marginal, tm.MeanEpoch*1000)
+
+	cfg := lrd.SolverConfig{}
+	const util = 0.8
+
+	// Control 1: buffering. Sweep the per-stream buffer with one stream.
+	fmt.Println("control 1 — buffering (single stream, fully correlated input):")
+	fmt.Printf("%12s  %12s\n", "buffer", "loss")
+	pts, err := lrd.LossVsBufferAndScale(tm, util, []float64{0.1, 0.5, 1, 2, 5}, []float64{1}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("%11.4gs  %12.4g\n", p.NormalizedBuffer, p.Loss)
+	}
+
+	// Control 2: multiplexing. Fix the buffer at 0.5 s per stream and
+	// superpose n streams (service rate and buffer per stream constant).
+	fmt.Println("\ncontrol 2 — statistical multiplexing (buffer fixed at 0.5 s/stream):")
+	fmt.Printf("%12s  %12s\n", "streams", "loss")
+	mpts, err := lrd.LossVsHurstAndStreams(tm, util, 0.5, []float64{0.83}, []int{1, 2, 4, 6, 8, 10}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var oneStream, tenStreams float64
+	for _, p := range mpts {
+		fmt.Printf("%12d  %12.4g\n", p.Streams, p.Loss)
+		switch p.Streams {
+		case 1:
+			oneStream = p.Loss
+		case 10:
+			tenStreams = p.Loss
+		}
+	}
+
+	bufGain := pts[0].Loss / math.Max(pts[len(pts)-1].Loss, 1e-10)
+	muxGain := oneStream / math.Max(tenStreams, 1e-10)
+	fmt.Printf("\n50× more buffer bought a %.3gx loss reduction;\n", bufGain)
+	fmt.Printf("multiplexing 10 streams bought %.3gx — at constant utilization %.0f%%.\n", muxGain, util*100)
+	fmt.Println("For LRD video, multiplexing (narrowing the per-stream marginal)")
+	fmt.Println("beats buffering — the paper's §IV recommendation.")
+}

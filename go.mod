@@ -1,0 +1,3 @@
+module lrd
+
+go 1.22

@@ -1,0 +1,127 @@
+// Package ams implements the classical Anick–Mitra–Sondhi (1982) fluid
+// queue with a two-state Markov (exponential) on/off source and an
+// infinite buffer, in closed form. It is the canonical short-range-
+// dependent baseline against which the paper contrasts long-range-
+// dependent behaviour: the AMS queue's content decays exponentially,
+//
+//	Pr{Q > x} = ρ·exp(−η·x),  η = β/(r_on−c) − α/c
+//
+// whereas LRD input produces Weibullian or hyperbolic tails (§I of the
+// paper). Per the paper's footnote 2, the infinite-buffer overflow
+// probability upper-bounds the loss rate of the corresponding finite
+// buffer, so the closed form doubles as a quick conservative estimate for
+// exponential on/off traffic.
+package ams
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OnOffQueue is a fluid queue fed by one exponential on/off source.
+type OnOffQueue struct {
+	OnRate      float64 // fluid rate while on (work units/s), > ServiceRate
+	OffToOn     float64 // α: transition rate from off to on (1/s)
+	OnToOff     float64 // β: transition rate from on to off (1/s)
+	ServiceRate float64 // c, with 0 < c < OnRate
+}
+
+// Validate checks the parameters and stability (utilization < 1).
+func (q OnOffQueue) Validate() error {
+	if !(q.OnRate > 0) || !(q.OffToOn > 0) || !(q.OnToOff > 0) || !(q.ServiceRate > 0) {
+		return errors.New("ams: all rates must be positive")
+	}
+	if q.ServiceRate >= q.OnRate {
+		return fmt.Errorf("ams: service rate %v >= on rate %v: the queue never builds", q.ServiceRate, q.OnRate)
+	}
+	if q.Utilization() >= 1 {
+		return fmt.Errorf("ams: utilization %v >= 1: unstable", q.Utilization())
+	}
+	return nil
+}
+
+// POn returns the stationary probability of the on state, α/(α+β).
+func (q OnOffQueue) POn() float64 { return q.OffToOn / (q.OffToOn + q.OnToOff) }
+
+// MeanRate returns the average arrival rate POn·OnRate.
+func (q OnOffQueue) MeanRate() float64 { return q.POn() * q.OnRate }
+
+// Utilization returns ρ = MeanRate/ServiceRate.
+func (q OnOffQueue) Utilization() float64 { return q.MeanRate() / q.ServiceRate }
+
+// DecayRate returns η, the exponential decay rate of the queue tail.
+func (q OnOffQueue) DecayRate() float64 {
+	return q.OnToOff/(q.OnRate-q.ServiceRate) - q.OffToOn/q.ServiceRate
+}
+
+// OverflowProbability returns Pr{Q > x} = ρ·exp(−η·x) for x >= 0.
+func (q OnOffQueue) OverflowProbability(x float64) float64 {
+	if x < 0 {
+		return 1
+	}
+	return q.Utilization() * math.Exp(-q.DecayRate()*x)
+}
+
+// LossUpperBound returns the infinite-buffer overflow probability at the
+// buffer size, an upper bound on the finite-buffer loss rate (the paper's
+// footnote 2).
+func (q OnOffQueue) LossUpperBound(buffer float64) float64 {
+	return math.Min(q.OverflowProbability(buffer), 1)
+}
+
+// BufferForTarget returns the buffer size needed to push the overflow
+// probability down to target ∈ (0, ρ): x = ln(ρ/target)/η. For SRD traffic
+// this grows only logarithmically in 1/target — the behaviour that fails
+// so dramatically under LRD input (the paper's "buffer ineffectiveness").
+func (q OnOffQueue) BufferForTarget(target float64) (float64, error) {
+	rho := q.Utilization()
+	if !(target > 0 && target < rho) {
+		return 0, fmt.Errorf("ams: target %v outside (0, ρ=%v)", target, rho)
+	}
+	return math.Log(rho/target) / q.DecayRate(), nil
+}
+
+// SimulateOverflow estimates Pr{Q > x} by simulating the alternating
+// on/off process for n cycles (an independent check of the closed form;
+// exported so examples and benches can reproduce the comparison).
+// It returns the fraction of time the queue content exceeds x.
+func (q OnOffQueue) SimulateOverflow(x float64, cycles int, rng *rand.Rand) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if cycles <= 0 {
+		return 0, errors.New("ams: need a positive cycle count")
+	}
+	var content, totalTime, timeAbove float64
+	// timeAboveDuring integrates the time the linear trajectory from q0
+	// with slope s over duration d spends above level x.
+	timeAboveDuring := func(q0, s, d float64) float64 {
+		q1 := q0 + s*d
+		switch {
+		case q0 >= x && q1 >= x:
+			return d
+		case q0 < x && q1 < x:
+			return 0
+		case s > 0: // upward crossing at t* = (x−q0)/s
+			return d - (x-q0)/s
+		default: // downward crossing at t* = (x−q0)/s (s < 0, q0 > x)
+			return (x - q0) / s
+		}
+	}
+	for i := 0; i < cycles; i++ {
+		// Off period: drain at c (content floored at 0).
+		dOff := rng.ExpFloat64() / q.OffToOn
+		drainTime := math.Min(dOff, content/q.ServiceRate)
+		timeAbove += timeAboveDuring(content, -q.ServiceRate, drainTime)
+		content = math.Max(0, content-q.ServiceRate*dOff)
+		totalTime += dOff
+		// On period: fill at OnRate−c.
+		dOn := rng.ExpFloat64() / q.OnToOff
+		timeAbove += timeAboveDuring(content, q.OnRate-q.ServiceRate, dOn)
+		content += (q.OnRate - q.ServiceRate) * dOn
+		totalTime += dOn
+	}
+	return timeAbove / totalTime, nil
+}

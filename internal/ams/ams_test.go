@@ -1,0 +1,135 @@
+package ams
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lrd/internal/numerics"
+)
+
+func testQueue() OnOffQueue {
+	// P(on) = 1/3, mean rate 1, utilization 2/3 at c = 1.5.
+	return OnOffQueue{OnRate: 3, OffToOn: 1, OnToOff: 2, ServiceRate: 1.5}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testQueue().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []OnOffQueue{
+		{OnRate: 0, OffToOn: 1, OnToOff: 1, ServiceRate: 1},
+		{OnRate: 2, OffToOn: 0, OnToOff: 1, ServiceRate: 1},
+		{OnRate: 2, OffToOn: 1, OnToOff: 0, ServiceRate: 1},
+		{OnRate: 2, OffToOn: 1, OnToOff: 1, ServiceRate: 0},
+		{OnRate: 2, OffToOn: 1, OnToOff: 1, ServiceRate: 2.5},  // c >= on rate
+		{OnRate: 2, OffToOn: 10, OnToOff: 1, ServiceRate: 1.5}, // unstable
+	}
+	for _, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("accepted invalid queue %+v", q)
+		}
+	}
+}
+
+func TestStationaryQuantities(t *testing.T) {
+	q := testQueue()
+	if !numerics.AlmostEqual(q.POn(), 1.0/3.0, 1e-12) {
+		t.Fatalf("POn = %v", q.POn())
+	}
+	if !numerics.AlmostEqual(q.MeanRate(), 1, 1e-12) {
+		t.Fatalf("mean rate = %v", q.MeanRate())
+	}
+	if !numerics.AlmostEqual(q.Utilization(), 2.0/3.0, 1e-12) {
+		t.Fatalf("utilization = %v", q.Utilization())
+	}
+}
+
+func TestDecayRatePositiveWhenStable(t *testing.T) {
+	q := testQueue()
+	// η = β/(r−c) − α/c = 2/1.5 − 1/1.5 = 2/3.
+	if !numerics.AlmostEqual(q.DecayRate(), 2.0/3.0, 1e-12) {
+		t.Fatalf("decay rate = %v", q.DecayRate())
+	}
+	if q.DecayRate() <= 0 {
+		t.Fatal("stable queue must have positive decay rate")
+	}
+}
+
+func TestOverflowProbabilityForm(t *testing.T) {
+	q := testQueue()
+	// At x = 0 the overflow probability equals the utilization (the
+	// probability the queue is busy building, in the AMS solution).
+	if !numerics.AlmostEqual(q.OverflowProbability(0), q.Utilization(), 1e-12) {
+		t.Fatalf("G(0) = %v, want ρ = %v", q.OverflowProbability(0), q.Utilization())
+	}
+	if q.OverflowProbability(-1) != 1 {
+		t.Fatal("G(x<0) must be 1")
+	}
+	// Exponential decay: log-linear with slope −η.
+	x1, x2 := 1.0, 3.0
+	slope := (math.Log(q.OverflowProbability(x2)) - math.Log(q.OverflowProbability(x1))) / (x2 - x1)
+	if !numerics.AlmostEqual(slope, -q.DecayRate(), 1e-12) {
+		t.Fatalf("log-slope = %v, want %v", slope, -q.DecayRate())
+	}
+}
+
+func TestBufferForTarget(t *testing.T) {
+	q := testQueue()
+	b, err := q.BufferForTarget(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(q.OverflowProbability(b), 1e-6, 1e-9) {
+		t.Fatalf("G(BufferForTarget) = %v", q.OverflowProbability(b))
+	}
+	// Logarithmic growth: 100× lower target costs a fixed increment.
+	b2, err := q.BufferForTarget(1e-8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(b2-b, math.Log(100)/q.DecayRate(), 1e-9) {
+		t.Fatalf("buffer increment %v, want %v", b2-b, math.Log(100)/q.DecayRate())
+	}
+	if _, err := q.BufferForTarget(0); err == nil {
+		t.Fatal("want error for target 0")
+	}
+	if _, err := q.BufferForTarget(0.9); err == nil {
+		t.Fatal("want error for target >= ρ")
+	}
+}
+
+func TestClosedFormMatchesSimulation(t *testing.T) {
+	q := testQueue()
+	rng := rand.New(rand.NewSource(17))
+	for _, x := range []float64{0.5, 1.5, 3} {
+		got, err := q.SimulateOverflow(x, 400000, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := q.OverflowProbability(x)
+		if math.Abs(got-want)/want > 0.1 {
+			t.Fatalf("x=%v: simulated %v vs closed form %v", x, got, want)
+		}
+	}
+}
+
+func TestSimulateOverflowValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := (OnOffQueue{}).SimulateOverflow(1, 10, rng); err == nil {
+		t.Fatal("want error on invalid queue")
+	}
+	if _, err := testQueue().SimulateOverflow(1, 0, rng); err == nil {
+		t.Fatal("want error on zero cycles")
+	}
+}
+
+func TestLossUpperBoundCapped(t *testing.T) {
+	q := testQueue()
+	if got := q.LossUpperBound(0); got > 1 {
+		t.Fatalf("bound %v exceeds 1", got)
+	}
+	if q.LossUpperBound(10) >= q.LossUpperBound(1) {
+		t.Fatal("bound must decrease with buffer size")
+	}
+}

@@ -1,0 +1,377 @@
+// Package core orchestrates the paper's experiments: it binds traces to
+// fluid models the way §III describes (50-bin histogram marginal, θ
+// calibrated from the mean epoch duration, α from the Hurst parameter) and
+// runs the parameter sweeps behind every figure of the evaluation. Each
+// experiment function returns plain row data; the cmd/ tools and the bench
+// harness format it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"lrd/internal/dist"
+	"lrd/internal/fluid"
+	"lrd/internal/lrdest"
+	"lrd/internal/solver"
+	"lrd/internal/traces"
+)
+
+// HistogramBins is the marginal resolution the paper uses for all
+// experiments ("We set the number of bins to 50 in all experiments").
+const HistogramBins = 50
+
+// TraceModel bundles a trace with the fitted model ingredients.
+type TraceModel struct {
+	Trace     traces.Trace
+	Marginal  dist.Marginal // 50-bin histogram marginal
+	Hurst     float64       // Hurst parameter (measured or imposed)
+	MeanEpoch float64       // mean epoch duration in seconds
+}
+
+// BuildTraceModel fits the model ingredients to a trace. A positive hurst
+// imposes that value (the paper quotes its Whittle/wavelet estimates);
+// hurst <= 0 estimates it with the local Whittle estimator.
+func BuildTraceModel(tr traces.Trace, hurst float64) (TraceModel, error) {
+	if len(tr.Rates) == 0 {
+		return TraceModel{}, errors.New("core: empty trace")
+	}
+	m, err := tr.Marginal(HistogramBins)
+	if err != nil {
+		return TraceModel{}, err
+	}
+	epoch, err := tr.MeanEpoch(HistogramBins)
+	if err != nil {
+		return TraceModel{}, err
+	}
+	if hurst <= 0 {
+		hurst, err = lrdest.LocalWhittle(tr.Rates, 0)
+		if err != nil {
+			return TraceModel{}, fmt.Errorf("core: estimating Hurst: %w", err)
+		}
+	}
+	return TraceModel{Trace: tr, Marginal: m, Hurst: hurst, MeanEpoch: epoch}, nil
+}
+
+// Source builds the cutoff-correlated fluid source for this trace model
+// with the given cutoff lag (seconds; math.Inf(1) for no cutoff).
+func (tm TraceModel) Source(cutoff float64) (fluid.Source, error) {
+	return fluid.FromTraceStats(tm.Marginal, tm.Hurst, tm.MeanEpoch, cutoff)
+}
+
+// SourceWithHurst builds a source with an overridden Hurst parameter but θ
+// calibrated at the model's nominal Hurst value — the protocol of the
+// paper's Figs. 10–11 ("we use the same θ in the entire experiment, by
+// matching the average interval length for the nominal Hurst parameter").
+func (tm TraceModel) SourceWithHurst(hurst, cutoff float64) (fluid.Source, error) {
+	if !(hurst > 0.5 && hurst < 1) {
+		return fluid.Source{}, fmt.Errorf("core: Hurst %v outside (0.5, 1)", hurst)
+	}
+	alphaNominal := dist.AlphaFromHurst(tm.Hurst)
+	theta, err := dist.CalibrateTheta(alphaNominal, tm.MeanEpoch)
+	if err != nil {
+		return fluid.Source{}, err
+	}
+	return fluid.New(tm.Marginal, dist.TruncatedPareto{
+		Theta:  theta,
+		Alpha:  dist.AlphaFromHurst(hurst),
+		Cutoff: cutoff,
+	})
+}
+
+// MTVModel synthesizes the MTV stand-in trace and fits its model using the
+// paper's quoted H = 0.83.
+func MTVModel(seed int64) (TraceModel, error) {
+	tr, err := traces.MTV(newRand(seed))
+	if err != nil {
+		return TraceModel{}, err
+	}
+	return BuildTraceModel(tr, 0.83)
+}
+
+// BellcoreModel synthesizes the Bellcore stand-in trace and fits its model
+// using the paper's quoted H = 0.9.
+func BellcoreModel(seed int64) (TraceModel, error) {
+	tr, err := traces.Bellcore(newRand(seed))
+	if err != nil {
+		return TraceModel{}, err
+	}
+	return BuildTraceModel(tr, 0.9)
+}
+
+// Point is one cell of a loss surface. Fields that do not vary in a given
+// experiment hold that experiment's fixed value.
+type Point struct {
+	NormalizedBuffer float64 // B/c in seconds
+	Cutoff           float64 // Tc in seconds (math.Inf(1) = no cutoff)
+	Hurst            float64
+	Scale            float64 // marginal scaling factor a
+	Streams          int     // number of superposed streams n
+	Loss             float64
+	Lower, Upper     float64
+	Converged        bool
+}
+
+// parallelMap runs f over n indices on a bounded worker pool and returns
+// the first error.
+func parallelMap(n int, f func(i int) error) error {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := f(i); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// solveCell runs the solver on one parameter cell.
+func solveCell(src fluid.Source, util, nbuf float64, cfg solver.Config) (Point, error) {
+	q, err := solver.NewQueueNormalized(src, util, nbuf)
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := solver.Solve(q, cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		NormalizedBuffer: nbuf,
+		Cutoff:           src.Interarrival.Cutoff,
+		Hurst:            src.Hurst(),
+		Scale:            1,
+		Streams:          1,
+		Loss:             res.Loss,
+		Lower:            res.Lower,
+		Upper:            res.Upper,
+		Converged:        res.Converged,
+	}, nil
+}
+
+// LossVsBufferAndCutoff computes the model loss surface of Figs. 4 and 5:
+// loss rate over a (normalized buffer, cutoff lag) grid at fixed
+// utilization.
+func LossVsBufferAndCutoff(tm TraceModel, util float64, buffers, cutoffs []float64, cfg solver.Config) ([]Point, error) {
+	if len(buffers) == 0 || len(cutoffs) == 0 {
+		return nil, errors.New("core: empty parameter grid")
+	}
+	out := make([]Point, len(buffers)*len(cutoffs))
+	err := parallelMap(len(out), func(i int) error {
+		b := buffers[i/len(cutoffs)]
+		tc := cutoffs[i%len(cutoffs)]
+		src, err := tm.Source(tc)
+		if err != nil {
+			return err
+		}
+		p, err := solveCell(src, util, b, cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = p
+		return nil
+	})
+	return out, err
+}
+
+// LossVsCutoffFixedTheta reproduces Fig. 9: loss rate versus cutoff lag
+// with *all* other parameters fixed across marginals (normalized buffer,
+// utilization, θ, and H), isolating the marginal's influence.
+func LossVsCutoffFixedTheta(marginal dist.Marginal, util, nbuf, theta, hurst float64, cutoffs []float64, cfg solver.Config) ([]Point, error) {
+	if len(cutoffs) == 0 {
+		return nil, errors.New("core: empty cutoff grid")
+	}
+	alpha := dist.AlphaFromHurst(hurst)
+	out := make([]Point, len(cutoffs))
+	err := parallelMap(len(out), func(i int) error {
+		src, err := fluid.New(marginal, dist.TruncatedPareto{Theta: theta, Alpha: alpha, Cutoff: cutoffs[i]})
+		if err != nil {
+			return err
+		}
+		p, err := solveCell(src, util, nbuf, cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = p
+		return nil
+	})
+	return out, err
+}
+
+// LossVsHurstAndScale reproduces Fig. 10: loss over a (Hurst, marginal
+// scaling factor) grid at fixed normalized buffer, utilization, and an
+// infinite cutoff; θ is matched at the trace model's nominal H.
+func LossVsHurstAndScale(tm TraceModel, util, nbuf float64, hursts, scales []float64, cfg solver.Config) ([]Point, error) {
+	if len(hursts) == 0 || len(scales) == 0 {
+		return nil, errors.New("core: empty parameter grid")
+	}
+	out := make([]Point, len(hursts)*len(scales))
+	err := parallelMap(len(out), func(i int) error {
+		h := hursts[i/len(scales)]
+		a := scales[i%len(scales)]
+		src, err := tm.SourceWithHurst(h, math.Inf(1))
+		if err != nil {
+			return err
+		}
+		src = src.WithMarginal(tm.Marginal.Scale(a))
+		p, err := solveCell(src, util, nbuf, cfg)
+		if err != nil {
+			return err
+		}
+		p.Hurst, p.Scale = h, a
+		out[i] = p
+		return nil
+	})
+	return out, err
+}
+
+// LossVsHurstAndStreams reproduces Fig. 11: loss over a (Hurst, number of
+// superposed streams) grid; the marginal is the n-fold convolution
+// renormalized to the original mean, with buffer and service rate per
+// stream kept constant.
+func LossVsHurstAndStreams(tm TraceModel, util, nbuf float64, hursts []float64, streams []int, cfg solver.Config) ([]Point, error) {
+	if len(hursts) == 0 || len(streams) == 0 {
+		return nil, errors.New("core: empty parameter grid")
+	}
+	// Precompute superposed marginals (shared across Hurst values).
+	margs := make([]dist.Marginal, len(streams))
+	for j, n := range streams {
+		sm, err := tm.Marginal.Superpose(n, 64)
+		if err != nil {
+			return nil, err
+		}
+		if sm, err = sm.Rebin(HistogramBins); err != nil {
+			return nil, err
+		}
+		margs[j] = sm
+	}
+	out := make([]Point, len(hursts)*len(streams))
+	err := parallelMap(len(out), func(i int) error {
+		h := hursts[i/len(streams)]
+		j := i % len(streams)
+		src, err := tm.SourceWithHurst(h, math.Inf(1))
+		if err != nil {
+			return err
+		}
+		src = src.WithMarginal(margs[j])
+		p, err := solveCell(src, util, nbuf, cfg)
+		if err != nil {
+			return err
+		}
+		p.Hurst, p.Streams = h, streams[j]
+		out[i] = p
+		return nil
+	})
+	return out, err
+}
+
+// LossVsBufferAndScale reproduces Figs. 12 and 13: loss over a (normalized
+// buffer, marginal scaling factor) grid with an infinite cutoff.
+func LossVsBufferAndScale(tm TraceModel, util float64, buffers, scales []float64, cfg solver.Config) ([]Point, error) {
+	if len(buffers) == 0 || len(scales) == 0 {
+		return nil, errors.New("core: empty parameter grid")
+	}
+	out := make([]Point, len(buffers)*len(scales))
+	err := parallelMap(len(out), func(i int) error {
+		b := buffers[i/len(scales)]
+		a := scales[i%len(scales)]
+		src, err := tm.Source(math.Inf(1))
+		if err != nil {
+			return err
+		}
+		src = src.WithMarginal(tm.Marginal.Scale(a))
+		p, err := solveCell(src, util, b, cfg)
+		if err != nil {
+			return err
+		}
+		p.Scale = a
+		out[i] = p
+		return nil
+	})
+	return out, err
+}
+
+// BoundSnapshot is the occupancy-bound state after a given iteration count
+// (the content of the paper's Fig. 2).
+type BoundSnapshot struct {
+	Iteration int
+	// Grid[i] is the occupancy value i·d; LowerCDF/UpperCDF are the
+	// cumulative occupancy distributions of the two bound processes.
+	Grid               []float64
+	LowerCDF, UpperCDF []float64
+}
+
+// BoundConvergence reproduces Fig. 2: the discrete lower/upper occupancy
+// bounds after the requested iteration counts with a fixed resolution M.
+func BoundConvergence(tm TraceModel, util, nbuf float64, bins int, iterations []int) ([]BoundSnapshot, error) {
+	src, err := tm.Source(math.Inf(1))
+	if err != nil {
+		return nil, err
+	}
+	q, err := solver.NewQueueNormalized(src, util, nbuf)
+	if err != nil {
+		return nil, err
+	}
+	it, err := solver.NewIterator(q, solver.Config{InitialBins: bins, MaxBins: bins})
+	if err != nil {
+		return nil, err
+	}
+	var out []BoundSnapshot
+	step := 0
+	for _, target := range iterations {
+		if target < step {
+			return nil, fmt.Errorf("core: iteration targets must be non-decreasing (got %d after %d)", target, step)
+		}
+		for step < target {
+			it.Step()
+			step++
+		}
+		lower := it.LowerOccupancy()
+		upper := it.UpperOccupancy()
+		grid := make([]float64, len(lower))
+		lcdf := make([]float64, len(lower))
+		ucdf := make([]float64, len(lower))
+		var la, ua float64
+		for i := range lower {
+			grid[i] = float64(i) * it.GridStep() / q.ServiceRate // in seconds of buffering
+			la += lower[i]
+			ua += upper[i]
+			lcdf[i], ucdf[i] = la, ua
+		}
+		out = append(out, BoundSnapshot{Iteration: target, Grid: grid, LowerCDF: lcdf, UpperCDF: ucdf})
+	}
+	return out, nil
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

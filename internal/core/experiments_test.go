@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"lrd/internal/solver"
+)
+
+func quickOpts() RunOptions {
+	return RunOptions{
+		Seed:   1,
+		Quick:  true,
+		Solver: solver.Config{InitialBins: 64, MaxBins: 1024, MaxIterations: 10000},
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "hurst", "markov",
+		"arqfec", "eq26", "modelfit", "delay",
+	}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("experiments = %d, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("experiment %d = %q, want %q", i, got[i].ID, id)
+		}
+		if got[i].Title == "" || got[i].Run == nil {
+			t.Errorf("experiment %q incomplete", got[i].ID)
+		}
+	}
+}
+
+func TestExperimentByID(t *testing.T) {
+	e, err := ExperimentByID("fig9")
+	if err != nil || e.ID != "fig9" {
+		t.Fatalf("lookup failed: %v %v", e.ID, err)
+	}
+	if _, err := ExperimentByID("nope"); err == nil {
+		t.Fatal("want error for unknown id")
+	}
+}
+
+// TestAllExperimentsRunQuick smoke-tests every experiment end to end in
+// quick mode: each must produce a non-empty, rectangular table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take tens of seconds")
+	}
+	opts := quickOpts()
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run(opts)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tb.Header) == 0 || len(tb.Rows) == 0 {
+				t.Fatalf("%s produced an empty table", e.ID)
+			}
+			for i, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Fatalf("%s row %d has %d cells, header has %d", e.ID, i, len(row), len(tb.Header))
+				}
+			}
+		})
+	}
+}
+
+// TestFig9ShowsMarginalDominance checks the headline claim on the quick
+// corpus: at identical (B, util, θ, H), the wide Bellcore marginal loses
+// orders of magnitude more than the narrow MTV marginal.
+func TestFig9ShowsMarginalDominance(t *testing.T) {
+	tb, err := runFig9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := map[string]float64{}
+	for _, row := range tb.Rows {
+		if row[1] == "inf" { // the fully correlated endpoint
+			v, err := strconv.ParseFloat(row[2], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			loss[row[0]] = v
+		}
+	}
+	if len(loss) != 2 {
+		t.Fatalf("missing endpoints: %v", loss)
+	}
+	if loss["bellcore"] < 10*loss["mtv"] {
+		t.Fatalf("marginal dominance not reproduced: bellcore %v vs mtv %v", loss["bellcore"], loss["mtv"])
+	}
+}
+
+// TestFig14HorizonScalesWithBuffer checks the Fig. 14 claim on the quick
+// corpus: the fitted horizon-vs-buffer exponent is near 1 and positive.
+func TestFig14HorizonScalesWithBuffer(t *testing.T) {
+	tb, err := runFig14(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 2 {
+		t.Fatalf("too few horizon rows: %d", len(tb.Rows))
+	}
+	exp, err := strconv.ParseFloat(tb.Rows[0][3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp <= 0 || math.IsNaN(exp) {
+		t.Fatalf("horizon scaling exponent = %v, want positive", exp)
+	}
+}
+
+// TestMarkovExperimentRatioNearOne: the §IV experiment's loss ratio
+// between the fitted Markovian model and the original must be O(1).
+func TestMarkovExperimentRatioNearOne(t *testing.T) {
+	tb, err := runMarkov(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		ratio, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(ratio) {
+			continue // zero-loss cell
+		}
+		if ratio < 0.3 || ratio > 3 {
+			t.Fatalf("markov/pareto loss ratio %v too far from 1 (buffer %s)", ratio, row[0])
+		}
+	}
+}
+
+// TestARQFECTrend: FEC residual worsens and ARQ burst length grows as the
+// correlation block grows.
+func TestARQFECTrend(t *testing.T) {
+	tb, err := runARQFEC(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fec, burst []float64
+	for _, row := range tb.Rows {
+		if row[0] == "-1" {
+			continue // unshuffled original, listed first
+		}
+		v1, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fec = append(fec, v1)
+		burst = append(burst, v2)
+	}
+	if len(fec) < 3 {
+		t.Fatalf("too few rows: %d", len(fec))
+	}
+	if !(fec[len(fec)-1] > fec[0]) {
+		t.Fatalf("FEC residual should grow with the correlation block: %v", fec)
+	}
+	if !(burst[len(burst)-1] > burst[0]) {
+		t.Fatalf("ARQ bursts should lengthen with the correlation block: %v", burst)
+	}
+}

@@ -1,0 +1,180 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lrd/internal/numerics"
+)
+
+func TestTruncatedParetoIntegralCCDF(t *testing.T) {
+	p := TruncatedPareto{Theta: 0.02, Alpha: 1.2, Cutoff: 5}
+	// IntegralCCDF(0) = Mean (Eq. 25).
+	if !numerics.AlmostEqual(p.IntegralCCDF(0), p.Mean(), 1e-12) {
+		t.Fatalf("IntegralCCDF(0) = %v, Mean = %v", p.IntegralCCDF(0), p.Mean())
+	}
+	// Matches quadrature at interior points.
+	for _, a := range []float64{0.01, 0.5, 2, 4.9} {
+		want := numerics.Trapezoid(p.CCDF, a, p.Cutoff, 1_000_000)
+		if !numerics.AlmostEqual(p.IntegralCCDF(a), want, 1e-5) {
+			t.Errorf("a=%v: %v vs quadrature %v", a, p.IntegralCCDF(a), want)
+		}
+	}
+	// Zero at and beyond the cutoff; negative a clamps to 0.
+	if p.IntegralCCDF(5) != 0 || p.IntegralCCDF(7) != 0 {
+		t.Fatal("IntegralCCDF beyond the cutoff must be 0")
+	}
+	if p.IntegralCCDF(-1) != p.Mean() {
+		t.Fatal("negative a should clamp to 0")
+	}
+	if p.Upper() != 5 {
+		t.Fatalf("Upper = %v, want the cutoff", p.Upper())
+	}
+}
+
+func TestTruncatedParetoCCDFAtLeast(t *testing.T) {
+	p := TruncatedPareto{Theta: 0.5, Alpha: 1.5, Cutoff: 3}
+	if p.CCDFAtLeast(0) != 1 || p.CCDFAtLeast(-1) != 1 {
+		t.Fatal("Pr{T >= 0} must be 1")
+	}
+	// Below the cutoff the law is continuous: >= equals >.
+	if p.CCDFAtLeast(1) != p.CCDF(1) {
+		t.Fatal("continuous region: CCDFAtLeast must equal CCDF")
+	}
+	// At the cutoff: the atom.
+	if !numerics.AlmostEqual(p.CCDFAtLeast(3), p.AtomMass(), 1e-15) {
+		t.Fatalf("Pr{T >= Tc} = %v, atom = %v", p.CCDFAtLeast(3), p.AtomMass())
+	}
+	if p.CCDFAtLeast(3.1) != 0 {
+		t.Fatal("Pr{T >= t} beyond the cutoff must be 0")
+	}
+}
+
+func TestNewHyperexponentialValidation(t *testing.T) {
+	if _, err := NewHyperexponential(nil, nil); err == nil {
+		t.Fatal("want error on empty mixture")
+	}
+	if _, err := NewHyperexponential([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error on length mismatch")
+	}
+	if _, err := NewHyperexponential([]float64{-1, 2}, []float64{1, 1}); err == nil {
+		t.Fatal("want error on negative weight")
+	}
+	if _, err := NewHyperexponential([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("want error on zero scale")
+	}
+	if _, err := NewHyperexponential([]float64{0, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("want error on zero total weight")
+	}
+	// Weights are renormalized.
+	h, err := NewHyperexponential([]float64{2, 2}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(h.Weights[0], 0.5, 1e-12) {
+		t.Fatalf("weights not renormalized: %v", h.Weights)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHyperexponentialMoments(t *testing.T) {
+	h, err := NewHyperexponential([]float64{0.3, 0.7}, []float64{0.1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.3*0.1 + 0.7*2
+	if !numerics.AlmostEqual(h.Mean(), wantMean, 1e-12) {
+		t.Fatalf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+	wantM2 := 2 * (0.3*0.01 + 0.7*4)
+	if !numerics.AlmostEqual(h.SecondMoment(), wantM2, 1e-12) {
+		t.Fatalf("E[T²] = %v, want %v", h.SecondMoment(), wantM2)
+	}
+	if !numerics.AlmostEqual(h.Variance(), wantM2-wantMean*wantMean, 1e-12) {
+		t.Fatalf("variance = %v", h.Variance())
+	}
+	if !math.IsInf(h.Upper(), 1) {
+		t.Fatal("hyperexponential must be unbounded")
+	}
+}
+
+func TestHyperexponentialCCDFAndIntegral(t *testing.T) {
+	h, err := NewHyperexponential([]float64{0.5, 0.5}, []float64{0.5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CCDF(-1) != 1 || h.CCDF(0) != 1 {
+		t.Fatal("CCDF at 0 must be 1")
+	}
+	// Against quadrature.
+	for _, a := range []float64{0, 0.3, 2, 10} {
+		want := numerics.Trapezoid(h.CCDF, a, 200, 2_000_000)
+		if !numerics.AlmostEqual(h.IntegralCCDF(a), want, 1e-5) {
+			t.Errorf("a=%v: IntegralCCDF %v vs quadrature %v", a, h.IntegralCCDF(a), want)
+		}
+	}
+	// CCDFAtLeast coincides with CCDF away from 0 (continuous law).
+	if h.CCDFAtLeast(1.5) != h.CCDF(1.5) {
+		t.Fatal("continuous law: >= must equal >")
+	}
+	if h.CCDFAtLeast(0) != 1 {
+		t.Fatal("Pr{T >= 0} = 1")
+	}
+}
+
+func TestHyperexponentialResidualCCDF(t *testing.T) {
+	h, err := NewHyperexponential([]float64{0.6, 0.4}, []float64{0.2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ResidualCCDF(0) != 1 {
+		t.Fatal("residual ccdf at 0 must be 1")
+	}
+	// The residual law is the scale-weighted mixture of the same
+	// exponentials: r(t) = Σ (w_k τ_k/Σw_jτ_j)·e^{−t/τ_k}.
+	norm := 0.6*0.2 + 0.4*3
+	for _, tt := range []float64{0.1, 1, 5} {
+		want := (0.6*0.2*math.Exp(-tt/0.2) + 0.4*3*math.Exp(-tt/3)) / norm
+		if !numerics.AlmostEqual(h.ResidualCCDF(tt), want, 1e-12) {
+			t.Errorf("t=%v: residual %v, want %v", tt, h.ResidualCCDF(tt), want)
+		}
+	}
+}
+
+func TestHyperexponentialSampleMoments(t *testing.T) {
+	h, err := NewHyperexponential([]float64{0.25, 0.75}, []float64{0.05, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	var acc numerics.Accumulator
+	n := 300000
+	for i := 0; i < n; i++ {
+		s := h.Sample(rng)
+		if s < 0 {
+			t.Fatalf("negative sample %v", s)
+		}
+		acc.Add(s)
+	}
+	if got := acc.Sum() / float64(n); !numerics.AlmostEqual(got, h.Mean(), 0.02) {
+		t.Fatalf("sample mean %v, want ≈ %v", got, h.Mean())
+	}
+}
+
+func TestHyperexponentialSingleComponentIsExponential(t *testing.T) {
+	h, err := NewHyperexponential([]float64{1}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.5, 1, 4} {
+		if !numerics.AlmostEqual(h.CCDF(tt), math.Exp(-tt/2), 1e-12) {
+			t.Fatalf("CCDF(%v) = %v", tt, h.CCDF(tt))
+		}
+	}
+	if h.String() == "" {
+		t.Fatal("String should describe the mixture")
+	}
+}

@@ -1,0 +1,357 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"lrd/internal/numerics"
+)
+
+// Marginal is a finite discrete distribution over fluid rates: the pair
+// (Λ, Π) of the paper, with Pr{λ = Rates[i]} = Probs[i]. Rates are strictly
+// increasing and Probs sum to one. The zero value is not usable; construct
+// with NewMarginal or FromSamples.
+type Marginal struct {
+	rates []float64
+	probs []float64
+}
+
+// NewMarginal builds a Marginal from parallel rate/probability slices. The
+// inputs are copied, co-sorted by rate, equal rates merged, zero-probability
+// atoms dropped, and probabilities renormalized to sum to exactly one (a
+// relative drift of up to 1e-9 is tolerated; anything larger is an error).
+func NewMarginal(rates, probs []float64) (Marginal, error) {
+	if len(rates) != len(probs) {
+		return Marginal{}, errors.New("dist: NewMarginal length mismatch")
+	}
+	if len(rates) == 0 {
+		return Marginal{}, errors.New("dist: NewMarginal requires at least one atom")
+	}
+	type atom struct{ r, p float64 }
+	atoms := make([]atom, 0, len(rates))
+	for i := range rates {
+		if math.IsNaN(rates[i]) || math.IsInf(rates[i], 0) {
+			return Marginal{}, fmt.Errorf("dist: rate %v is not finite", rates[i])
+		}
+		if probs[i] < 0 || math.IsNaN(probs[i]) {
+			return Marginal{}, fmt.Errorf("dist: probability %v is negative or NaN", probs[i])
+		}
+		if probs[i] == 0 {
+			continue
+		}
+		atoms = append(atoms, atom{rates[i], probs[i]})
+	}
+	if len(atoms) == 0 {
+		return Marginal{}, errors.New("dist: all atoms have zero probability")
+	}
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].r < atoms[j].r })
+	merged := atoms[:1]
+	for _, a := range atoms[1:] {
+		if a.r == merged[len(merged)-1].r {
+			merged[len(merged)-1].p += a.p
+		} else {
+			merged = append(merged, a)
+		}
+	}
+	var total numerics.Accumulator
+	for _, a := range merged {
+		total.Add(a.p)
+	}
+	sum := total.Sum()
+	if math.Abs(sum-1) > 1e-9 {
+		return Marginal{}, fmt.Errorf("dist: probabilities sum to %v, want 1", sum)
+	}
+	m := Marginal{
+		rates: make([]float64, len(merged)),
+		probs: make([]float64, len(merged)),
+	}
+	for i, a := range merged {
+		m.rates[i] = a.r
+		m.probs[i] = a.p / sum
+	}
+	return m, nil
+}
+
+// MustMarginal is NewMarginal that panics on error; intended for literals in
+// examples and tests.
+func MustMarginal(rates, probs []float64) Marginal {
+	m, err := NewMarginal(rates, probs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FromSamples builds the constant-bin-size histogram marginal the paper
+// derives from its traces (§III, 50 bins): the sample range is split into
+// bins equal-width intervals and each bin's probability mass is placed at
+// its midpoint. Degenerate all-equal samples yield a single atom.
+func FromSamples(xs []float64, bins int) (Marginal, error) {
+	if len(xs) == 0 {
+		return Marginal{}, errors.New("dist: FromSamples on empty data")
+	}
+	if bins < 1 {
+		return Marginal{}, errors.New("dist: FromSamples requires bins >= 1")
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Marginal{}, errors.New("dist: FromSamples on non-finite data")
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if lo == hi {
+		return NewMarginal([]float64{lo}, []float64{1})
+	}
+	w := (hi - lo) / float64(bins)
+	counts := make([]float64, bins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i >= bins {
+			i = bins - 1 // x == hi lands here
+		}
+		counts[i]++
+	}
+	rates := make([]float64, 0, bins)
+	probs := make([]float64, 0, bins)
+	n := float64(len(xs))
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		rates = append(rates, lo+(float64(i)+0.5)*w)
+		probs = append(probs, c/n)
+	}
+	return NewMarginal(rates, probs)
+}
+
+// Len returns the number of atoms.
+func (m Marginal) Len() int { return len(m.rates) }
+
+// Rate returns the i-th atom's rate. Atoms are in strictly increasing
+// rate order.
+func (m Marginal) Rate(i int) float64 { return m.rates[i] }
+
+// Prob returns the i-th atom's probability.
+func (m Marginal) Prob(i int) float64 { return m.probs[i] }
+
+// Rates returns a copy of the rate vector Λ.
+func (m Marginal) Rates() []float64 { return append([]float64(nil), m.rates...) }
+
+// Probs returns a copy of the probability vector Π.
+func (m Marginal) Probs() []float64 { return append([]float64(nil), m.probs...) }
+
+// Mean returns λ̄ = Π Λ 1ᵀ (Eq. 2).
+func (m Marginal) Mean() float64 {
+	var acc numerics.Accumulator
+	for i := range m.rates {
+		acc.Add(m.rates[i] * m.probs[i])
+	}
+	return acc.Sum()
+}
+
+// SecondMoment returns Π Λ² 1ᵀ.
+func (m Marginal) SecondMoment() float64 {
+	var acc numerics.Accumulator
+	for i := range m.rates {
+		acc.Add(m.rates[i] * m.rates[i] * m.probs[i])
+	}
+	return acc.Sum()
+}
+
+// Variance returns σ² = Π Λ² 1ᵀ − (Π Λ 1ᵀ)² (Eq. 4), the variance of the
+// instantaneous fluid rate.
+func (m Marginal) Variance() float64 {
+	mu := m.Mean()
+	return m.SecondMoment() - mu*mu
+}
+
+// Min and Max return the smallest and largest rates.
+func (m Marginal) Min() float64 { return m.rates[0] }
+
+// Max returns the largest rate.
+func (m Marginal) Max() float64 { return m.rates[len(m.rates)-1] }
+
+// CDF returns Pr{λ <= x}.
+func (m Marginal) CDF(x float64) float64 {
+	var acc float64
+	for i, r := range m.rates {
+		if r > x {
+			break
+		}
+		acc += m.probs[i]
+	}
+	return math.Min(acc, 1)
+}
+
+// Quantile returns the smallest rate r with CDF(r) >= u, for u in (0, 1].
+// u <= 0 maps to the smallest rate.
+func (m Marginal) Quantile(u float64) float64 {
+	var acc float64
+	for i, p := range m.probs {
+		acc += p
+		if acc >= u {
+			return m.rates[i]
+		}
+	}
+	return m.rates[len(m.rates)-1]
+}
+
+// Sample draws one rate using rng.
+func (m Marginal) Sample(rng *rand.Rand) float64 {
+	return m.Quantile(rng.Float64())
+}
+
+// Scale applies the paper's first marginal transformation (§III, second
+// experiment set): each rate moves to λ̄ + a·(λ − λ̄), shrinking (a < 1) or
+// stretching (a > 1) the distribution around its mean while keeping the mean
+// fixed. The variance scales by a². Note that a > 1 can produce negative
+// rates when the original distribution has mass close to zero; the fluid
+// queue recursion remains well defined (a negative rate drains the buffer
+// faster), matching the paper's purely second-order treatment.
+func (m Marginal) Scale(a float64) Marginal {
+	mu := m.Mean()
+	rates := make([]float64, len(m.rates))
+	for i, r := range m.rates {
+		rates[i] = mu + a*(r-mu)
+	}
+	out, err := NewMarginal(rates, m.Probs())
+	if err != nil {
+		// Unreachable: scaling preserves validity (distinct rates may merge
+		// only when a == 0, which NewMarginal handles by merging atoms).
+		panic(err)
+	}
+	return out
+}
+
+// Shift translates every rate by delta, preserving probabilities.
+func (m Marginal) Shift(delta float64) Marginal {
+	rates := make([]float64, len(m.rates))
+	for i, r := range m.rates {
+		rates[i] = r + delta
+	}
+	out, err := NewMarginal(rates, m.Probs())
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Superpose applies the paper's second marginal transformation (§III): the
+// n-fold convolution of the marginal renormalized to the original mean.
+// It models the per-stream load of n statistically multiplexed copies of
+// the source, i.e. the distribution of (λ⁽¹⁾+…+λ⁽ⁿ⁾)/n. The mean is
+// unchanged and the variance drops by a factor n.
+//
+// To keep the atom count bounded the distribution is first resampled onto a
+// regular grid of gridBins points (the paper's own marginals are 50-bin
+// histograms, so gridBins ≈ 64 loses nothing); the convolution is then an
+// exact discrete convolution on that grid. The result has up to
+// n·(gridBins−1)+1 atoms; callers who need a smaller support can Rebin it.
+func (m Marginal) Superpose(n, gridBins int) (Marginal, error) {
+	if n < 1 {
+		return Marginal{}, errors.New("dist: Superpose requires n >= 1")
+	}
+	if n == 1 {
+		return m, nil
+	}
+	if gridBins < 2 {
+		return Marginal{}, errors.New("dist: Superpose requires gridBins >= 2")
+	}
+	lo, hi := m.Min(), m.Max()
+	if lo == hi {
+		return m, nil // deterministic rate: superposition is a no-op
+	}
+	w := (hi - lo) / float64(gridBins-1)
+	grid := make([]float64, gridBins)
+	for i, r := range m.rates {
+		// Split each atom's mass linearly between the two neighbouring grid
+		// points so the grid marginal has exactly the original mean.
+		pos := (r - lo) / w
+		j := int(math.Floor(pos))
+		if j >= gridBins-1 {
+			grid[gridBins-1] += m.probs[i]
+			continue
+		}
+		frac := pos - float64(j)
+		grid[j] += m.probs[i] * (1 - frac)
+		grid[j+1] += m.probs[i] * frac
+	}
+	pmf := grid
+	for k := 1; k < n; k++ {
+		pmf = convolvePMF(pmf, grid)
+	}
+	rates := make([]float64, 0, len(pmf))
+	probs := make([]float64, 0, len(pmf))
+	for i, p := range pmf {
+		if p <= 0 {
+			continue
+		}
+		// Sum of n grid values lo + j·w, divided by n.
+		rates = append(rates, (float64(n)*lo+float64(i)*w)/float64(n))
+		probs = append(probs, p)
+	}
+	return NewMarginal(rates, probs)
+}
+
+// convolvePMF is the direct discrete convolution of two pmf vectors on a
+// shared regular grid. Sizes here are small (≤ a few thousand), so the
+// direct algorithm is exact and fast enough.
+func convolvePMF(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// Rebin compresses the marginal to at most bins atoms by histogramming its
+// mass over equal-width intervals of the support; each new atom sits at the
+// probability-weighted mean of the mass in its interval, so the overall mean
+// is preserved exactly (up to roundoff) and the variance decreases at most
+// by the within-bin spread.
+func (m Marginal) Rebin(bins int) (Marginal, error) {
+	if bins < 1 {
+		return Marginal{}, errors.New("dist: Rebin requires bins >= 1")
+	}
+	if len(m.rates) <= bins {
+		return m, nil
+	}
+	lo, hi := m.Min(), m.Max()
+	w := (hi - lo) / float64(bins)
+	mass := make([]float64, bins)
+	moment := make([]float64, bins)
+	for i, r := range m.rates {
+		j := int((r - lo) / w)
+		if j >= bins {
+			j = bins - 1
+		}
+		mass[j] += m.probs[i]
+		moment[j] += m.probs[i] * r
+	}
+	rates := make([]float64, 0, bins)
+	probs := make([]float64, 0, bins)
+	for j := range mass {
+		if mass[j] == 0 {
+			continue
+		}
+		rates = append(rates, moment[j]/mass[j])
+		probs = append(probs, mass[j])
+	}
+	return NewMarginal(rates, probs)
+}
+
+// String renders a short human-readable summary.
+func (m Marginal) String() string {
+	return fmt.Sprintf("Marginal{atoms: %d, mean: %.4g, sd: %.4g, range: [%.4g, %.4g]}",
+		m.Len(), m.Mean(), math.Sqrt(m.Variance()), m.Min(), m.Max())
+}

@@ -1,0 +1,314 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lrd/internal/numerics"
+)
+
+func twoPoint() Marginal {
+	return MustMarginal([]float64{0, 10}, []float64{0.5, 0.5})
+}
+
+func TestNewMarginalValidation(t *testing.T) {
+	if _, err := NewMarginal([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error on length mismatch")
+	}
+	if _, err := NewMarginal(nil, nil); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if _, err := NewMarginal([]float64{1, 2}, []float64{0.5, 0.4}); err == nil {
+		t.Fatal("want error on mass deficit")
+	}
+	if _, err := NewMarginal([]float64{1, 2}, []float64{-0.1, 1.1}); err == nil {
+		t.Fatal("want error on negative probability")
+	}
+	if _, err := NewMarginal([]float64{math.NaN()}, []float64{1}); err == nil {
+		t.Fatal("want error on NaN rate")
+	}
+	if _, err := NewMarginal([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Fatal("want error when all mass is zero")
+	}
+}
+
+func TestNewMarginalSortsAndMerges(t *testing.T) {
+	m := MustMarginal([]float64{5, 1, 5, 3}, []float64{0.25, 0.25, 0.25, 0.25})
+	if m.Len() != 3 {
+		t.Fatalf("atoms = %d, want 3 (duplicates merged)", m.Len())
+	}
+	if m.Rate(0) != 1 || m.Rate(1) != 3 || m.Rate(2) != 5 {
+		t.Fatalf("rates not sorted: %v", m.Rates())
+	}
+	if !numerics.AlmostEqual(m.Prob(2), 0.5, 1e-12) {
+		t.Fatalf("merged prob = %v, want 0.5", m.Prob(2))
+	}
+}
+
+func TestNewMarginalDropsZeroAtoms(t *testing.T) {
+	m := MustMarginal([]float64{1, 2, 3}, []float64{0.5, 0, 0.5})
+	if m.Len() != 2 {
+		t.Fatalf("atoms = %d, want 2", m.Len())
+	}
+}
+
+func TestMomentsTwoPoint(t *testing.T) {
+	m := twoPoint()
+	if m.Mean() != 5 {
+		t.Fatalf("mean = %v", m.Mean())
+	}
+	if m.Variance() != 25 {
+		t.Fatalf("var = %v", m.Variance())
+	}
+	if m.SecondMoment() != 50 {
+		t.Fatalf("E[λ²] = %v", m.SecondMoment())
+	}
+	if m.Min() != 0 || m.Max() != 10 {
+		t.Fatalf("range [%v, %v]", m.Min(), m.Max())
+	}
+}
+
+func TestCDFAndQuantile(t *testing.T) {
+	m := MustMarginal([]float64{1, 2, 4}, []float64{0.2, 0.3, 0.5})
+	if got := m.CDF(0); got != 0 {
+		t.Fatalf("CDF(0) = %v", got)
+	}
+	if got := m.CDF(1); !numerics.AlmostEqual(got, 0.2, 1e-12) {
+		t.Fatalf("CDF(1) = %v", got)
+	}
+	if got := m.CDF(3); !numerics.AlmostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("CDF(3) = %v", got)
+	}
+	if got := m.CDF(4); got != 1 {
+		t.Fatalf("CDF(4) = %v", got)
+	}
+	if got := m.Quantile(0.1); got != 1 {
+		t.Fatalf("Quantile(0.1) = %v", got)
+	}
+	if got := m.Quantile(0.5); got != 2 {
+		t.Fatalf("Quantile(0.5) = %v", got)
+	}
+	if got := m.Quantile(0.99); got != 4 {
+		t.Fatalf("Quantile(0.99) = %v", got)
+	}
+}
+
+func TestFromSamplesBasic(t *testing.T) {
+	// 1000 samples uniform over [0, 1): the histogram mean should be ≈ 0.5
+	// and every bin roughly equally loaded.
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	m, err := FromSamples(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 10 {
+		t.Fatalf("atoms = %d, want 10", m.Len())
+	}
+	if !numerics.AlmostEqual(m.Mean(), 0.5, 0.05) {
+		t.Fatalf("mean = %v", m.Mean())
+	}
+}
+
+func TestFromSamplesDegenerate(t *testing.T) {
+	m, err := FromSamples([]float64{7, 7, 7}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 || m.Rate(0) != 7 {
+		t.Fatalf("degenerate histogram = %v", m)
+	}
+	if _, err := FromSamples(nil, 10); err == nil {
+		t.Fatal("want error on empty data")
+	}
+	if _, err := FromSamples([]float64{1}, 0); err == nil {
+		t.Fatal("want error on zero bins")
+	}
+	if _, err := FromSamples([]float64{1, math.Inf(1)}, 4); err == nil {
+		t.Fatal("want error on non-finite data")
+	}
+}
+
+func TestScaleKeepsMeanScalesSD(t *testing.T) {
+	m := MustMarginal([]float64{2, 6, 14}, []float64{0.3, 0.4, 0.3})
+	for _, a := range []float64{0.5, 1.0, 1.5} {
+		s := m.Scale(a)
+		if !numerics.AlmostEqual(s.Mean(), m.Mean(), 1e-12) {
+			t.Errorf("a=%v: mean %v != %v", a, s.Mean(), m.Mean())
+		}
+		if !numerics.AlmostEqual(s.Variance(), a*a*m.Variance(), 1e-9) {
+			t.Errorf("a=%v: var %v != a²·%v", a, s.Variance(), m.Variance())
+		}
+	}
+}
+
+func TestScaleToZeroCollapses(t *testing.T) {
+	m := twoPoint()
+	s := m.Scale(0)
+	if s.Len() != 1 || !numerics.AlmostEqual(s.Rate(0), 5, 1e-12) {
+		t.Fatalf("Scale(0) = %v, want single atom at the mean", s)
+	}
+}
+
+func TestShift(t *testing.T) {
+	m := twoPoint().Shift(3)
+	if m.Min() != 3 || m.Max() != 13 {
+		t.Fatalf("shift wrong: [%v, %v]", m.Min(), m.Max())
+	}
+	if m.Mean() != 8 {
+		t.Fatalf("mean = %v", m.Mean())
+	}
+}
+
+func TestSuperposeMeanAndVariance(t *testing.T) {
+	m := MustMarginal([]float64{0, 4, 10}, []float64{0.25, 0.5, 0.25})
+	for _, n := range []int{1, 2, 5, 10} {
+		s, err := m.Superpose(n, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !numerics.AlmostEqual(s.Mean(), m.Mean(), 1e-6) {
+			t.Errorf("n=%d: mean %v != %v", n, s.Mean(), m.Mean())
+		}
+		if !numerics.AlmostEqual(s.Variance(), m.Variance()/float64(n), 1e-3) {
+			t.Errorf("n=%d: var %v != %v/n", n, s.Variance(), m.Variance())
+		}
+	}
+}
+
+func TestSuperposeErrors(t *testing.T) {
+	m := twoPoint()
+	if _, err := m.Superpose(0, 64); err == nil {
+		t.Fatal("want error for n < 1")
+	}
+	if _, err := m.Superpose(2, 1); err == nil {
+		t.Fatal("want error for gridBins < 2")
+	}
+}
+
+func TestSuperposeDeterministicNoOp(t *testing.T) {
+	m := MustMarginal([]float64{5}, []float64{1})
+	s, err := m.Superpose(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || s.Rate(0) != 5 {
+		t.Fatalf("superpose of deterministic rate changed it: %v", s)
+	}
+}
+
+func TestRebinPreservesMeanAndMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rates := make([]float64, 500)
+	probs := make([]float64, 500)
+	var sum float64
+	for i := range rates {
+		rates[i] = rng.Float64() * 100
+		probs[i] = rng.Float64()
+		sum += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	m := MustMarginal(rates, probs)
+	r, err := m.Rebin(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() > 50 {
+		t.Fatalf("rebinned atoms = %d", r.Len())
+	}
+	if !numerics.AlmostEqual(r.Mean(), m.Mean(), 1e-9) {
+		t.Fatalf("rebin changed mean: %v vs %v", r.Mean(), m.Mean())
+	}
+	if got := numerics.KahanSum(r.Probs()); !numerics.AlmostEqual(got, 1, 1e-12) {
+		t.Fatalf("rebinned mass = %v", got)
+	}
+	// Rebin never increases variance beyond the original.
+	if r.Variance() > m.Variance()+1e-9 {
+		t.Fatalf("rebin increased variance: %v > %v", r.Variance(), m.Variance())
+	}
+}
+
+func TestRebinNoOpWhenSmall(t *testing.T) {
+	m := twoPoint()
+	r, err := m.Rebin(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != m.Len() {
+		t.Fatal("rebin should be a no-op when already small")
+	}
+}
+
+func TestSampleMatchesProbs(t *testing.T) {
+	m := MustMarginal([]float64{1, 2, 3}, []float64{0.2, 0.3, 0.5})
+	rng := rand.New(rand.NewSource(12))
+	counts := map[float64]int{}
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[m.Sample(rng)]++
+	}
+	for i := 0; i < m.Len(); i++ {
+		got := float64(counts[m.Rate(i)]) / float64(n)
+		if !numerics.AlmostEqual(got, m.Prob(i), 0.05) {
+			t.Errorf("atom %v: freq %v, want %v", m.Rate(i), got, m.Prob(i))
+		}
+	}
+}
+
+// Property: FromSamples always yields unit mass and a mean within the
+// sample range.
+func TestFromSamplesProperty(t *testing.T) {
+	f := func(seed int64, nbins uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		bins := int(nbins%100) + 1
+		m, err := FromSamples(xs, bins)
+		if err != nil {
+			return false
+		}
+		mass := numerics.KahanSum(m.Probs())
+		if !numerics.AlmostEqual(mass, 1, 1e-9) {
+			return false
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return m.Mean() >= lo-1e-9 && m.Mean() <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale(a) then Scale(1/a) restores the variance.
+func TestScaleRoundTripProperty(t *testing.T) {
+	m := MustMarginal([]float64{1, 3, 8, 20}, []float64{0.1, 0.4, 0.3, 0.2})
+	f := func(raw float64) bool {
+		a := 0.1 + math.Abs(math.Mod(raw, 3))
+		s := m.Scale(a).Scale(1 / a)
+		return numerics.AlmostEqual(s.Variance(), m.Variance(), 1e-6) &&
+			numerics.AlmostEqual(s.Mean(), m.Mean(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := twoPoint().String()
+	if s == "" {
+		t.Fatal("String should describe the marginal")
+	}
+}

@@ -1,0 +1,217 @@
+// Package dist provides the probability distributions used by the
+// cutoff-correlated fluid model of Grossglauser & Bolot (SIGCOMM '96):
+// the truncated Pareto interarrival-time law (Eq. 6 of the paper), its
+// residual-life distribution (Eq. 7), and finite discrete marginal rate
+// distributions with the scaling and superposition transforms studied in
+// the paper's second and third experiment sets.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lrd/internal/numerics"
+)
+
+// TruncatedPareto is the interarrival-time distribution of Eq. (6):
+//
+//	Pr{T > t} = ((t+θ)/θ)^(−α)  for 0 <= t < Tc,  0 for t >= Tc
+//
+// It is a Pareto law with scale θ and tail index α, truncated at the cutoff
+// lag Tc, where the remaining tail mass ((Tc+θ)/θ)^(−α) collapses into an
+// atom at Tc. Cutoff may be math.Inf(1), recovering the plain Pareto law.
+// The paper uses 1 < α < 2, the range in which the untruncated law has a
+// finite mean but infinite variance (the long-range-dependence regime
+// H = (3−α)/2 ∈ (1/2, 1)).
+type TruncatedPareto struct {
+	Theta  float64 // scale θ > 0
+	Alpha  float64 // tail index α > 1
+	Cutoff float64 // truncation lag Tc > 0 (math.Inf(1) for untruncated)
+}
+
+// Validate reports whether the parameters define a proper distribution.
+func (p TruncatedPareto) Validate() error {
+	if !(p.Theta > 0) {
+		return fmt.Errorf("dist: TruncatedPareto theta = %v, need > 0", p.Theta)
+	}
+	if !(p.Alpha > 1) {
+		return fmt.Errorf("dist: TruncatedPareto alpha = %v, need > 1", p.Alpha)
+	}
+	if !(p.Cutoff > 0) {
+		return fmt.Errorf("dist: TruncatedPareto cutoff = %v, need > 0", p.Cutoff)
+	}
+	return nil
+}
+
+// CCDF returns Pr{T > t}. Note the atom at Cutoff: CCDF is right-continuous
+// with CCDF(Cutoff⁻) = AtomMass and CCDF(t) = 0 for t >= Cutoff.
+func (p TruncatedPareto) CCDF(t float64) float64 {
+	if t < 0 {
+		return 1
+	}
+	if t >= p.Cutoff {
+		return 0
+	}
+	return math.Pow((t+p.Theta)/p.Theta, -p.Alpha)
+}
+
+// CDF returns Pr{T <= t}.
+func (p TruncatedPareto) CDF(t float64) float64 { return 1 - p.CCDF(t) }
+
+// AtomMass returns the probability concentrated at the cutoff lag,
+// Pr{T = Cutoff} = ((Tc+θ)/θ)^(−α); zero when Cutoff is infinite.
+func (p TruncatedPareto) AtomMass() float64 {
+	if math.IsInf(p.Cutoff, 1) {
+		return 0
+	}
+	return math.Pow((p.Cutoff+p.Theta)/p.Theta, -p.Alpha)
+}
+
+// Mean returns E[T] per Eq. (25) of the paper:
+//
+//	E[T] = θ/(α−1) · [1 − (Tc/θ + 1)^(1−α)]
+//
+// For an infinite cutoff this reduces to θ/(α−1).
+func (p TruncatedPareto) Mean() float64 {
+	if math.IsInf(p.Cutoff, 1) {
+		return p.Theta / (p.Alpha - 1)
+	}
+	return p.Theta / (p.Alpha - 1) * (1 - math.Pow(p.Cutoff/p.Theta+1, 1-p.Alpha))
+}
+
+// SecondMoment returns E[T²] = 2∫₀^Tc t·Pr{T>t} dt in closed form. It is
+// finite for any finite cutoff; for an infinite cutoff it is finite only
+// when α > 2 and +Inf otherwise.
+func (p TruncatedPareto) SecondMoment() float64 {
+	th, al := p.Theta, p.Alpha
+	if math.IsInf(p.Cutoff, 1) {
+		if al <= 2 {
+			return math.Inf(1)
+		}
+		// 2θ^α ∫_θ^∞ (u−θ)u^(−α) du with u = t+θ.
+		return 2 * th * th * (1/(al-2) - 1/(al-1))
+	}
+	hi := p.Cutoff + th
+	// 2θ^α [ u^(2−α)/(2−α) − θ·u^(1−α)/(1−α) ] from θ to Tc+θ,
+	// with the α = 2 term replaced by log(u).
+	f := func(u float64) float64 {
+		var first float64
+		if al == 2 {
+			first = math.Log(u)
+		} else {
+			first = math.Pow(u, 2-al) / (2 - al)
+		}
+		return first - th*math.Pow(u, 1-al)/(1-al)
+	}
+	return 2 * math.Pow(th, al) * (f(hi) - f(th))
+}
+
+// Variance returns Var[T].
+func (p TruncatedPareto) Variance() float64 {
+	m2 := p.SecondMoment()
+	if math.IsInf(m2, 1) {
+		return m2
+	}
+	m := p.Mean()
+	return m2 - m*m
+}
+
+// Quantile returns the u-quantile of T for u in [0, 1): the smallest t with
+// CDF(t) >= u. Quantiles in the atom's range map to Cutoff.
+func (p TruncatedPareto) Quantile(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	if u >= 1 {
+		return p.Cutoff
+	}
+	// Invert 1 − ((t+θ)/θ)^(−α) = u.
+	t := p.Theta * (math.Pow(1-u, -1/p.Alpha) - 1)
+	if t >= p.Cutoff {
+		return p.Cutoff
+	}
+	return t
+}
+
+// Sample draws one interarrival time using rng.
+func (p TruncatedPareto) Sample(rng *rand.Rand) float64 {
+	return p.Quantile(rng.Float64())
+}
+
+// ResidualCCDF returns Pr{τ_res >= t}, the probability that the residual
+// life of the stationary renewal interval exceeds t (Eq. 7):
+//
+//	[ (t+θ)^(1−α) − (Tc+θ)^(1−α) ] / [ θ^(1−α) − (Tc+θ)^(1−α) ]  for t < Tc
+//
+// and 0 beyond the cutoff. By Eq. (3) the normalized autocorrelation of the
+// fluid rate process equals this function.
+func (p TruncatedPareto) ResidualCCDF(t float64) float64 {
+	if t <= 0 {
+		return 1
+	}
+	if t >= p.Cutoff {
+		return 0
+	}
+	e := 1 - p.Alpha
+	if math.IsInf(p.Cutoff, 1) {
+		return math.Pow((t+p.Theta)/p.Theta, e)
+	}
+	num := math.Pow(t+p.Theta, e) - math.Pow(p.Cutoff+p.Theta, e)
+	den := math.Pow(p.Theta, e) - math.Pow(p.Cutoff+p.Theta, e)
+	return num / den
+}
+
+// HurstFromAlpha maps the Pareto tail index to the Hurst parameter of the
+// asymptotically second-order self-similar process obtained as Tc → ∞:
+// H = (3−α)/2 (paper, §II).
+func HurstFromAlpha(alpha float64) float64 { return (3 - alpha) / 2 }
+
+// AlphaFromHurst is the inverse map α = 3 − 2H.
+func AlphaFromHurst(h float64) float64 { return 3 - 2*h }
+
+// CalibrateTheta returns the scale θ that makes the *untruncated* mean
+// interarrival time θ/(α−1) equal meanEpoch, the procedure the paper uses
+// to fit θ from the traces' mean epoch durations (matching Eq. 25 at
+// Tc = ∞).
+func CalibrateTheta(alpha, meanEpoch float64) (float64, error) {
+	if !(alpha > 1) {
+		return 0, fmt.Errorf("dist: CalibrateTheta alpha = %v, need > 1", alpha)
+	}
+	if !(meanEpoch > 0) {
+		return 0, errors.New("dist: CalibrateTheta requires positive mean epoch")
+	}
+	return (alpha - 1) * meanEpoch, nil
+}
+
+// ResidualQuantile returns the u-quantile of the stationary residual life
+// τ_res, inverting Eq. (7) in closed form:
+//
+//	(t+θ)^(1−α) = (1−u)·θ^(1−α) + u·(Tc+θ)^(1−α)
+//
+// For an infinite cutoff the second term vanishes. Sampling from this law
+// starts a sample path in the stationary regime (the first epoch of a
+// stationary renewal process is residual-life distributed).
+func (p TruncatedPareto) ResidualQuantile(u float64) float64 {
+	if u <= 0 {
+		return 0
+	}
+	if u >= 1 {
+		return p.Cutoff
+	}
+	e := 1 - p.Alpha
+	head := math.Pow(p.Theta, e)
+	tail := 0.0
+	if !math.IsInf(p.Cutoff, 1) {
+		tail = math.Pow(p.Cutoff+p.Theta, e)
+	}
+	v := (1-u)*head + u*tail
+	t := math.Pow(v, 1/e) - p.Theta
+	return numerics.Clamp(t, 0, p.Cutoff)
+}
+
+// SampleResidual draws one stationary residual life.
+func (p TruncatedPareto) SampleResidual(rng *rand.Rand) float64 {
+	return p.ResidualQuantile(rng.Float64())
+}

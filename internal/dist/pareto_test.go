@@ -1,0 +1,296 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lrd/internal/numerics"
+)
+
+func TestTruncatedParetoValidate(t *testing.T) {
+	good := TruncatedPareto{Theta: 0.02, Alpha: 1.2, Cutoff: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid parameters rejected: %v", err)
+	}
+	bad := []TruncatedPareto{
+		{Theta: 0, Alpha: 1.2, Cutoff: 10},
+		{Theta: -1, Alpha: 1.2, Cutoff: 10},
+		{Theta: 1, Alpha: 1, Cutoff: 10},
+		{Theta: 1, Alpha: 0.5, Cutoff: 10},
+		{Theta: 1, Alpha: 1.2, Cutoff: 0},
+		{Theta: math.NaN(), Alpha: 1.2, Cutoff: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid parameters accepted: %+v", p)
+		}
+	}
+}
+
+func TestCCDFBoundaries(t *testing.T) {
+	p := TruncatedPareto{Theta: 1, Alpha: 1.5, Cutoff: 10}
+	if got := p.CCDF(-1); got != 1 {
+		t.Fatalf("CCDF(-1) = %v, want 1", got)
+	}
+	if got := p.CCDF(0); got != 1 {
+		t.Fatalf("CCDF(0) = %v, want 1", got)
+	}
+	if got := p.CCDF(10); got != 0 {
+		t.Fatalf("CCDF(Tc) = %v, want 0", got)
+	}
+	if got := p.CCDF(100); got != 0 {
+		t.Fatalf("CCDF(>Tc) = %v, want 0", got)
+	}
+	// Just below the cutoff the ccdf equals the atom mass (up to continuity).
+	if !numerics.AlmostEqual(p.CCDF(10-1e-9), p.AtomMass(), 1e-6) {
+		t.Fatalf("CCDF(Tc-) = %v, atom = %v", p.CCDF(10-1e-9), p.AtomMass())
+	}
+}
+
+func TestCCDFMonotoneProperty(t *testing.T) {
+	p := TruncatedPareto{Theta: 0.5, Alpha: 1.3, Cutoff: 20}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		a, b = math.Abs(a), math.Abs(b)
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return p.CCDF(lo) >= p.CCDF(hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMatchesQuadrature(t *testing.T) {
+	// E[T] = ∫₀^Tc CCDF(t) dt.
+	for _, p := range []TruncatedPareto{
+		{Theta: 0.02, Alpha: 1.2, Cutoff: 5},
+		{Theta: 1, Alpha: 1.5, Cutoff: 100},
+		{Theta: 0.1, Alpha: 1.9, Cutoff: 0.5},
+	} {
+		want := numerics.Trapezoid(p.CCDF, 0, p.Cutoff, 2_000_000)
+		if !numerics.AlmostEqual(p.Mean(), want, 1e-5) {
+			t.Errorf("%+v: Mean = %v, quadrature = %v", p, p.Mean(), want)
+		}
+	}
+}
+
+func TestMeanInfiniteCutoff(t *testing.T) {
+	p := TruncatedPareto{Theta: 0.016, Alpha: 1.2, Cutoff: math.Inf(1)}
+	want := p.Theta / (p.Alpha - 1)
+	if !numerics.AlmostEqual(p.Mean(), want, 1e-12) {
+		t.Fatalf("Mean = %v, want %v", p.Mean(), want)
+	}
+}
+
+func TestMeanIncreasesWithCutoff(t *testing.T) {
+	prev := 0.0
+	for _, tc := range []float64{0.1, 1, 10, 100, 1000} {
+		p := TruncatedPareto{Theta: 0.02, Alpha: 1.2, Cutoff: tc}
+		m := p.Mean()
+		if m <= prev {
+			t.Fatalf("mean not increasing in cutoff: %v at Tc=%v", m, tc)
+		}
+		prev = m
+	}
+	inf := TruncatedPareto{Theta: 0.02, Alpha: 1.2, Cutoff: math.Inf(1)}
+	if prev >= inf.Mean() {
+		t.Fatal("finite-cutoff mean should stay below the untruncated mean")
+	}
+}
+
+func TestSecondMomentMatchesQuadrature(t *testing.T) {
+	// E[T²] = 2∫₀^Tc t·CCDF(t) dt.
+	for _, p := range []TruncatedPareto{
+		{Theta: 0.02, Alpha: 1.2, Cutoff: 5},
+		{Theta: 1, Alpha: 1.5, Cutoff: 50},
+		{Theta: 0.3, Alpha: 2.0, Cutoff: 10}, // α = 2 special case
+	} {
+		want := 2 * numerics.Trapezoid(func(t float64) float64 { return t * p.CCDF(t) }, 0, p.Cutoff, 2_000_000)
+		if !numerics.AlmostEqual(p.SecondMoment(), want, 1e-5) {
+			t.Errorf("%+v: E[T²] = %v, quadrature = %v", p, p.SecondMoment(), want)
+		}
+	}
+}
+
+func TestSecondMomentInfiniteCases(t *testing.T) {
+	p := TruncatedPareto{Theta: 1, Alpha: 1.5, Cutoff: math.Inf(1)}
+	if !math.IsInf(p.SecondMoment(), 1) {
+		t.Fatal("E[T²] should be infinite for α < 2, Tc = ∞")
+	}
+	if !math.IsInf(p.Variance(), 1) {
+		t.Fatal("Var[T] should be infinite for α < 2, Tc = ∞")
+	}
+	q := TruncatedPareto{Theta: 1, Alpha: 3, Cutoff: math.Inf(1)}
+	// Pareto with α = 3: E[T²] = 2θ²(1/(α−2) − 1/(α−1)) = 2(1 − 1/2) = 1.
+	if !numerics.AlmostEqual(q.SecondMoment(), 1, 1e-12) {
+		t.Fatalf("E[T²] = %v, want 1", q.SecondMoment())
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	p := TruncatedPareto{Theta: 0.02, Alpha: 1.2, Cutoff: 10}
+	for _, u := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		tq := p.Quantile(u)
+		if tq < p.Cutoff {
+			if !numerics.AlmostEqual(p.CDF(tq), u, 1e-9) {
+				t.Errorf("CDF(Quantile(%v)) = %v", u, p.CDF(tq))
+			}
+		}
+	}
+	// Quantiles beyond 1 − atom mass land on the cutoff.
+	atom := p.AtomMass()
+	if got := p.Quantile(1 - atom/2); got != p.Cutoff {
+		t.Fatalf("atom-range quantile = %v, want cutoff %v", got, p.Cutoff)
+	}
+	if got := p.Quantile(0); got != 0 {
+		t.Fatalf("Quantile(0) = %v, want 0", got)
+	}
+}
+
+func TestSampleMeanConverges(t *testing.T) {
+	p := TruncatedPareto{Theta: 0.02, Alpha: 1.2, Cutoff: 5}
+	rng := rand.New(rand.NewSource(99))
+	var acc numerics.Accumulator
+	n := 200000
+	for i := 0; i < n; i++ {
+		s := p.Sample(rng)
+		if s < 0 || s > p.Cutoff {
+			t.Fatalf("sample %v outside [0, Tc]", s)
+		}
+		acc.Add(s)
+	}
+	got := acc.Sum() / float64(n)
+	if !numerics.AlmostEqual(got, p.Mean(), 0.05) {
+		t.Fatalf("sample mean %v, want ≈ %v", got, p.Mean())
+	}
+}
+
+func TestResidualCCDFBoundaries(t *testing.T) {
+	p := TruncatedPareto{Theta: 0.02, Alpha: 1.2, Cutoff: 10}
+	if got := p.ResidualCCDF(0); got != 1 {
+		t.Fatalf("ResidualCCDF(0) = %v, want 1", got)
+	}
+	if got := p.ResidualCCDF(10); got != 0 {
+		t.Fatalf("ResidualCCDF(Tc) = %v, want 0", got)
+	}
+	if got := p.ResidualCCDF(-3); got != 1 {
+		t.Fatalf("ResidualCCDF(-3) = %v, want 1", got)
+	}
+}
+
+func TestResidualCCDFMatchesRenewalQuadrature(t *testing.T) {
+	// Eq. (5): Pr{τ_res >= t} = ∫_t^Tc CCDF(x) dx / E[T].
+	p := TruncatedPareto{Theta: 0.5, Alpha: 1.4, Cutoff: 8}
+	for _, tt := range []float64{0.1, 0.5, 1, 3, 7} {
+		want := numerics.Trapezoid(p.CCDF, tt, p.Cutoff, 1_000_000) / p.Mean()
+		if !numerics.AlmostEqual(p.ResidualCCDF(tt), want, 1e-5) {
+			t.Errorf("t=%v: ResidualCCDF = %v, quadrature = %v", tt, p.ResidualCCDF(tt), want)
+		}
+	}
+}
+
+func TestResidualCCDFInfiniteCutoffPowerLaw(t *testing.T) {
+	// With Tc = ∞ the residual ccdf is ((t+θ)/θ)^(1−α) — the power-law decay
+	// t^(−(α−1)) = t^(−(2−2H)) that defines asymptotic self-similarity.
+	p := TruncatedPareto{Theta: 1, Alpha: 1.2, Cutoff: math.Inf(1)}
+	for _, tt := range []float64{1, 10, 100} {
+		want := math.Pow((tt+1)/1, -0.2)
+		if !numerics.AlmostEqual(p.ResidualCCDF(tt), want, 1e-12) {
+			t.Errorf("t=%v: got %v want %v", tt, p.ResidualCCDF(tt), want)
+		}
+	}
+}
+
+func TestHurstAlphaRoundTrip(t *testing.T) {
+	for _, h := range []float64{0.55, 0.7, 0.83, 0.9, 0.95} {
+		if !numerics.AlmostEqual(HurstFromAlpha(AlphaFromHurst(h)), h, 1e-12) {
+			t.Errorf("round trip failed for H=%v", h)
+		}
+	}
+	if HurstFromAlpha(1.2) != 0.9 {
+		t.Fatal("α=1.2 should map to H=0.9")
+	}
+	if AlphaFromHurst(0.83) != 3-2*0.83 {
+		t.Fatal("H=0.83 mapping wrong")
+	}
+}
+
+func TestCalibrateTheta(t *testing.T) {
+	// The paper: θ such that θ/(α−1) matches the trace's mean epoch.
+	th, err := CalibrateTheta(1.2, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(th, 0.016, 1e-12) {
+		t.Fatalf("theta = %v, want 0.016", th)
+	}
+	p := TruncatedPareto{Theta: th, Alpha: 1.2, Cutoff: math.Inf(1)}
+	if !numerics.AlmostEqual(p.Mean(), 0.08, 1e-12) {
+		t.Fatalf("calibrated mean = %v, want 0.08", p.Mean())
+	}
+	if _, err := CalibrateTheta(1.0, 0.08); err == nil {
+		t.Fatal("want error for alpha <= 1")
+	}
+	if _, err := CalibrateTheta(1.2, 0); err == nil {
+		t.Fatal("want error for non-positive epoch")
+	}
+}
+
+func TestAtomMassProperty(t *testing.T) {
+	// CDF(Tc⁻) + atom = 1 for any valid parameters.
+	f := func(th, al, tc float64) bool {
+		th = 0.01 + math.Abs(math.Mod(th, 10))
+		al = 1.05 + math.Abs(math.Mod(al, 0.9))
+		tc = 0.1 + math.Abs(math.Mod(tc, 50))
+		p := TruncatedPareto{Theta: th, Alpha: al, Cutoff: tc}
+		return numerics.AlmostEqual(p.CCDF(tc-1e-12), p.AtomMass(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualQuantileInvertsResidualCCDF(t *testing.T) {
+	p := TruncatedPareto{Theta: 0.02, Alpha: 1.2, Cutoff: 10}
+	for _, u := range []float64{0.01, 0.25, 0.5, 0.75, 0.99} {
+		tq := p.ResidualQuantile(u)
+		// Pr{τ_res >= t} = 1−u at the u-quantile.
+		if !numerics.AlmostEqual(p.ResidualCCDF(tq), 1-u, 1e-9) {
+			t.Errorf("u=%v: ResidualCCDF(Q(u)) = %v, want %v", u, p.ResidualCCDF(tq), 1-u)
+		}
+	}
+	if p.ResidualQuantile(0) != 0 || p.ResidualQuantile(1) != p.Cutoff {
+		t.Fatal("endpoint quantiles wrong")
+	}
+}
+
+func TestResidualQuantileInfiniteCutoff(t *testing.T) {
+	p := TruncatedPareto{Theta: 1, Alpha: 1.5, Cutoff: math.Inf(1)}
+	for _, u := range []float64{0.1, 0.5, 0.9} {
+		tq := p.ResidualQuantile(u)
+		if !numerics.AlmostEqual(p.ResidualCCDF(tq), 1-u, 1e-9) {
+			t.Errorf("u=%v mismatch", u)
+		}
+	}
+}
+
+func TestSampleResidualMeanIsLengthBiased(t *testing.T) {
+	// E[τ_res] = E[T²]/(2E[T]) — the inspection paradox; verify by Monte
+	// Carlo against the closed-form moments.
+	p := TruncatedPareto{Theta: 0.05, Alpha: 1.4, Cutoff: 3}
+	want := p.SecondMoment() / (2 * p.Mean())
+	rng := rand.New(rand.NewSource(123))
+	var acc numerics.Accumulator
+	n := 300000
+	for i := 0; i < n; i++ {
+		acc.Add(p.SampleResidual(rng))
+	}
+	got := acc.Sum() / float64(n)
+	if !numerics.AlmostEqual(got, want, 0.03) {
+		t.Fatalf("residual mean %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,202 @@
+// Package errctl implements the error-control comparison sketched in the
+// paper's conclusion (§V): closed-loop ARQ versus open-loop FEC under loss
+// processes whose correlation extends over varying time scales.
+//
+// The paper's argument: ARQ performs well when losses are bursty — one
+// feedback request repairs a whole burst — while FEC performs well when
+// losses are spread out, because a block code recovers "among n packets,
+// k <= kmax have been lost". Extending the time scale of the correlation
+// in the loss process therefore increases the advantage of ARQ over FEC.
+// This package makes that comparison executable: a correlated loss
+// sequence is generated (or taken from a queue simulation), its correlation
+// time scale is manipulated by external shuffling exactly as in §III, and
+// both schemes are evaluated on every variant.
+package errctl
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"lrd/internal/fluid"
+	"lrd/internal/shuffle"
+)
+
+// GenerateLosses produces a binary loss sequence of n packet slots spaced
+// dt seconds apart, by sampling an on/off modulated process: the source's
+// rate levels are interpreted as loss intensities in [0, 1] (probability
+// that a packet in that epoch is lost). Using a cutoff-correlated fluid
+// source yields a loss process with the same controllable correlation
+// structure as the paper's traffic model.
+func GenerateLosses(src fluid.Source, n int, dt float64, rng *rand.Rand) ([]bool, error) {
+	if n <= 0 || !(dt > 0) {
+		return nil, errors.New("errctl: need positive n and dt")
+	}
+	if src.Marginal.Min() < 0 || src.Marginal.Max() > 1 {
+		return nil, fmt.Errorf("errctl: rate levels must be loss intensities in [0, 1], got [%v, %v]",
+			src.Marginal.Min(), src.Marginal.Max())
+	}
+	out := make([]bool, n)
+	var remaining float64
+	intensity := 0.0
+	for i := 0; i < n; i++ {
+		for remaining <= 0 {
+			remaining += src.Interarrival.Sample(rng)
+			intensity = src.Marginal.Sample(rng)
+		}
+		out[i] = rng.Float64() < intensity
+		remaining -= dt
+	}
+	return out, nil
+}
+
+// FECParams describes a systematic block code: BlockLen packets per block
+// of which up to MaxRepair losses can be repaired (an (n, n−kmax)-style
+// erasure code with kmax = MaxRepair).
+type FECParams struct {
+	BlockLen  int
+	MaxRepair int
+}
+
+// FECResult reports open-loop error-control performance.
+type FECResult struct {
+	Packets      int
+	Lost         int     // channel losses before repair
+	Unrepaired   int     // losses in blocks that exceeded MaxRepair
+	ResidualRate float64 // Unrepaired / Packets
+}
+
+// EvaluateFEC applies the block code to a loss sequence: blocks with at
+// most MaxRepair losses are fully repaired; blocks beyond the repair
+// capacity keep all their losses (the erasure code fails as a unit).
+func EvaluateFEC(losses []bool, p FECParams) (FECResult, error) {
+	if p.BlockLen <= 0 || p.MaxRepair < 0 || p.MaxRepair >= p.BlockLen {
+		return FECResult{}, fmt.Errorf("errctl: invalid FEC parameters %+v", p)
+	}
+	if len(losses) == 0 {
+		return FECResult{}, errors.New("errctl: empty loss sequence")
+	}
+	var res FECResult
+	res.Packets = len(losses)
+	for lo := 0; lo < len(losses); lo += p.BlockLen {
+		hi := lo + p.BlockLen
+		if hi > len(losses) {
+			hi = len(losses)
+		}
+		k := 0
+		for _, l := range losses[lo:hi] {
+			if l {
+				k++
+			}
+		}
+		res.Lost += k
+		if k > p.MaxRepair {
+			res.Unrepaired += k
+		}
+	}
+	res.ResidualRate = float64(res.Unrepaired) / float64(res.Packets)
+	return res, nil
+}
+
+// ARQResult reports closed-loop error-control performance. Every loss is
+// eventually repaired by retransmission; the cost is feedback traffic and
+// delay, which scale with the number of loss *bursts* (one NACK round
+// repairs a whole burst, the paper's "in one go" argument).
+type ARQResult struct {
+	Packets       int
+	Lost          int
+	Bursts        int     // maximal runs of consecutive losses
+	MeanBurstLen  float64 // Lost / Bursts (0 when lossless)
+	RequestsPerKP float64 // feedback requests per 1000 packets
+}
+
+// EvaluateARQ scans the loss sequence for bursts.
+func EvaluateARQ(losses []bool) (ARQResult, error) {
+	if len(losses) == 0 {
+		return ARQResult{}, errors.New("errctl: empty loss sequence")
+	}
+	var res ARQResult
+	res.Packets = len(losses)
+	inBurst := false
+	for _, l := range losses {
+		if l {
+			res.Lost++
+			if !inBurst {
+				res.Bursts++
+				inBurst = true
+			}
+		} else {
+			inBurst = false
+		}
+	}
+	if res.Bursts > 0 {
+		res.MeanBurstLen = float64(res.Lost) / float64(res.Bursts)
+	}
+	res.RequestsPerKP = 1000 * float64(res.Bursts) / float64(res.Packets)
+	return res, nil
+}
+
+// ComparisonPoint is one row of the time-scale sweep.
+type ComparisonPoint struct {
+	// BlockLen is the shuffle block length in packet slots (0 = fully
+	// shuffled / independent losses; -1 = original unshuffled sequence).
+	BlockLen int
+	FEC      FECResult
+	ARQ      ARQResult
+}
+
+// CompareAcrossTimescales evaluates both schemes on the original loss
+// sequence and on externally shuffled variants with the given block
+// lengths. Shuffling with a short block destroys long-range loss
+// correlation (losses spread out — FEC's favourable regime); the original
+// sequence keeps full burstiness (ARQ's favourable regime). The marginal
+// loss rate is identical across all variants, isolating the pure effect of
+// the correlation time scale, exactly as the paper's shuffling methodology
+// isolates it for queueing loss.
+func CompareAcrossTimescales(losses []bool, blockLens []int, fec FECParams, rng *rand.Rand) ([]ComparisonPoint, error) {
+	if len(losses) == 0 {
+		return nil, errors.New("errctl: empty loss sequence")
+	}
+	asFloat := make([]float64, len(losses))
+	for i, l := range losses {
+		if l {
+			asFloat[i] = 1
+		}
+	}
+	eval := func(blockLen int, seq []bool) (ComparisonPoint, error) {
+		f, err := EvaluateFEC(seq, fec)
+		if err != nil {
+			return ComparisonPoint{}, err
+		}
+		a, err := EvaluateARQ(seq)
+		if err != nil {
+			return ComparisonPoint{}, err
+		}
+		return ComparisonPoint{BlockLen: blockLen, FEC: f, ARQ: a}, nil
+	}
+	out := make([]ComparisonPoint, 0, len(blockLens)+1)
+	orig, err := eval(-1, losses)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, orig)
+	for _, bl := range blockLens {
+		if bl <= 0 {
+			return nil, fmt.Errorf("errctl: block length %d must be positive", bl)
+		}
+		shuffled, err := shuffle.External(asFloat, bl, rng)
+		if err != nil {
+			return nil, err
+		}
+		seq := make([]bool, len(shuffled))
+		for i, v := range shuffled {
+			seq[i] = v != 0
+		}
+		p, err := eval(bl, seq)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package errctl
+
+import (
+	"math/rand"
+	"testing"
+
+	"lrd/internal/dist"
+	"lrd/internal/fluid"
+	"lrd/internal/numerics"
+)
+
+// burstySource yields a loss process with long quiet periods and intense
+// loss bursts, correlated up to the 5 s cutoff.
+func burstySource(t *testing.T) fluid.Source {
+	t.Helper()
+	m := dist.MustMarginal([]float64{0.001, 0.6}, []float64{0.9, 0.1})
+	src, err := fluid.New(m, dist.TruncatedPareto{Theta: 0.02, Alpha: 1.2, Cutoff: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestGenerateLossesBasics(t *testing.T) {
+	src := burstySource(t)
+	rng := rand.New(rand.NewSource(1))
+	losses, err := GenerateLosses(src, 200000, 0.001, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 200000 {
+		t.Fatalf("len = %d", len(losses))
+	}
+	var lost int
+	for _, l := range losses {
+		if l {
+			lost++
+		}
+	}
+	rate := float64(lost) / float64(len(losses))
+	want := src.MeanRate() // stationary mean loss intensity ≈ 0.0609
+	if !numerics.AlmostEqual(rate, want, 0.5) {
+		t.Fatalf("loss rate %v, want ≈ %v", rate, want)
+	}
+}
+
+func TestGenerateLossesValidation(t *testing.T) {
+	src := burstySource(t)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := GenerateLosses(src, 0, 0.01, rng); err == nil {
+		t.Fatal("want error on zero n")
+	}
+	if _, err := GenerateLosses(src, 10, 0, rng); err == nil {
+		t.Fatal("want error on zero dt")
+	}
+	bad := src.WithMarginal(dist.MustMarginal([]float64{0.5, 2}, []float64{0.5, 0.5}))
+	if _, err := GenerateLosses(bad, 10, 0.01, rng); err == nil {
+		t.Fatal("want error on intensities outside [0, 1]")
+	}
+}
+
+func TestEvaluateFECKnownSequence(t *testing.T) {
+	// Blocks of 4, repair up to 1 loss.
+	seq := []bool{
+		false, true, false, false, // 1 loss: repaired
+		true, true, false, false, // 2 losses: unrepaired
+		false, false, false, false, // clean
+	}
+	res, err := EvaluateFEC(seq, FECParams{BlockLen: 4, MaxRepair: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 3 || res.Unrepaired != 2 || res.Packets != 12 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if !numerics.AlmostEqual(res.ResidualRate, 2.0/12.0, 1e-12) {
+		t.Fatalf("residual = %v", res.ResidualRate)
+	}
+}
+
+func TestEvaluateFECValidation(t *testing.T) {
+	if _, err := EvaluateFEC(nil, FECParams{BlockLen: 4, MaxRepair: 1}); err == nil {
+		t.Fatal("want error on empty sequence")
+	}
+	if _, err := EvaluateFEC([]bool{true}, FECParams{BlockLen: 0, MaxRepair: 0}); err == nil {
+		t.Fatal("want error on zero block")
+	}
+	if _, err := EvaluateFEC([]bool{true}, FECParams{BlockLen: 4, MaxRepair: 4}); err == nil {
+		t.Fatal("want error when repair capacity >= block length")
+	}
+}
+
+func TestEvaluateARQKnownSequence(t *testing.T) {
+	seq := []bool{false, true, true, true, false, true, false, false, true, true}
+	res, err := EvaluateARQ(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lost != 6 || res.Bursts != 3 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+	if !numerics.AlmostEqual(res.MeanBurstLen, 2, 1e-12) {
+		t.Fatalf("mean burst = %v", res.MeanBurstLen)
+	}
+	if _, err := EvaluateARQ(nil); err == nil {
+		t.Fatal("want error on empty sequence")
+	}
+}
+
+func TestEvaluateARQLossless(t *testing.T) {
+	res, err := EvaluateARQ(make([]bool, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bursts != 0 || res.MeanBurstLen != 0 || res.RequestsPerKP != 0 {
+		t.Fatalf("lossless sequence should have zero cost: %+v", res)
+	}
+}
+
+func TestCompareAcrossTimescalesShowsTheTradeoff(t *testing.T) {
+	// The §V claim: widening the correlation time scale of the loss
+	// process favours ARQ (fewer feedback bursts per loss) and hurts FEC
+	// (more unrepairable blocks).
+	src := burstySource(t)
+	rng := rand.New(rand.NewSource(3))
+	losses, err := GenerateLosses(src, 500000, 0.001, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := CompareAcrossTimescales(losses, []int{1, 100}, FECParams{BlockLen: 16, MaxRepair: 2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	byBlock := map[int]ComparisonPoint{}
+	for _, p := range pts {
+		byBlock[p.BlockLen] = p
+	}
+	indep := byBlock[1]   // fully shuffled: independent losses
+	short := byBlock[100] // correlation up to 100 slots
+	orig := byBlock[-1]   // full burstiness
+	// Marginal loss rate identical across variants (shuffling invariant).
+	if indep.FEC.Lost != orig.FEC.Lost {
+		t.Fatalf("shuffling changed the loss count: %d vs %d", indep.FEC.Lost, orig.FEC.Lost)
+	}
+	// FEC degrades as correlation extends.
+	if !(indep.FEC.ResidualRate < short.FEC.ResidualRate) || !(short.FEC.ResidualRate < orig.FEC.ResidualRate*1.05) {
+		t.Fatalf("FEC residual should worsen with correlation: %v, %v, %v",
+			indep.FEC.ResidualRate, short.FEC.ResidualRate, orig.FEC.ResidualRate)
+	}
+	// ARQ feedback cost per lost packet improves (bursts lengthen).
+	if !(orig.ARQ.MeanBurstLen > indep.ARQ.MeanBurstLen) {
+		t.Fatalf("ARQ bursts should lengthen with correlation: %v vs %v",
+			orig.ARQ.MeanBurstLen, indep.ARQ.MeanBurstLen)
+	}
+	if !(orig.ARQ.RequestsPerKP < indep.ARQ.RequestsPerKP) {
+		t.Fatalf("ARQ requests should drop with correlation: %v vs %v",
+			orig.ARQ.RequestsPerKP, indep.ARQ.RequestsPerKP)
+	}
+}
+
+func TestCompareAcrossTimescalesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := CompareAcrossTimescales(nil, []int{1}, FECParams{BlockLen: 4, MaxRepair: 1}, rng); err == nil {
+		t.Fatal("want error on empty losses")
+	}
+	if _, err := CompareAcrossTimescales([]bool{true, false}, []int{0}, FECParams{BlockLen: 4, MaxRepair: 1}, rng); err == nil {
+		t.Fatal("want error on non-positive block length")
+	}
+}

@@ -1,0 +1,246 @@
+package fgn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lrd/internal/numerics"
+)
+
+func TestAutocovarianceBasics(t *testing.T) {
+	if Autocovariance(0.8, 0) != 1 {
+		t.Fatal("γ(0) must be 1")
+	}
+	if Autocovariance(0.8, 5) != Autocovariance(0.8, -5) {
+		t.Fatal("autocovariance must be even in the lag")
+	}
+	// H = 0.5 is white noise: γ(k) = 0 for k != 0.
+	for _, k := range []int{1, 2, 10} {
+		if g := Autocovariance(0.5, k); math.Abs(g) > 1e-12 {
+			t.Fatalf("H=0.5 should be white: γ(%d) = %v", k, g)
+		}
+	}
+	// H > 0.5: positive, hyperbolically decaying correlation.
+	prev := 1.0
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		g := Autocovariance(0.9, k)
+		if g <= 0 || g >= prev {
+			t.Fatalf("γ(%d) = %v, want positive and decreasing", k, g)
+		}
+		prev = g
+	}
+	// H < 0.5: negative lag-1 correlation.
+	if Autocovariance(0.3, 1) >= 0 {
+		t.Fatal("H<0.5 should have negative lag-1 covariance")
+	}
+}
+
+func TestAutocovarianceTailExponent(t *testing.T) {
+	// γ(k) ~ H(2H−1)k^{2H−2}: the log-log slope at large lags is 2H−2.
+	h := 0.85
+	lags := []int{64, 128, 256, 512, 1024}
+	x := make([]float64, len(lags))
+	y := make([]float64, len(lags))
+	for i, k := range lags {
+		x[i] = math.Log(float64(k))
+		y[i] = math.Log(Autocovariance(h, k))
+	}
+	_, slope, err := numerics.LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(slope, 2*h-2, 0.02) {
+		t.Fatalf("tail slope %v, want ≈ %v", slope, 2*h-2)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, h := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := DaviesHarte(h, 16, rng); err == nil {
+			t.Errorf("DaviesHarte accepted H=%v", h)
+		}
+		if _, err := Hosking(h, 16, rng); err == nil {
+			t.Errorf("Hosking accepted H=%v", h)
+		}
+	}
+	if _, err := DaviesHarte(0.8, 0, rng); err == nil {
+		t.Error("DaviesHarte accepted n=0")
+	}
+	if _, err := Hosking(0.8, -1, rng); err == nil {
+		t.Error("Hosking accepted n<0")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, err := DaviesHarte(0.7, 1, rng)
+	if err != nil || len(x) != 1 {
+		t.Fatalf("n=1: %v %v", x, err)
+	}
+}
+
+// sampleACF computes the biased sample autocovariance at lag k of x
+// (assuming zero mean, which holds for the generators by construction).
+func sampleACF(x []float64, k int) float64 {
+	var acc float64
+	for i := 0; i+k < len(x); i++ {
+		acc += x[i] * x[i+k]
+	}
+	return acc / float64(len(x))
+}
+
+func TestDaviesHarteMomentsAndACF(t *testing.T) {
+	// Average the sample ACF over independent replicas; the estimator is
+	// consistent, so with 2^17 total samples per lag the match is tight.
+	h := 0.8
+	n := 1 << 13
+	reps := 16
+	rng := rand.New(rand.NewSource(3))
+	lags := []int{0, 1, 2, 4, 8, 16}
+	acc := make([]float64, len(lags))
+	for r := 0; r < reps; r++ {
+		x, err := DaviesHarte(h, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range lags {
+			acc[i] += sampleACF(x, k)
+		}
+	}
+	for i, k := range lags {
+		got := acc[i] / float64(reps)
+		want := Autocovariance(h, k)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("lag %d: sample γ = %v, theory %v", k, got, want)
+		}
+	}
+}
+
+func TestDaviesHarteSelfSimilarAggregateVariance(t *testing.T) {
+	// Exact self-similarity: Var of the m-aggregated mean is m^{2H−2}.
+	h := 0.9
+	n := 1 << 16
+	rng := rand.New(rand.NewSource(4))
+	x, err := DaviesHarte(h, n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{4, 16, 64} {
+		agg := make([]float64, 0, n/m)
+		for i := 0; i+m <= n; i += m {
+			var s float64
+			for j := 0; j < m; j++ {
+				s += x[i+j]
+			}
+			agg = append(agg, s/float64(m))
+		}
+		_, v, err := numerics.MeanVar(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := AggregateVariance(h, m)
+		if math.Abs(v-want)/want > 0.35 {
+			t.Errorf("m=%d: aggregate variance %v, theory %v", m, v, want)
+		}
+	}
+}
+
+func TestHoskingMatchesTheoryACF(t *testing.T) {
+	h := 0.75
+	n := 4096
+	reps := 8
+	rng := rand.New(rand.NewSource(5))
+	lags := []int{0, 1, 4, 16}
+	acc := make([]float64, len(lags))
+	for r := 0; r < reps; r++ {
+		x, err := Hosking(h, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range lags {
+			acc[i] += sampleACF(x, k)
+		}
+	}
+	for i, k := range lags {
+		got := acc[i] / float64(reps)
+		want := Autocovariance(h, k)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("lag %d: sample γ = %v, theory %v", k, got, want)
+		}
+	}
+}
+
+func TestGeneratorsAgreeInDistribution(t *testing.T) {
+	// Compare the two exact generators through summary statistics of many
+	// short replicas: per-lag covariance estimates should agree closely.
+	h := 0.85
+	n := 1024
+	reps := 64
+	dh := rand.New(rand.NewSource(6))
+	hk := rand.New(rand.NewSource(7))
+	var dhACF1, hkACF1 float64
+	for r := 0; r < reps; r++ {
+		a, err := DaviesHarte(h, n, dh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Hosking(h, n, hk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dhACF1 += sampleACF(a, 1)
+		hkACF1 += sampleACF(b, 1)
+	}
+	dhACF1 /= float64(reps)
+	hkACF1 /= float64(reps)
+	if math.Abs(dhACF1-hkACF1) > 0.05 {
+		t.Fatalf("generators disagree at lag 1: %v vs %v", dhACF1, hkACF1)
+	}
+}
+
+func TestWhiteNoiseSpecialCase(t *testing.T) {
+	// H = 0.5 must give i.i.d. N(0,1): lag-1 ACF ≈ 0, variance ≈ 1.
+	rng := rand.New(rand.NewSource(8))
+	x, err := DaviesHarte(0.5, 1<<15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v, err := numerics.MeanVar(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 0.05 {
+		t.Fatalf("variance %v, want ≈ 1", v)
+	}
+	if r1 := sampleACF(x, 1); math.Abs(r1) > 0.02 {
+		t.Fatalf("lag-1 ACF %v, want ≈ 0", r1)
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	a, err := DaviesHarte(0.8, 256, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DaviesHarte(0.8, 256, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the same path")
+		}
+	}
+}
+
+func BenchmarkDaviesHarte65536(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DaviesHarte(0.9, 1<<16, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

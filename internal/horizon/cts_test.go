@@ -1,0 +1,115 @@
+package horizon
+
+import (
+	"math"
+	"testing"
+
+	"lrd/internal/dist"
+	"lrd/internal/solver"
+)
+
+func ctsModel(t *testing.T, cutoff, buffer float64) (solver.Model, float64) {
+	t.Helper()
+	m := dist.MustMarginal([]float64{0, 2}, []float64{0.5, 0.5})
+	iv := dist.TruncatedPareto{Theta: 0.05, Alpha: 1.4, Cutoff: cutoff}
+	mod, err := solver.NewModel(m, iv, 1.25, buffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod, buffer
+}
+
+func TestCriticalTimeScaleBasics(t *testing.T) {
+	mod, b := ctsModel(t, 5, 0.4)
+	ts, exp, err := CriticalTimeScale(mod, b, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts <= 0 || math.IsInf(ts, 0) {
+		t.Fatalf("t* = %v", ts)
+	}
+	if exp <= 0 {
+		t.Fatalf("exponent = %v, want > 0 (stable queue)", exp)
+	}
+}
+
+func TestCriticalTimeScaleGrowsWithBuffer(t *testing.T) {
+	// Like the correlation horizon, the critical time scale must grow with
+	// the buffer size.
+	prev := 0.0
+	for _, b := range []float64{0.1, 0.4, 1.6} {
+		mod, _ := ctsModel(t, 5, b)
+		ts, _, err := CriticalTimeScale(mod, b, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts <= prev {
+			t.Fatalf("t* not increasing in buffer: %v at B=%v (prev %v)", ts, b, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestCriticalTimeScaleExponentDecreasesWithBuffer(t *testing.T) {
+	// Larger buffers push the overflow exponent up (less overflow), i.e.
+	// exp(−exponent) decreases.
+	prev := 0.0
+	for _, b := range []float64{0.1, 0.4, 1.6} {
+		mod, _ := ctsModel(t, 5, b)
+		_, exp, err := CriticalTimeScale(mod, b, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exp <= prev {
+			t.Fatalf("exponent not increasing in buffer: %v at B=%v", exp, b)
+		}
+		prev = exp
+	}
+}
+
+func TestCriticalTimeScaleMoreCorrelationLongerScale(t *testing.T) {
+	// Extending the cutoff extends the arrival variance growth and with it
+	// the critical time scale (until the cutoff stops binding).
+	short, _ := ctsModel(t, 0.5, 0.8)
+	long, _ := ctsModel(t, 20, 0.8)
+	tsShort, _, err := CriticalTimeScale(short, 0.8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsLong, _, err := CriticalTimeScale(long, 0.8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tsLong < tsShort {
+		t.Fatalf("t* shrank with more correlation: %v vs %v", tsLong, tsShort)
+	}
+}
+
+func TestCriticalTimeScaleValidation(t *testing.T) {
+	mod, _ := ctsModel(t, 5, 0.4)
+	if _, _, err := CriticalTimeScale(mod, 0, 10); err == nil {
+		t.Fatal("want error on zero buffer")
+	}
+	if _, _, err := CriticalTimeScale(mod, 0.4, math.Inf(1)); err == nil {
+		t.Fatal("want error on infinite tMax")
+	}
+	// Overloaded system.
+	over := mod
+	over.ServiceRate = 0.5
+	if _, _, err := CriticalTimeScale(over, 0.4, 10); err == nil {
+		t.Fatal("want error on utilization >= 1")
+	}
+	// Degenerate marginal.
+	deg, err := solver.NewModel(dist.MustMarginal([]float64{1}, []float64{1}),
+		dist.TruncatedPareto{Theta: 0.05, Alpha: 1.4, Cutoff: 5}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CriticalTimeScale(deg, 1, 10); err == nil {
+		t.Fatal("want error on zero-variance marginal")
+	}
+	// tMax too small to contain t*.
+	if _, _, err := CriticalTimeScale(mod, 1000, 0.1); err == nil {
+		t.Fatal("want error when t* exceeds tMax")
+	}
+}

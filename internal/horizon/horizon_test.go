@@ -1,0 +1,178 @@
+package horizon
+
+import (
+	"math"
+	"testing"
+
+	"lrd/internal/dist"
+	"lrd/internal/numerics"
+	"lrd/internal/solver"
+)
+
+func model(t *testing.T, cutoff, buffer float64) solver.Model {
+	t.Helper()
+	m := dist.MustMarginal([]float64{0, 2}, []float64{0.5, 0.5})
+	iv := dist.TruncatedPareto{Theta: 0.05, Alpha: 1.4, Cutoff: cutoff}
+	mod, err := solver.NewModel(m, iv, 1.25, buffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestAnalyticBasics(t *testing.T) {
+	m := model(t, 2, 0.5)
+	ch, err := Analytic(m, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch <= 0 {
+		t.Fatalf("CH = %v, want > 0", ch)
+	}
+	// Verbatim Eq. 26 check.
+	iv := m.Interarrival.(dist.TruncatedPareto)
+	mean := iv.Mean()
+	sigT := math.Sqrt(iv.Variance())
+	sigL := math.Sqrt(m.Marginal.Variance())
+	want := m.Buffer * mean / (2 * math.Sqrt2 * sigT * sigL * math.Erfinv(0.05))
+	if !numerics.AlmostEqual(ch, want, 1e-9) {
+		t.Fatalf("CH = %v, want %v", ch, want)
+	}
+}
+
+func TestAnalyticLinearInBuffer(t *testing.T) {
+	// Eq. 26 is exactly linear in B — the paper's headline scaling.
+	a, err := Analytic(model(t, 2, 0.5), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analytic(model(t, 2, 1.0), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(b/a, 2, 1e-9) {
+		t.Fatalf("doubling B should double CH: ratio = %v", b/a)
+	}
+}
+
+func TestAnalyticValidation(t *testing.T) {
+	m := model(t, 2, 0.5)
+	for _, p := range []float64{0, 1, -0.1, 2} {
+		if _, err := Analytic(m, p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+	// Untruncated Pareto with α < 2 has infinite interarrival variance.
+	if _, err := Analytic(model(t, math.Inf(1), 0.5), 0.05); err == nil {
+		t.Fatal("want error for infinite interarrival variance")
+	}
+	// Degenerate marginal.
+	deg, err := solver.NewModel(
+		dist.MustMarginal([]float64{2}, []float64{1}),
+		dist.TruncatedPareto{Theta: 0.05, Alpha: 1.4, Cutoff: 2}, 2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analytic(deg, 0.05); err == nil {
+		t.Fatal("want error for zero-variance marginal")
+	}
+}
+
+func TestAnalyticHyperexponentialUsesClosedForm(t *testing.T) {
+	h, err := dist.NewHyperexponential([]float64{0.5, 0.5}, []float64{0.05, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := solver.NewModel(dist.MustMarginal([]float64{0, 2}, []float64{0.5, 0.5}), h, 1.25, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Analytic(m, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := h.Mean()
+	sigT := math.Sqrt(h.Variance())
+	want := m.Buffer * mean / (2 * math.Sqrt2 * sigT * math.Sqrt(m.Marginal.Variance()) * math.Erfinv(0.05))
+	if !numerics.AlmostEqual(ch, want, 1e-9) {
+		t.Fatalf("CH = %v, want %v", ch, want)
+	}
+}
+
+func TestFromCurveDetectsKnee(t *testing.T) {
+	// A saturating curve: loss rises then flattens at 1e-3 after Tc = 4.
+	cutoffs := []float64{0.5, 1, 2, 4, 8, 16, 32}
+	losses := []float64{1e-6, 1e-5, 2e-4, 9.2e-4, 9.9e-4, 1e-3, 1e-3}
+	ch, err := FromCurve(cutoffs, losses, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != 4 {
+		t.Fatalf("CH = %v, want 4 (first point within 10%% of the plateau)", ch)
+	}
+	// A stricter tolerance moves the detected horizon right.
+	ch2, err := FromCurve(cutoffs, losses, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch2 < ch {
+		t.Fatalf("stricter tol gave smaller horizon: %v < %v", ch2, ch)
+	}
+}
+
+func TestFromCurveValidation(t *testing.T) {
+	if _, err := FromCurve([]float64{1}, []float64{1}, 0.1); err == nil {
+		t.Fatal("want error on single point")
+	}
+	if _, err := FromCurve([]float64{1, 2}, []float64{1}, 0.1); err == nil {
+		t.Fatal("want error on length mismatch")
+	}
+	if _, err := FromCurve([]float64{2, 1}, []float64{1, 1}, 0.1); err == nil {
+		t.Fatal("want error on non-increasing cutoffs")
+	}
+	if _, err := FromCurve([]float64{1, 2}, []float64{0, 0}, 0.1); err == nil {
+		t.Fatal("want error on zero plateau")
+	}
+	if _, err := FromCurve([]float64{1, 2}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("want error on zero tol")
+	}
+}
+
+func TestLinearScalingRecoversExponent(t *testing.T) {
+	// Horizons exactly proportional to buffers: exponent 1, gamma = 1/k.
+	buffers := []float64{0.1, 0.2, 0.5, 1, 2}
+	horizons := make([]float64, len(buffers))
+	for i, b := range buffers {
+		horizons[i] = 3 * b
+	}
+	fit, err := LinearScaling(buffers, horizons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(fit.Exponent, 1, 1e-9) {
+		t.Fatalf("exponent = %v, want 1", fit.Exponent)
+	}
+	if !numerics.AlmostEqual(fit.Gamma, 1.0/3.0, 1e-9) {
+		t.Fatalf("gamma = %v, want 1/3", fit.Gamma)
+	}
+	// Quadratic scaling is detected as exponent 2.
+	for i, b := range buffers {
+		horizons[i] = b * b
+	}
+	fit, err = LinearScaling(buffers, horizons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(fit.Exponent, 2, 1e-9) {
+		t.Fatalf("exponent = %v, want 2", fit.Exponent)
+	}
+}
+
+func TestLinearScalingValidation(t *testing.T) {
+	if _, err := LinearScaling([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want error on single point")
+	}
+	if _, err := LinearScaling([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("want error on non-positive buffer")
+	}
+}

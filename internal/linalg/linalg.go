@@ -1,0 +1,496 @@
+// Package linalg provides the small-matrix linear algebra the spectral
+// fluid-queue solvers need: LU factorization with partial pivoting, a
+// Hessenberg-reduction + shifted-QR eigenvalue solver for real matrices
+// with real spectra, and inverse iteration for the matching eigenvectors.
+//
+// Markov-modulated fluid queues (package mmfq) lead to generalized
+// eigenproblems z·(D−cI)φ = Qᵀφ whose spectra are provably real; the
+// solver here exploits that and reports an error if it encounters an
+// irreducible complex pair, rather than silently returning garbage. All
+// matrices are dense row-major float64 — the modulating chains in this
+// library have at most a few hundred states.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r <= 0 || c <= 0 {
+		panic("linalg: non-positive dimensions")
+	}
+	return &Matrix{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices (copied).
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("linalg: empty matrix")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("linalg: ragged row %d", i)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Rows and Cols return the dimensions.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// MulVec returns A·x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic("linalg: dimension mismatch in MulVec")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var acc float64
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			acc += v * x[j]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// LU is a PA = LU factorization with partial pivoting.
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	sign  float64
+}
+
+// Factor computes the LU decomposition of a square matrix. Singular (to
+// working precision) matrices yield an error at Solve time, not here, so
+// callers can use Factor for slightly perturbed shifted systems.
+func Factor(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, errors.New("linalg: LU of non-square matrix")
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				p, max = i, v
+			}
+		}
+		piv[k] = p
+		if p != k {
+			for j := 0; j < n; j++ {
+				vk, vp := lu.At(k, j), lu.At(p, j)
+				lu.Set(k, j, vp)
+				lu.Set(p, j, vk)
+			}
+			sign = -sign
+		}
+		pivVal := lu.At(k, k)
+		if pivVal == 0 {
+			continue // singular column; Solve will detect
+		}
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivVal
+			lu.Set(i, k, f)
+			for j := k + 1; j < n; j++ {
+				lu.Set(i, j, lu.At(i, j)-f*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: piv, sign: sign}, nil
+}
+
+// Solve returns x with A·x = b.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, errors.New("linalg: dimension mismatch in Solve")
+	}
+	x := append([]float64(nil), b...)
+	// Apply the full permutation first: the stored L rows reflect the
+	// final (post-all-swaps) ordering, so the right-hand side must be in
+	// that ordering before substitution begins.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward-substitute L (unit diagonal).
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			x[i] -= f.lu.At(i, k) * x[k]
+		}
+	}
+	// Back-substitute U.
+	for i := n - 1; i >= 0; i-- {
+		d := f.lu.At(i, i)
+		if d == 0 || math.Abs(d) < 1e-300 {
+			return nil, errors.New("linalg: singular matrix in Solve")
+		}
+		for j := i + 1; j < n; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+		x[i] /= d
+	}
+	return x, nil
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// hessenberg reduces a (copy of a) to upper Hessenberg form in place by
+// Householder reflections; similarity is preserved, so the eigenvalues are
+// unchanged.
+func hessenberg(a *Matrix) *Matrix {
+	n := a.rows
+	h := a.Clone()
+	v := make([]float64, n)
+	for k := 0; k < n-2; k++ {
+		// Build the Householder vector annihilating column k below k+1.
+		var norm float64
+		for i := k + 1; i < n; i++ {
+			norm += h.At(i, k) * h.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if h.At(k+1, k) < 0 {
+			alpha = norm
+		}
+		var vnorm2 float64
+		for i := 0; i < n; i++ {
+			v[i] = 0
+		}
+		v[k+1] = h.At(k+1, k) - alpha
+		vnorm2 = v[k+1] * v[k+1]
+		for i := k + 2; i < n; i++ {
+			v[i] = h.At(i, k)
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		beta := 2 / vnorm2
+		// H := (I − βvvᵀ) H (I − βvvᵀ)
+		// Left multiply.
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k + 1; i < n; i++ {
+				dot += v[i] * h.At(i, j)
+			}
+			dot *= beta
+			for i := k + 1; i < n; i++ {
+				h.Set(i, j, h.At(i, j)-dot*v[i])
+			}
+		}
+		// Right multiply.
+		for i := 0; i < n; i++ {
+			var dot float64
+			for j := k + 1; j < n; j++ {
+				dot += h.At(i, j) * v[j]
+			}
+			dot *= beta
+			for j := k + 1; j < n; j++ {
+				h.Set(i, j, h.At(i, j)-dot*v[j])
+			}
+		}
+	}
+	// Clean the below-subdiagonal entries to exact zeros.
+	for i := 2; i < n; i++ {
+		for j := 0; j < i-1; j++ {
+			h.Set(i, j, 0)
+		}
+	}
+	return h
+}
+
+// RealEigenvalues returns the eigenvalues of a real square matrix whose
+// spectrum is real, in ascending order, via Hessenberg reduction and
+// Wilkinson-shifted QR iteration with deflation. It returns an error if
+// an irreducible 2×2 block with complex eigenvalues survives (i.e. the
+// matrix has a complex pair) or if the iteration fails to converge.
+func RealEigenvalues(a *Matrix) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, errors.New("linalg: eigenvalues of non-square matrix")
+	}
+	n := a.rows
+	if n == 1 {
+		return []float64{a.At(0, 0)}, nil
+	}
+	h := hessenberg(a)
+	eig := make([]float64, 0, n)
+	hi := n - 1 // active block is rows/cols 0..hi
+	const maxIter = 30000
+	iter := 0
+	for hi >= 0 {
+		if iter++; iter > maxIter {
+			return nil, errors.New("linalg: QR iteration did not converge")
+		}
+		// Deflate: find the start of the trailing irreducible block.
+		lo := hi
+		for lo > 0 {
+			offdiag := math.Abs(h.At(lo, lo-1))
+			scale := math.Abs(h.At(lo-1, lo-1)) + math.Abs(h.At(lo, lo))
+			if offdiag <= 1e-14*(scale+1e-300) {
+				h.Set(lo, lo-1, 0)
+				break
+			}
+			lo--
+		}
+		if lo == hi {
+			// 1×1 block: an eigenvalue.
+			eig = append(eig, h.At(hi, hi))
+			hi--
+			continue
+		}
+		if lo == hi-1 {
+			// 2×2 block: solve its quadratic directly.
+			a11, a12 := h.At(lo, lo), h.At(lo, hi)
+			a21, a22 := h.At(hi, lo), h.At(hi, hi)
+			tr := a11 + a22
+			det := a11*a22 - a12*a21
+			disc := tr*tr/4 - det
+			if disc < -1e-12*(tr*tr+math.Abs(det)+1) {
+				return nil, fmt.Errorf("linalg: complex eigenvalue pair (disc = %v)", disc)
+			}
+			if disc < 0 {
+				disc = 0
+			}
+			s := math.Sqrt(disc)
+			eig = append(eig, tr/2-s, tr/2+s)
+			hi -= 2
+			continue
+		}
+		// Wilkinson shift from the trailing 2×2 of the active block.
+		a11, a12 := h.At(hi-1, hi-1), h.At(hi-1, hi)
+		a21, a22 := h.At(hi, hi-1), h.At(hi, hi)
+		tr := a11 + a22
+		det := a11*a22 - a12*a21
+		disc := tr*tr/4 - det
+		shift := a22
+		if disc >= 0 {
+			s := math.Sqrt(disc)
+			e1, e2 := tr/2-s, tr/2+s
+			if math.Abs(e1-a22) < math.Abs(e2-a22) {
+				shift = e1
+			} else {
+				shift = e2
+			}
+		}
+		qrStepHessenberg(h, lo, hi, shift)
+	}
+	sortAscending(eig)
+	return eig, nil
+}
+
+// qrStepHessenberg performs one implicit shifted QR sweep on the active
+// Hessenberg block h[lo..hi][lo..hi] using Givens rotations.
+func qrStepHessenberg(h *Matrix, lo, hi int, shift float64) {
+	n := hi - lo + 1
+	cs := make([]float64, n-1)
+	sn := make([]float64, n-1)
+	// Form H − shift·I on the active block.
+	for k := lo; k <= hi; k++ {
+		h.Set(k, k, h.At(k, k)-shift)
+	}
+	// QR factorization by Givens rotations: at step k, zero the
+	// subdiagonal entry (k+1, k) by rotating rows (k, k+1).
+	for k := lo; k < hi; k++ {
+		x := h.At(k, k)
+		y := h.At(k+1, k)
+		r := math.Hypot(x, y)
+		var c, s float64
+		if r == 0 {
+			c, s = 1, 0
+		} else {
+			c, s = x/r, y/r
+		}
+		cs[k-lo], sn[k-lo] = c, s
+		for j := k; j <= hi; j++ {
+			hkj, hk1j := h.At(k, j), h.At(k+1, j)
+			h.Set(k, j, c*hkj+s*hk1j)
+			h.Set(k+1, j, -s*hkj+c*hk1j)
+		}
+	}
+	// RQ: multiply by the transposed rotations on the right and restore
+	// the shift.
+	for k := lo; k < hi; k++ {
+		c, s := cs[k-lo], sn[k-lo]
+		for i := lo; i <= minInt(hi, k+2); i++ {
+			hik, hik1 := h.At(i, k), h.At(i, k+1)
+			h.Set(i, k, c*hik+s*hik1)
+			h.Set(i, k+1, -s*hik+c*hik1)
+		}
+	}
+	for k := lo; k <= hi; k++ {
+		h.Set(k, k, h.At(k, k)+shift)
+	}
+	// Numerical hygiene: clear anything below the subdiagonal.
+	for i := lo + 2; i <= hi; i++ {
+		for j := lo; j < i-1; j++ {
+			h.Set(i, j, 0)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sortAscending(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Eigenvector returns a (right) eigenvector of a for the given eigenvalue
+// by inverse iteration on (A − λ̃I) with a slightly perturbed shift. The
+// result has unit Euclidean norm. It fails if the iteration does not
+// settle, which indicates the eigenvalue estimate is poor.
+func Eigenvector(a *Matrix, lambda float64) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, errors.New("linalg: eigenvector of non-square matrix")
+	}
+	n := a.rows
+	// Scale-aware perturbation keeps (A − λ̃I) invertible.
+	var scale float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			scale = math.Max(scale, math.Abs(a.At(i, j)))
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	eps := 1e-10 * scale
+	shifted := a.Clone()
+	for i := 0; i < n; i++ {
+		shifted.Set(i, i, shifted.At(i, i)-(lambda+eps))
+	}
+	lu, err := Factor(shifted)
+	if err != nil {
+		return nil, err
+	}
+	// Start from a deterministic non-degenerate vector.
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(n)+float64(i))
+	}
+	normalize(v)
+	var prev []float64
+	for it := 0; it < 200; it++ {
+		w, err := lu.Solve(v)
+		if err != nil {
+			// (A − λ̃I) numerically singular: the current v is already an
+			// excellent eigenvector direction; perturb the shift more.
+			eps *= 10
+			shifted = a.Clone()
+			for i := 0; i < n; i++ {
+				shifted.Set(i, i, shifted.At(i, i)-(lambda+eps))
+			}
+			if lu, err = Factor(shifted); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		normalize(w)
+		if prev != nil {
+			diff := 0.0
+			for i := range w {
+				diff += math.Abs(math.Abs(w[i]) - math.Abs(prev[i]))
+			}
+			if diff < 1e-12 {
+				return w, nil
+			}
+		}
+		prev = v
+		v = w
+	}
+	// Verify the residual before accepting a slow-converging vector.
+	r := a.MulVec(v)
+	var resid float64
+	for i := range r {
+		resid += math.Abs(r[i] - lambda*v[i])
+	}
+	if resid > 1e-6*(scale+math.Abs(lambda)) {
+		return nil, fmt.Errorf("linalg: inverse iteration residual %v too large", resid)
+	}
+	return v, nil
+}
+
+func normalize(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	if n == 0 {
+		return
+	}
+	// Fix the sign convention: largest-magnitude entry positive.
+	maxIdx := 0
+	for i, x := range v {
+		if math.Abs(x) > math.Abs(v[maxIdx]) {
+			maxIdx = i
+		}
+	}
+	if v[maxIdx] < 0 {
+		n = -n
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}

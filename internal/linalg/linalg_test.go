@@ -1,0 +1,353 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lrd/internal/numerics"
+)
+
+func TestFromRowsValidation(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("want error on ragged rows")
+	}
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.Rows() != 2 || m.Cols() != 2 {
+		t.Fatal("FromRows content wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.MulVec([]float64{1, 1})
+	if got[0] != 3 || got[1] != 7 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	a, err := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := lu.Solve([]float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !numerics.AlmostEqual(x[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+	if !numerics.AlmostEqual(lu.Det(), -1, 1e-10) {
+		t.Fatalf("det = %v, want -1", lu.Det())
+	}
+}
+
+func TestLUSolveRandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(20) + 2
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		lu, err := Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := lu.Solve(b)
+		if err != nil {
+			continue // singular draw: acceptable
+		}
+		r := a.MulVec(x)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-8 {
+				t.Fatalf("trial %d: residual %v", trial, r[i]-b[i])
+			}
+		}
+	}
+}
+
+func TestLUSingularDetected(t *testing.T) {
+	a, err := FromRows([][]float64{{1, 2}, {2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lu.Solve([]float64{1, 1}); err == nil {
+		t.Fatal("want error for singular matrix")
+	}
+}
+
+func TestRealEigenvaluesDiagonal(t *testing.T) {
+	a, err := FromRows([][]float64{
+		{3, 0, 0},
+		{0, -1, 0},
+		{0, 0, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := RealEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 2, 3}
+	for i := range want {
+		if !numerics.AlmostEqual(eig[i], want[i], 1e-10) {
+			t.Fatalf("eig = %v, want %v", eig, want)
+		}
+	}
+}
+
+func TestRealEigenvaluesTriangular(t *testing.T) {
+	a, err := FromRows([][]float64{
+		{1, 5, -3},
+		{0, 4, 2},
+		{0, 0, -2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := RealEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-2, 1, 4}
+	for i := range want {
+		if !numerics.AlmostEqual(eig[i], want[i], 1e-9) {
+			t.Fatalf("eig = %v, want %v", eig, want)
+		}
+	}
+}
+
+func TestRealEigenvalues2x2(t *testing.T) {
+	a, err := FromRows([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := RealEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(eig[0], 1, 1e-10) || !numerics.AlmostEqual(eig[1], 3, 1e-10) {
+		t.Fatalf("eig = %v, want [1 3]", eig)
+	}
+}
+
+// randomSymmetric builds a random symmetric matrix (real spectrum
+// guaranteed).
+func randomSymmetric(n int, rng *rand.Rand) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestRealEigenvaluesSymmetricInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := rng.Intn(15) + 2
+		a := randomSymmetric(n, rng)
+		eig, err := RealEigenvalues(a)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(eig) != n {
+			t.Fatalf("trial %d: %d eigenvalues for n=%d", trial, len(eig), n)
+		}
+		// Trace and determinant invariants.
+		var trace float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		var sum, prod float64 = 0, 1
+		for _, e := range eig {
+			sum += e
+			prod *= e
+		}
+		if !numerics.AlmostEqual(sum, trace, 1e-7) {
+			t.Fatalf("trial %d: Σλ = %v, trace = %v", trial, sum, trace)
+		}
+		lu, err := Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det := lu.Det()
+		if math.Abs(prod-det) > 1e-6*(math.Abs(det)+1) {
+			t.Fatalf("trial %d: Πλ = %v, det = %v", trial, prod, det)
+		}
+		// Each eigenvalue is a root of det(A − λI).
+		for _, e := range eig {
+			shifted := a.Clone()
+			for i := 0; i < n; i++ {
+				shifted.Set(i, i, shifted.At(i, i)-e)
+			}
+			slu, err := Factor(shifted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Normalize by the product of the largest n−1 diagonal factors.
+			if d := math.Abs(slu.Det()); d > 1e-5*math.Pow(frobenius(a)+1, float64(n)) {
+				t.Fatalf("trial %d: det(A−λI) = %v at λ = %v", trial, d, e)
+			}
+		}
+	}
+}
+
+func frobenius(a *Matrix) float64 {
+	var acc float64
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			acc += a.At(i, j) * a.At(i, j)
+		}
+	}
+	return math.Sqrt(acc)
+}
+
+func TestRealEigenvaluesRejectsComplexPair(t *testing.T) {
+	// A rotation matrix has eigenvalues e^{±iθ}: must be rejected.
+	a, err := FromRows([][]float64{{0, -1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RealEigenvalues(a); err == nil {
+		t.Fatal("want error for complex spectrum")
+	}
+}
+
+func TestRealEigenvaluesNonSymmetricRealSpectrum(t *testing.T) {
+	// Build A = S·D·S⁻¹ with known real spectrum via a similarity by a
+	// well-conditioned matrix; check recovery.
+	d := []float64{-3, -1, 0.5, 2, 4}
+	n := len(d)
+	rng := rand.New(rand.NewSource(3))
+	// S = I + small random perturbation keeps conditioning mild.
+	s := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := 0.3 * rng.NormFloat64()
+			if i == j {
+				v += 1
+			}
+			s.Set(i, j, v)
+		}
+	}
+	slu, err := Factor(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A columns: A e_j = S D S⁻¹ e_j.
+	a := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		e := make([]float64, n)
+		e[j] = 1
+		y, err := slu.Solve(e) // y = S⁻¹ e_j
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range y {
+			y[i] *= d[i]
+		}
+		col := s.MulVec(y)
+		for i := 0; i < n; i++ {
+			a.Set(i, j, col[i])
+		}
+	}
+	eig, err := RealEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d {
+		if !numerics.AlmostEqual(eig[i], d[i], 1e-6) {
+			t.Fatalf("eig = %v, want %v", eig, d)
+		}
+	}
+}
+
+func TestEigenvectorResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomSymmetric(8, rng)
+	eig, err := RealEigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lambda := range eig {
+		v, err := Eigenvector(a, lambda)
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambda, err)
+		}
+		av := a.MulVec(v)
+		for i := range v {
+			if math.Abs(av[i]-lambda*v[i]) > 1e-6 {
+				t.Fatalf("λ=%v: residual %v at %d", lambda, av[i]-lambda*v[i], i)
+			}
+		}
+		// Unit norm.
+		var norm float64
+		for _, x := range v {
+			norm += x * x
+		}
+		if !numerics.AlmostEqual(norm, 1, 1e-9) {
+			t.Fatalf("‖v‖² = %v", norm)
+		}
+	}
+}
+
+func TestEigenvalues1x1(t *testing.T) {
+	a, err := FromRows([][]float64{{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eig, err := RealEigenvalues(a)
+	if err != nil || len(eig) != 1 || eig[0] != 7 {
+		t.Fatalf("eig = %v, err = %v", eig, err)
+	}
+}
+
+func TestNonSquareRejected(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := RealEigenvalues(a); err == nil {
+		t.Fatal("want error on non-square")
+	}
+	if _, err := Factor(a); err == nil {
+		t.Fatal("want error on non-square")
+	}
+	if _, err := Eigenvector(a, 1); err == nil {
+		t.Fatal("want error on non-square")
+	}
+}

@@ -1,0 +1,246 @@
+package lrdest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lrd/internal/fgn"
+	"lrd/internal/numerics"
+)
+
+func fgnSeries(t *testing.T, h float64, n int, seed int64) []float64 {
+	t.Helper()
+	x, err := fgn.DaviesHarte(h, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func whiteNoise(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func TestSampleAutocovarianceMatchesDirect(t *testing.T) {
+	x := whiteNoise(500, 1)
+	got, err := SampleAutocovariance(x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _, _ := numerics.MeanVar(x)
+	for k := 0; k <= 10; k++ {
+		var direct float64
+		for i := 0; i+k < len(x); i++ {
+			direct += (x[i] - mean) * (x[i+k] - mean)
+		}
+		direct /= float64(len(x))
+		if !numerics.AlmostEqual(got[k], direct, 1e-9) {
+			t.Fatalf("lag %d: FFT %v vs direct %v", k, got[k], direct)
+		}
+	}
+}
+
+func TestSampleAutocovarianceValidation(t *testing.T) {
+	if _, err := SampleAutocovariance(nil, 0); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if _, err := SampleAutocovariance([]float64{1, 2}, 5); err == nil {
+		t.Fatal("want error on maxLag >= n")
+	}
+	if _, err := SampleAutocovariance([]float64{1, 2}, -1); err == nil {
+		t.Fatal("want error on negative maxLag")
+	}
+}
+
+func TestSampleAutocorrelationNormalized(t *testing.T) {
+	x := fgnSeries(t, 0.8, 4096, 2)
+	rho, err := SampleAutocorrelation(x, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho[0] != 1 {
+		t.Fatalf("ρ(0) = %v, want 1", rho[0])
+	}
+	// FGN with H=0.8: ρ(1) = 2^{1.6}/2 − 1 ≈ 0.5157.
+	want := fgn.Autocovariance(0.8, 1)
+	if math.Abs(rho[1]-want) > 0.05 {
+		t.Fatalf("ρ(1) = %v, want ≈ %v", rho[1], want)
+	}
+	if _, err := SampleAutocorrelation(make([]float64, 10), 2); err == nil {
+		t.Fatal("want error on zero-variance series")
+	}
+}
+
+// estimator recovery tolerances are generous: these are statistical
+// estimators on finite samples.
+func checkH(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s: H = %v, want %v ± %v", name, got, want, tol)
+	}
+}
+
+func TestAggregatedVarianceRecovery(t *testing.T) {
+	for _, h := range []float64{0.6, 0.8, 0.9} {
+		x := fgnSeries(t, h, 1<<16, int64(100*h))
+		got, err := AggregatedVariance(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkH(t, "aggvar", got, h, 0.08)
+	}
+}
+
+func TestRescaledRangeRecovery(t *testing.T) {
+	// R/S is the crudest estimator; allow a wide band but require that it
+	// clearly separates white noise from strong LRD.
+	white, err := RescaledRange(whiteNoise(1<<15, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrd, err := RescaledRange(fgnSeries(t, 0.9, 1<<15, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if white > 0.68 {
+		t.Errorf("R/S on white noise = %v, want ≈ 0.5–0.6", white)
+	}
+	if lrd < white+0.15 {
+		t.Errorf("R/S failed to separate H=0.9 (%v) from white noise (%v)", lrd, white)
+	}
+}
+
+func TestLocalWhittleRecovery(t *testing.T) {
+	for _, h := range []float64{0.6, 0.75, 0.9} {
+		x := fgnSeries(t, h, 1<<16, int64(200*h))
+		got, err := LocalWhittle(x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkH(t, "whittle", got, h, 0.05)
+	}
+}
+
+func TestLocalWhittleWhiteNoise(t *testing.T) {
+	got, err := LocalWhittle(whiteNoise(1<<15, 5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkH(t, "whittle-white", got, 0.5, 0.05)
+}
+
+func TestAbryVeitchRecovery(t *testing.T) {
+	for _, h := range []float64{0.6, 0.83, 0.9} {
+		x := fgnSeries(t, h, 1<<16, int64(300*h))
+		got, err := AbryVeitch(x, AbryVeitchOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkH(t, "abry-veitch", got, h, 0.06)
+	}
+}
+
+func TestAbryVeitchRobustToLinearTrend(t *testing.T) {
+	// D4 has two vanishing moments: adding a linear trend should barely
+	// move the estimate, while the variance-time plot gets badly biased.
+	h := 0.8
+	x := fgnSeries(t, h, 1<<15, 6)
+	trended := make([]float64, len(x))
+	for i := range x {
+		trended[i] = x[i] + 4*float64(i)/float64(len(x))
+	}
+	av, err := AbryVeitch(trended, AbryVeitchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkH(t, "abry-veitch-trend", av, h, 0.08)
+	vt, err := AggregatedVariance(trended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vt-h) < math.Abs(av-h) {
+		t.Logf("note: aggvar %v happened to beat wavelet %v under trend", vt, av)
+	}
+}
+
+func TestEstimatorsTooShort(t *testing.T) {
+	short := whiteNoise(32, 7)
+	if _, err := AggregatedVariance(short); err == nil {
+		t.Error("aggvar accepted short series")
+	}
+	if _, err := RescaledRange(short); err == nil {
+		t.Error("R/S accepted short series")
+	}
+	if _, err := LocalWhittle(short, 0); err == nil {
+		t.Error("whittle accepted short series")
+	}
+	if _, err := AbryVeitch(short, AbryVeitchOptions{}); err == nil {
+		t.Error("abry-veitch accepted short series")
+	}
+}
+
+func TestEstimateAll(t *testing.T) {
+	x := fgnSeries(t, 0.85, 1<<15, 8)
+	est, err := EstimateAll(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"aggvar":  est.AggregatedVariance,
+		"rs":      est.RescaledRange,
+		"whittle": est.LocalWhittle,
+		"av":      est.AbryVeitch,
+	} {
+		if math.IsNaN(v) {
+			t.Errorf("%s returned NaN", name)
+		}
+		if v < 0.55 || v > 0.99 {
+			t.Errorf("%s = %v, implausible for H=0.85", name, v)
+		}
+	}
+}
+
+func TestEstimateAllPropagatesError(t *testing.T) {
+	if _, err := EstimateAll(whiteNoise(16, 9)); err == nil {
+		t.Fatal("want error for too-short input")
+	}
+}
+
+func TestGoldenMinimize(t *testing.T) {
+	got := goldenMinimize(func(x float64) float64 { return (x - 0.37) * (x - 0.37) }, 0, 1, 1e-9)
+	if !numerics.AlmostEqual(got, 0.37, 1e-6) {
+		t.Fatalf("minimizer = %v, want 0.37", got)
+	}
+}
+
+func TestGPHRecovery(t *testing.T) {
+	for _, h := range []float64{0.6, 0.8, 0.9} {
+		x := fgnSeries(t, h, 1<<16, int64(400*h))
+		got, err := GPH(x, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// GPH has higher variance than local Whittle; allow a wider band.
+		checkH(t, "gph", got, h, 0.1)
+	}
+}
+
+func TestGPHWhiteNoise(t *testing.T) {
+	got, err := GPH(whiteNoise(1<<15, 11), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkH(t, "gph-white", got, 0.5, 0.1)
+}
+
+func TestGPHTooShort(t *testing.T) {
+	if _, err := GPH(whiteNoise(32, 12), 0); err == nil {
+		t.Fatal("want error for short series")
+	}
+}

@@ -1,0 +1,306 @@
+// Package mmfq solves Markov-modulated fluid queues (MMFQ) with infinite
+// buffers by spectral decomposition — the classical framework of
+// Anick–Mitra–Sondhi (1982) and Mitra (1988) generalized to an arbitrary
+// finite modulating chain. It provides the library's second, fully
+// independent analytical engine next to the paper's renewal-model solver:
+//
+//   - the paper contrasts LRD queueing against exactly this class of
+//     Markovian models (§I, §IV, references [11], [24]);
+//   - the infinite-buffer overflow probability G(B) = Pr{Q > B} computed
+//     here upper-bounds the finite-buffer loss rate (paper, footnote 2),
+//     giving an analytic cross-check of the bounded solver.
+//
+// The stationary state-occupancy vector F(x), F_j(x) = Pr{Q <= x, S = j},
+// satisfies F'(x)(D − cI) = F(x)·Q. Writing solutions φ·e^{zx} yields the
+// generalized eigenproblem z·(D−cI)ᵀφ = Qᵀφ, i.e. ordinary eigenpairs of
+// M = (D−cI)⁻¹Qᵀ, which for these systems has a real spectrum with exactly
+// one zero eigenvalue (the stationary distribution) and as many strictly
+// negative eigenvalues as there are up states (d_j > c). The bounded
+// solution keeps the non-positive part of the spectrum, and the
+// coefficients follow from the boundary conditions F_j(0) = 0 at every up
+// state.
+package mmfq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lrd/internal/linalg"
+	"lrd/internal/numerics"
+)
+
+// Modulator is a finite CTMC with a fluid rate attached to every state.
+type Modulator struct {
+	// Generator is the CTMC generator matrix Q: non-negative off-diagonal
+	// rates, rows summing to zero.
+	Generator [][]float64
+	// Rates is the fluid emission rate d_j per state.
+	Rates []float64
+}
+
+// Validate checks the generator structure.
+func (m Modulator) Validate() error {
+	n := len(m.Generator)
+	if n == 0 {
+		return errors.New("mmfq: empty generator")
+	}
+	if len(m.Rates) != n {
+		return fmt.Errorf("mmfq: %d rates for %d states", len(m.Rates), n)
+	}
+	for i, row := range m.Generator {
+		if len(row) != n {
+			return fmt.Errorf("mmfq: generator row %d has %d entries", i, len(row))
+		}
+		var sum numerics.Accumulator
+		for j, v := range row {
+			if i != j && v < 0 {
+				return fmt.Errorf("mmfq: negative off-diagonal rate Q[%d][%d] = %v", i, j, v)
+			}
+			sum.Add(v)
+		}
+		if math.Abs(sum.Sum()) > 1e-9 {
+			return fmt.Errorf("mmfq: generator row %d sums to %v, want 0", i, sum.Sum())
+		}
+	}
+	for j, r := range m.Rates {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("mmfq: rate %d is %v", j, r)
+		}
+	}
+	return nil
+}
+
+// Stationary returns the stationary distribution π of the modulating
+// chain: πQ = 0 with Σπ = 1, via an LU solve with the normalization
+// replacing the (redundant) last balance equation.
+func (m Modulator) Stationary() ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(m.Generator)
+	a := linalg.NewMatrix(n, n)
+	// Rows 0..n−2: (Qᵀπ)_j = 0; row n−1: Σπ = 1.
+	for j := 0; j < n-1; j++ {
+		for i := 0; i < n; i++ {
+			a.Set(j, i, m.Generator[i][j])
+		}
+	}
+	for i := 0; i < n; i++ {
+		a.Set(n-1, i, 1)
+	}
+	rhs := make([]float64, n)
+	rhs[n-1] = 1
+	lu, err := linalg.Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	pi, err := lu.Solve(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("mmfq: stationary solve: %w (is the chain irreducible?)", err)
+	}
+	for j, p := range pi {
+		if p < -1e-9 {
+			return nil, fmt.Errorf("mmfq: negative stationary probability π[%d] = %v", j, p)
+		}
+		if p < 0 {
+			pi[j] = 0
+		}
+	}
+	return pi, nil
+}
+
+// MeanRate returns the stationary mean fluid rate Σ π_j d_j.
+func (m Modulator) MeanRate() (float64, error) {
+	pi, err := m.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	var acc numerics.Accumulator
+	for j := range pi {
+		acc.Add(pi[j] * m.Rates[j])
+	}
+	return acc.Sum(), nil
+}
+
+// Solution is the spectral representation of the stationary buffer-content
+// distribution of the MMFQ.
+type Solution struct {
+	// Exponents are the strictly negative eigenvalues z_k used in the
+	// bounded solution, ascending (most negative first).
+	Exponents []float64
+	// weights[k] = a_k · Σ_j φ_k[j]; G(x) = −Σ_k weights[k]·e^{z_k·x}.
+	weights []float64
+	// Utilization is λ̄/c.
+	Utilization float64
+}
+
+// Solve computes the stationary solution for service rate c. The chain
+// must be irreducible, stable (mean rate < c), and no state's rate may
+// equal c (the paper's model excludes that trivial case too).
+func Solve(m Modulator, c float64) (*Solution, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !(c > 0) {
+		return nil, fmt.Errorf("mmfq: service rate %v, need > 0", c)
+	}
+	n := len(m.Rates)
+	up := 0
+	for _, d := range m.Rates {
+		if math.Abs(d-c) < 1e-12*(math.Abs(d)+c) {
+			return nil, fmt.Errorf("mmfq: state rate %v equals the service rate", d)
+		}
+		if d > c {
+			up++
+		}
+	}
+	pi, err := m.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	var mean numerics.Accumulator
+	for j := range pi {
+		mean.Add(pi[j] * m.Rates[j])
+	}
+	if mean.Sum() >= c {
+		return nil, fmt.Errorf("mmfq: unstable: mean rate %v >= service rate %v", mean.Sum(), c)
+	}
+	if up == 0 {
+		// The buffer never fills: Q ≡ 0.
+		return &Solution{Utilization: mean.Sum() / c}, nil
+	}
+	// M = (D−cI)⁻¹Qᵀ.
+	mm := linalg.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		inv := 1 / (m.Rates[j] - c)
+		for i := 0; i < n; i++ {
+			mm.Set(j, i, inv*m.Generator[i][j])
+		}
+	}
+	eig, err := linalg.RealEigenvalues(mm)
+	if err != nil {
+		return nil, fmt.Errorf("mmfq: spectrum: %w", err)
+	}
+	// Collect the strictly negative exponents; theory says there are
+	// exactly `up` of them.
+	scale := 0.0
+	for _, e := range eig {
+		scale = math.Max(scale, math.Abs(e))
+	}
+	var negs []float64
+	for _, e := range eig {
+		if e < -1e-10*scale {
+			negs = append(negs, e)
+		}
+	}
+	if len(negs) != up {
+		return nil, fmt.Errorf("mmfq: found %d negative eigenvalues, expected %d (up states)", len(negs), up)
+	}
+	// Eigenvectors of the negative modes.
+	phis := make([][]float64, len(negs))
+	for k, z := range negs {
+		phi, err := linalg.Eigenvector(mm, z)
+		if err != nil {
+			return nil, fmt.Errorf("mmfq: eigenvector for z = %v: %w", z, err)
+		}
+		phis[k] = phi
+	}
+	// Boundary conditions: for every up state j, π_j + Σ_k a_k φ_k[j] = 0.
+	bc := linalg.NewMatrix(up, up)
+	rhs := make([]float64, up)
+	row := 0
+	for j := 0; j < n; j++ {
+		if m.Rates[j] <= c {
+			continue
+		}
+		for k := range phis {
+			bc.Set(row, k, phis[k][j])
+		}
+		rhs[row] = -pi[j]
+		row++
+	}
+	lu, err := linalg.Factor(bc)
+	if err != nil {
+		return nil, err
+	}
+	a, err := lu.Solve(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("mmfq: boundary system: %w", err)
+	}
+	sol := &Solution{
+		Exponents:   negs,
+		weights:     make([]float64, len(negs)),
+		Utilization: mean.Sum() / c,
+	}
+	for k := range negs {
+		var s numerics.Accumulator
+		for _, v := range phis[k] {
+			s.Add(v)
+		}
+		sol.weights[k] = a[k] * s.Sum()
+	}
+	return sol, nil
+}
+
+// OverflowProbability returns G(x) = Pr{Q > x} for x >= 0; 1 for x < 0.
+func (s *Solution) OverflowProbability(x float64) float64 {
+	if x < 0 {
+		return 1
+	}
+	if len(s.Exponents) == 0 {
+		return 0
+	}
+	var acc numerics.Accumulator
+	for k, z := range s.Exponents {
+		acc.Add(-s.weights[k] * math.Exp(z*x))
+	}
+	return numerics.Clamp(acc.Sum(), 0, 1)
+}
+
+// DecayRate returns the asymptotic exponential decay rate η of the queue
+// tail (the magnitude of the dominant, least-negative exponent), or +Inf
+// when the queue is identically empty.
+func (s *Solution) DecayRate() float64 {
+	if len(s.Exponents) == 0 {
+		return math.Inf(1)
+	}
+	dominant := s.Exponents[0]
+	for _, z := range s.Exponents[1:] {
+		if z > dominant {
+			dominant = z
+		}
+	}
+	return -dominant
+}
+
+// NSourceOnOff builds the modulator of N independent and identical
+// exponential on/off sources (the Anick–Mitra–Sondhi setting): state j
+// means j sources are on, the fluid rate is j·peak, off→on rate α and
+// on→off rate β per source, giving the birth–death generator with birth
+// rate (N−j)·α and death rate j·β.
+func NSourceOnOff(n int, peak, offToOn, onToOff float64) (Modulator, error) {
+	if n <= 0 {
+		return Modulator{}, errors.New("mmfq: need at least one source")
+	}
+	if !(peak > 0) || !(offToOn > 0) || !(onToOff > 0) {
+		return Modulator{}, errors.New("mmfq: rates must be positive")
+	}
+	states := n + 1
+	q := make([][]float64, states)
+	rates := make([]float64, states)
+	for j := 0; j < states; j++ {
+		q[j] = make([]float64, states)
+		rates[j] = float64(j) * peak
+		birth := float64(n-j) * offToOn
+		death := float64(j) * onToOff
+		if j < n {
+			q[j][j+1] = birth
+		}
+		if j > 0 {
+			q[j][j-1] = death
+		}
+		q[j][j] = -(birth + death)
+	}
+	return Modulator{Generator: q, Rates: rates}, nil
+}

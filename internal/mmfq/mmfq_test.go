@@ -1,0 +1,264 @@
+package mmfq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lrd/internal/ams"
+	"lrd/internal/numerics"
+)
+
+func TestValidate(t *testing.T) {
+	good := Modulator{
+		Generator: [][]float64{{-1, 1}, {2, -2}},
+		Rates:     []float64{0, 3},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Modulator{
+		{},
+		{Generator: [][]float64{{-1, 1}}, Rates: []float64{0, 1}},
+		{Generator: [][]float64{{-1, 1}, {2, -2, 3}}, Rates: []float64{0, 1}},
+		{Generator: [][]float64{{-1, 1}, {-2, 2}}, Rates: []float64{0, 1}}, // negative off-diagonal
+		{Generator: [][]float64{{-1, 2}, {2, -2}}, Rates: []float64{0, 1}}, // row sum != 0
+		{Generator: [][]float64{{-1, 1}, {2, -2}}, Rates: []float64{0, math.NaN()}},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad modulator %d accepted", i)
+		}
+	}
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	m := Modulator{
+		Generator: [][]float64{{-1, 1}, {2, -2}},
+		Rates:     []float64{0, 3},
+	}
+	pi, err := m.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// π ∝ (β, α)/(α+β) with α = 1 (off→on), β = 2 (on→off).
+	if !numerics.AlmostEqual(pi[0], 2.0/3.0, 1e-10) || !numerics.AlmostEqual(pi[1], 1.0/3.0, 1e-10) {
+		t.Fatalf("π = %v", pi)
+	}
+	mean, err := m.MeanRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(mean, 1, 1e-10) {
+		t.Fatalf("mean rate = %v", mean)
+	}
+}
+
+func TestStationaryBirthDeath(t *testing.T) {
+	m, err := NSourceOnOff(4, 1, 0.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binomial with p = α/(α+β) = 0.25.
+	p := 0.25
+	for j := 0; j <= 4; j++ {
+		want := binom(4, j) * math.Pow(p, float64(j)) * math.Pow(1-p, float64(4-j))
+		if !numerics.AlmostEqual(pi[j], want, 1e-9) {
+			t.Fatalf("π[%d] = %v, want %v", j, pi[j], want)
+		}
+	}
+}
+
+func binom(n, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= float64(n-i) / float64(k-i)
+	}
+	return out
+}
+
+func TestSolveMatchesAMSClosedForm(t *testing.T) {
+	// The decisive test: the general spectral solver on a single on/off
+	// source must reproduce the AMS closed form exactly.
+	amsQ := ams.OnOffQueue{OnRate: 3, OffToOn: 1, OnToOff: 2, ServiceRate: 1.5}
+	mod := Modulator{
+		Generator: [][]float64{{-1, 1}, {2, -2}},
+		Rates:     []float64{0, 3},
+	}
+	sol, err := Solve(mod, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(sol.Utilization, amsQ.Utilization(), 1e-10) {
+		t.Fatalf("utilization %v vs %v", sol.Utilization, amsQ.Utilization())
+	}
+	if !numerics.AlmostEqual(sol.DecayRate(), amsQ.DecayRate(), 1e-8) {
+		t.Fatalf("decay rate %v vs %v", sol.DecayRate(), amsQ.DecayRate())
+	}
+	for _, x := range []float64{0, 0.5, 1, 2, 5} {
+		got := sol.OverflowProbability(x)
+		want := amsQ.OverflowProbability(x)
+		if !numerics.AlmostEqual(got, want, 1e-7) {
+			t.Fatalf("G(%v) = %v, AMS closed form %v", x, got, want)
+		}
+	}
+}
+
+func TestSolveNSourceAgainstSimulation(t *testing.T) {
+	// Three on/off sources, c between 1 and 2 peaks: validate the spectral
+	// solution against brute-force CTMC + fluid simulation.
+	const (
+		n       = 3
+		peak    = 1.0
+		alpha   = 0.8 // off→on
+		beta    = 1.2 // on→off
+		service = 1.6
+	)
+	mod, err := NSourceOnOff(n, peak, alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(mod, service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate: continuous-time jumps of the birth-death chain with linear
+	// buffer evolution between jumps.
+	rng := rand.New(rand.NewSource(77))
+	state := 0
+	content := 0.0
+	levels := []float64{0.5, 1.5, 3}
+	timeAbove := make([]float64, len(levels))
+	var total float64
+	timeAboveDuring := func(q0, s, d, x float64) float64 {
+		q1 := q0 + s*d
+		switch {
+		case q0 >= x && q1 >= x:
+			return d
+		case q0 < x && q1 < x:
+			return 0
+		case s > 0:
+			return d - (x-q0)/s
+		default:
+			return (x - q0) / s
+		}
+	}
+	for step := 0; step < 3_000_000; step++ {
+		birth := float64(n-state) * alpha
+		death := float64(state) * beta
+		rate := birth + death
+		dwell := rng.ExpFloat64() / rate
+		drift := float64(state)*peak - service
+		// The buffer may hit zero mid-dwell when draining.
+		drainTime := dwell
+		if drift < 0 {
+			drainTime = math.Min(dwell, content/-drift)
+		}
+		for i, x := range levels {
+			timeAbove[i] += timeAboveDuring(content, drift, drainTime, x)
+		}
+		content = math.Max(0, content+drift*dwell)
+		if drift > 0 && drainTime < dwell {
+			// Unreachable (drainTime == dwell when filling); kept for clarity.
+			t.Fatal("internal test inconsistency")
+		}
+		total += dwell
+		if rng.Float64() < birth/rate {
+			state++
+		} else {
+			state--
+		}
+	}
+	for i, x := range levels {
+		got := timeAbove[i] / total
+		want := sol.OverflowProbability(x)
+		if math.Abs(got-want) > 0.15*want+0.002 {
+			t.Fatalf("G(%v): simulated %v vs spectral %v", x, got, want)
+		}
+	}
+}
+
+func TestSolveStabilityAndEdgeCases(t *testing.T) {
+	mod := Modulator{
+		Generator: [][]float64{{-1, 1}, {2, -2}},
+		Rates:     []float64{0, 3},
+	}
+	if _, err := Solve(mod, 0); err == nil {
+		t.Fatal("want error on zero service rate")
+	}
+	if _, err := Solve(mod, 0.9); err == nil {
+		t.Fatal("want error on unstable system (mean 1 >= c)")
+	}
+	if _, err := Solve(mod, 3); err == nil {
+		t.Fatal("want error when a state rate equals c")
+	}
+	// All states below c: queue identically empty.
+	low := Modulator{
+		Generator: [][]float64{{-1, 1}, {2, -2}},
+		Rates:     []float64{0, 1},
+	}
+	sol, err := Solve(low, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := sol.OverflowProbability(0); g != 0 {
+		t.Fatalf("G(0) = %v, want 0 for an always-underloaded queue", g)
+	}
+	if !math.IsInf(sol.DecayRate(), 1) {
+		t.Fatal("empty queue should have infinite decay rate")
+	}
+}
+
+func TestOverflowProbabilityShape(t *testing.T) {
+	mod, err := NSourceOnOff(5, 1, 0.6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(mod, 3.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.OverflowProbability(-1) != 1 {
+		t.Fatal("G(x<0) must be 1")
+	}
+	prev := 1.1
+	for _, x := range numerics.Linspace(0, 10, 101) {
+		g := sol.OverflowProbability(x)
+		if g < 0 || g > 1 {
+			t.Fatalf("G(%v) = %v out of range", x, g)
+		}
+		if g > prev+1e-12 {
+			t.Fatalf("G not non-increasing at %v", x)
+		}
+		prev = g
+	}
+	// Asymptotic slope on a log scale equals −DecayRate.
+	x1, x2 := 20.0, 30.0
+	slope := (math.Log(sol.OverflowProbability(x2)) - math.Log(sol.OverflowProbability(x1))) / (x2 - x1)
+	if !numerics.AlmostEqual(slope, -sol.DecayRate(), 1e-3) {
+		t.Fatalf("asymptotic slope %v, want %v", slope, -sol.DecayRate())
+	}
+}
+
+func TestNSourceOnOffValidation(t *testing.T) {
+	if _, err := NSourceOnOff(0, 1, 1, 1); err == nil {
+		t.Fatal("want error on zero sources")
+	}
+	if _, err := NSourceOnOff(2, 0, 1, 1); err == nil {
+		t.Fatal("want error on zero peak")
+	}
+	m, err := NSourceOnOff(3, 2, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rates) != 4 || m.Rates[3] != 6 {
+		t.Fatalf("rates = %v", m.Rates)
+	}
+}

@@ -1,0 +1,217 @@
+// Package numerics provides small numerical helpers shared by the rest of
+// the library: compensated summation, grid construction, simple quadrature,
+// and least-squares regression.
+//
+// All routines operate on float64 and are deterministic. None of them
+// allocate beyond their documented return values, so they are safe to use
+// in inner solver loops.
+package numerics
+
+import (
+	"errors"
+	"math"
+)
+
+// KahanSum returns the sum of xs using Kahan–Neumaier compensated summation.
+// It is accurate to within a few ulps even when the terms span many orders
+// of magnitude, which happens routinely when accumulating probability mass
+// near the 1e-10 loss floor used by the solver.
+func KahanSum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		t := sum + x
+		if math.Abs(sum) >= math.Abs(x) {
+			comp += (sum - t) + x
+		} else {
+			comp += (x - t) + sum
+		}
+		sum = t
+	}
+	return sum + comp
+}
+
+// Accumulator is a running Kahan–Neumaier compensated sum. The zero value is
+// an empty accumulator ready for use.
+type Accumulator struct {
+	sum  float64
+	comp float64
+}
+
+// Add folds x into the running sum.
+func (a *Accumulator) Add(x float64) {
+	t := a.sum + x
+	if math.Abs(a.sum) >= math.Abs(x) {
+		a.comp += (a.sum - t) + x
+	} else {
+		a.comp += (x - t) + a.sum
+	}
+	a.sum = t
+}
+
+// Sum returns the current compensated total.
+func (a *Accumulator) Sum() float64 { return a.sum + a.comp }
+
+// Linspace returns n points evenly spaced on [lo, hi], inclusive of both
+// endpoints. n must be at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("numerics: Linspace requires n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Logspace returns n points spaced evenly on a log scale between lo and hi,
+// inclusive of both endpoints. lo and hi must be positive and n at least 2.
+func Logspace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= 0 {
+		panic("numerics: Logspace requires positive endpoints")
+	}
+	out := Linspace(math.Log(lo), math.Log(hi), n)
+	for i, v := range out {
+		out[i] = math.Exp(v)
+	}
+	out[0], out[n-1] = lo, hi
+	return out
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ErrNoData is returned by statistics helpers invoked on an empty sample.
+var ErrNoData = errors.New("numerics: empty data")
+
+// LinearFit fits y ≈ a + b·x by ordinary least squares and returns the
+// intercept a and slope b. It returns ErrNoData when fewer than two points
+// are supplied or all x are identical.
+func LinearFit(x, y []float64) (a, b float64, err error) {
+	if len(x) != len(y) {
+		return 0, 0, errors.New("numerics: LinearFit length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, 0, ErrNoData
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy Accumulator
+	for i := range x {
+		sx.Add(x[i])
+		sy.Add(y[i])
+		sxx.Add(x[i] * x[i])
+		sxy.Add(x[i] * y[i])
+	}
+	den := n*sxx.Sum() - sx.Sum()*sx.Sum()
+	if den == 0 {
+		return 0, 0, ErrNoData
+	}
+	b = (n*sxy.Sum() - sx.Sum()*sy.Sum()) / den
+	a = (sy.Sum() - b*sx.Sum()) / n
+	return a, b, nil
+}
+
+// WeightedLinearFit fits y ≈ a + b·x by weighted least squares with weights
+// w (larger weight = more trusted point). It is used by the Abry–Veitch
+// wavelet estimator, whose per-scale variances differ by orders of
+// magnitude.
+func WeightedLinearFit(x, y, w []float64) (a, b float64, err error) {
+	if len(x) != len(y) || len(x) != len(w) {
+		return 0, 0, errors.New("numerics: WeightedLinearFit length mismatch")
+	}
+	if len(x) < 2 {
+		return 0, 0, ErrNoData
+	}
+	var sw, swx, swy, swxx, swxy Accumulator
+	for i := range x {
+		sw.Add(w[i])
+		swx.Add(w[i] * x[i])
+		swy.Add(w[i] * y[i])
+		swxx.Add(w[i] * x[i] * x[i])
+		swxy.Add(w[i] * x[i] * y[i])
+	}
+	den := sw.Sum()*swxx.Sum() - swx.Sum()*swx.Sum()
+	if den == 0 {
+		return 0, 0, ErrNoData
+	}
+	b = (sw.Sum()*swxy.Sum() - swx.Sum()*swy.Sum()) / den
+	a = (swy.Sum() - b*swx.Sum()) / sw.Sum()
+	return a, b, nil
+}
+
+// Trapezoid integrates f over [lo, hi] with n trapezoids. It is used by
+// tests to validate closed-form moments against direct quadrature.
+func Trapezoid(f func(float64) float64, lo, hi float64, n int) float64 {
+	if n < 1 {
+		panic("numerics: Trapezoid requires n >= 1")
+	}
+	h := (hi - lo) / float64(n)
+	var acc Accumulator
+	acc.Add(0.5 * f(lo))
+	for i := 1; i < n; i++ {
+		acc.Add(f(lo + float64(i)*h))
+	}
+	acc.Add(0.5 * f(hi))
+	return acc.Sum() * h
+}
+
+// Mean returns the arithmetic mean of xs, or an error on empty input.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	return KahanSum(xs) / float64(len(xs)), nil
+}
+
+// MeanVar returns the sample mean and the biased (divide-by-n) variance of
+// xs. The biased form matches the definitions used in the paper's
+// second-order statistics.
+func MeanVar(xs []float64) (mean, variance float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrNoData
+	}
+	mean = KahanSum(xs) / float64(len(xs))
+	var acc Accumulator
+	for _, x := range xs {
+		d := x - mean
+		acc.Add(d * d)
+	}
+	return mean, acc.Sum() / float64(len(xs)), nil
+}
+
+// AlmostEqual reports whether a and b agree to within tol in relative terms
+// (or absolute terms when both are tiny). Intended for tests and iterative
+// convergence checks.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < tol {
+		return diff < tol
+	}
+	return diff/scale < tol
+}
+
+// NextPow2 returns the smallest power of two >= n. n must be positive.
+func NextPow2(n int) int {
+	if n <= 0 {
+		panic("numerics: NextPow2 requires positive n")
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

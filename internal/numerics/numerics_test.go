@@ -1,0 +1,286 @@
+package numerics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKahanSumExactSmall(t *testing.T) {
+	if got := KahanSum([]float64{1, 2, 3, 4}); got != 10 {
+		t.Fatalf("KahanSum = %v, want 10", got)
+	}
+	if got := KahanSum(nil); got != 0 {
+		t.Fatalf("KahanSum(nil) = %v, want 0", got)
+	}
+}
+
+func TestKahanSumCancellation(t *testing.T) {
+	// 1 + 1e100 - 1e100 loses the 1 under naive summation.
+	xs := []float64{1, 1e100, 1, -1e100}
+	if got := KahanSum(xs); got != 2 {
+		t.Fatalf("KahanSum = %v, want 2", got)
+	}
+}
+
+func TestKahanSumManySmallOntoLarge(t *testing.T) {
+	xs := make([]float64, 0, 10001)
+	xs = append(xs, 1e16)
+	for i := 0; i < 10000; i++ {
+		xs = append(xs, 1.0)
+	}
+	got := KahanSum(xs)
+	want := 1e16 + 10000
+	if got != want {
+		t.Fatalf("KahanSum = %v, want %v", got, want)
+	}
+}
+
+func TestAccumulatorMatchesKahanSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	if acc.Sum() != KahanSum(xs) {
+		t.Fatalf("Accumulator %v != KahanSum %v", acc.Sum(), KahanSum(xs))
+	}
+}
+
+func TestLinspaceEndpoints(t *testing.T) {
+	xs := Linspace(-1, 2, 7)
+	if len(xs) != 7 {
+		t.Fatalf("len = %d", len(xs))
+	}
+	if xs[0] != -1 || xs[6] != 2 {
+		t.Fatalf("endpoints %v %v", xs[0], xs[6])
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Fatalf("not increasing at %d: %v", i, xs)
+		}
+	}
+}
+
+func TestLinspacePanicsOnShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+func TestLogspace(t *testing.T) {
+	xs := Logspace(0.01, 100, 5)
+	if xs[0] != 0.01 || xs[4] != 100 {
+		t.Fatalf("endpoints %v %v", xs[0], xs[4])
+	}
+	// Ratios should be constant on a log grid.
+	r := xs[1] / xs[0]
+	for i := 2; i < len(xs); i++ {
+		if !AlmostEqual(xs[i]/xs[i-1], r, 1e-12) {
+			t.Fatalf("ratio drift at %d: %v vs %v", i, xs[i]/xs[i-1], r)
+		}
+	}
+}
+
+func TestLogspacePanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Logspace(0, 1, 3)
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+		{0, 0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v,%v,%v) = %v, want %v", c.x, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := Linspace(0, 10, 11)
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 - 2*v
+	}
+	a, b, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(a, 3, 1e-12) || !AlmostEqual(b, -2, 1e-12) {
+		t.Fatalf("fit = (%v, %v), want (3, -2)", a, b)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want error on single point")
+	}
+	if _, _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error on degenerate x")
+	}
+	if _, _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want error on length mismatch")
+	}
+}
+
+func TestWeightedLinearFitReducesToOLS(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1.1, 2.9, 5.2, 6.8, 9.1}
+	w := []float64{1, 1, 1, 1, 1}
+	a1, b1, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, err := WeightedLinearFit(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(a1, a2, 1e-12) || !AlmostEqual(b1, b2, 1e-12) {
+		t.Fatalf("(%v,%v) != (%v,%v)", a1, b1, a2, b2)
+	}
+}
+
+func TestWeightedLinearFitIgnoresZeroWeightOutlier(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{0, 1, 2, 100} // outlier at the end
+	w := []float64{1, 1, 1, 0}
+	a, b, err := WeightedLinearFit(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(a, 0, 1e-9) || !AlmostEqual(b, 1, 1e-9) {
+		t.Fatalf("fit = (%v, %v), want (0, 1)", a, b)
+	}
+}
+
+func TestTrapezoidPolynomial(t *testing.T) {
+	// ∫₀¹ x dx = 1/2 exactly under the trapezoid rule for linear f.
+	got := Trapezoid(func(x float64) float64 { return x }, 0, 1, 10)
+	if !AlmostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("got %v", got)
+	}
+	// ∫₀¹ x² dx = 1/3 approximately.
+	got = Trapezoid(func(x float64) float64 { return x * x }, 0, 1, 100000)
+	if !AlmostEqual(got, 1.0/3.0, 1e-8) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMeanVar(t *testing.T) {
+	m, v, err := MeanVar([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(m, 2.5, 1e-12) || !AlmostEqual(v, 1.25, 1e-12) {
+		t.Fatalf("mean=%v var=%v", m, v)
+	}
+	if _, _, err := MeanVar(nil); err == nil {
+		t.Fatal("want error on empty input")
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1023: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNextPow2PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NextPow2(0)
+}
+
+// Property: Linspace is monotone and has exactly n points for any valid input.
+func TestLinspaceProperty(t *testing.T) {
+	f := func(lo float64, span uint8, n uint8) bool {
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.Abs(lo) > 1e100 {
+			return true
+		}
+		hi := lo + float64(span) + 1
+		m := int(n%64) + 2
+		xs := Linspace(lo, hi, m)
+		if len(xs) != m || xs[0] != lo || xs[m-1] != hi {
+			return false
+		}
+		for i := 1; i < m; i++ {
+			if xs[i] < xs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KahanSum of a permutation-symmetric cancellation pattern is exact.
+func TestKahanSumPairCancellationProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		xs := make([]float64, 0, 2*len(vals))
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			xs = append(xs, v, -v)
+		}
+		return KahanSum(xs) == 0 || math.Abs(KahanSum(xs)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clamp always lands inside [lo, hi].
+func TestClampProperty(t *testing.T) {
+	f := func(x, a, b float64) bool {
+		if math.IsNaN(x) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		c := Clamp(x, lo, hi)
+		return c >= lo && c <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1, 1e-12) {
+		t.Fatal("identical values must compare equal")
+	}
+	if !AlmostEqual(1, 1+1e-13, 1e-12) {
+		t.Fatal("tiny relative difference should pass")
+	}
+	if AlmostEqual(1, 2, 1e-12) {
+		t.Fatal("large difference should fail")
+	}
+	if !AlmostEqual(0, 1e-15, 1e-12) {
+		t.Fatal("both-tiny absolute comparison should pass")
+	}
+}

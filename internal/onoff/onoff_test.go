@@ -1,0 +1,153 @@
+package onoff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lrd/internal/lrdest"
+	"lrd/internal/numerics"
+)
+
+func params() SourceParams {
+	return SourceParams{PeakRate: 1, MeanOn: 0.1, MeanOff: 0.3, AlphaOn: 1.4, AlphaOff: 1.4}
+}
+
+func TestValidate(t *testing.T) {
+	if err := params().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SourceParams{
+		{PeakRate: 0, MeanOn: 1, MeanOff: 1, AlphaOn: 1.5, AlphaOff: 1.5},
+		{PeakRate: 1, MeanOn: 0, MeanOff: 1, AlphaOn: 1.5, AlphaOff: 1.5},
+		{PeakRate: 1, MeanOn: 1, MeanOff: 1, AlphaOn: 1, AlphaOff: 1.5},
+		{PeakRate: 1, MeanOn: 1, MeanOff: 1, AlphaOn: 1.5, AlphaOff: 0.9},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("accepted %+v", p)
+		}
+	}
+}
+
+func TestMeanRateAndHurst(t *testing.T) {
+	p := params()
+	if !numerics.AlmostEqual(p.MeanRate(), 0.25, 1e-12) {
+		t.Fatalf("mean rate = %v", p.MeanRate())
+	}
+	if !numerics.AlmostEqual(p.Hurst(), 0.8, 1e-12) {
+		t.Fatalf("Hurst = %v, want (3−1.4)/2 = 0.8", p.Hurst())
+	}
+	// The heavier tail dominates.
+	p.AlphaOff = 1.2
+	if !numerics.AlmostEqual(p.Hurst(), 0.9, 1e-12) {
+		t.Fatalf("Hurst = %v, want 0.9", p.Hurst())
+	}
+}
+
+func TestParetoSampler(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var acc numerics.Accumulator
+	n := 500000
+	for i := 0; i < n; i++ {
+		v := pareto(2, 1.8, rng)
+		if v < 2*0.8/1.8-1e-9 {
+			t.Fatalf("sample %v below the scale", v)
+		}
+		acc.Add(v)
+	}
+	if got := acc.Sum() / float64(n); math.Abs(got-2)/2 > 0.1 {
+		t.Fatalf("sample mean %v, want ≈ 2", got)
+	}
+}
+
+func TestAggregateBasics(t *testing.T) {
+	p := params()
+	rng := rand.New(rand.NewSource(2))
+	tr, err := Aggregate(p, 32, 1<<14, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rates) != 1<<14 || tr.BinWidth != 0.01 {
+		t.Fatalf("trace shape wrong: %d bins", len(tr.Rates))
+	}
+	// Aggregate mean ≈ n·per-source mean.
+	mean := tr.MeanRate()
+	want := 32 * p.MeanRate()
+	if math.Abs(mean-want)/want > 0.2 {
+		t.Fatalf("aggregate mean %v, want ≈ %v", mean, want)
+	}
+	// Rates bounded by total peak.
+	for _, r := range tr.Rates {
+		if r < 0 || r > 32*p.PeakRate+1e-9 {
+			t.Fatalf("rate %v outside [0, %v]", r, 32*p.PeakRate)
+		}
+	}
+}
+
+func TestAggregateIsLRD(t *testing.T) {
+	// The Willinger et al. construction: the aggregate of heavy-tailed
+	// on/off sources is long-range dependent with H ≈ (3−α)/2.
+	p := params() // α = 1.4 → H = 0.8
+	rng := rand.New(rand.NewSource(3))
+	tr, err := Aggregate(p, 64, 1<<15, 0.02, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := lrdest.AbryVeitch(tr.Rates, lrdest.AbryVeitchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 0.7 || h > 0.95 {
+		t.Fatalf("aggregate H = %v, want ≈ 0.8 (clearly LRD)", h)
+	}
+	// Control: exponential-ish tails (α near 2) give much weaker LRD.
+	srd := p
+	srd.AlphaOn, srd.AlphaOff = 1.95, 1.95
+	tr2, err := Aggregate(srd, 64, 1<<15, 0.02, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := lrdest.AbryVeitch(tr2.Rates, lrdest.AbryVeitchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 >= h {
+		t.Fatalf("lighter tails should reduce H: %v vs %v", h2, h)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := Aggregate(params(), 0, 10, 0.01, rng); err == nil {
+		t.Fatal("want error on zero sources")
+	}
+	if _, err := Aggregate(params(), 1, 0, 0.01, rng); err == nil {
+		t.Fatal("want error on zero bins")
+	}
+	if _, err := Aggregate(params(), 1, 10, 0, rng); err == nil {
+		t.Fatal("want error on zero bin width")
+	}
+	if _, err := Aggregate(SourceParams{}, 1, 10, 0.01, rng); err == nil {
+		t.Fatal("want error on invalid params")
+	}
+}
+
+func TestFitSource(t *testing.T) {
+	m, iv, err := FitSource(2, 0.02, 1.2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 || m.Mean() != 1 {
+		t.Fatalf("marginal wrong: %v", m)
+	}
+	if iv.Alpha != 1.2 || iv.Cutoff != 10 {
+		t.Fatalf("interarrival wrong: %+v", iv)
+	}
+	if _, _, err := FitSource(0, 0.02, 1.2, 10); err == nil {
+		t.Fatal("want error on zero peak")
+	}
+	if _, _, err := FitSource(1, -1, 1.2, 10); err == nil {
+		t.Fatal("want error on bad theta")
+	}
+}

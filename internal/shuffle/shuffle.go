@@ -1,0 +1,75 @@
+// Package shuffle implements the block-shuffling procedures used to
+// manipulate the correlation structure of traffic traces (paper §III,
+// Fig. 6, after Erramilli, Narayan & Willinger).
+//
+// External shuffling divides a series into consecutive blocks and permutes
+// the blocks while leaving each block's interior untouched: correlation at
+// lags beyond the block length is destroyed, correlation within a block is
+// preserved. It is the empirical analogue of the model's cutoff lag Tc,
+// which is why the paper validates its model against shuffle-driven
+// simulations (Figs. 7, 8, 14).
+//
+// Internal shuffling is the complement — permuting samples within each
+// block — which destroys short-lag correlation and keeps long-lag structure.
+// The paper discusses only external shuffling; internal shuffling is
+// provided for completeness and for ablation experiments.
+package shuffle
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// External returns a copy of xs with consecutive blocks of blockLen samples
+// permuted uniformly at random. A trailing partial block participates in
+// the permutation as a shorter block. blockLen >= len(xs) returns an
+// unshuffled copy (a single block); blockLen must be positive.
+func External(xs []float64, blockLen int, rng *rand.Rand) ([]float64, error) {
+	if blockLen <= 0 {
+		return nil, errors.New("shuffle: block length must be positive")
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("shuffle: empty series")
+	}
+	nblocks := (len(xs) + blockLen - 1) / blockLen
+	order := rng.Perm(nblocks)
+	out := make([]float64, 0, len(xs))
+	for _, b := range order {
+		lo := b * blockLen
+		hi := lo + blockLen
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		out = append(out, xs[lo:hi]...)
+	}
+	return out, nil
+}
+
+// Internal returns a copy of xs in which the samples inside each
+// consecutive block of blockLen samples are permuted uniformly at random,
+// while the blocks themselves stay in place.
+func Internal(xs []float64, blockLen int, rng *rand.Rand) ([]float64, error) {
+	if blockLen <= 0 {
+		return nil, errors.New("shuffle: block length must be positive")
+	}
+	if len(xs) == 0 {
+		return nil, errors.New("shuffle: empty series")
+	}
+	out := append([]float64(nil), xs...)
+	for lo := 0; lo < len(out); lo += blockLen {
+		hi := lo + blockLen
+		if hi > len(out) {
+			hi = len(out)
+		}
+		blk := out[lo:hi]
+		rng.Shuffle(len(blk), func(i, j int) { blk[i], blk[j] = blk[j], blk[i] })
+	}
+	return out, nil
+}
+
+// Full returns a copy of xs with all samples permuted uniformly at random,
+// destroying all correlation while preserving the marginal exactly. It is
+// External with blockLen = 1.
+func Full(xs []float64, rng *rand.Rand) ([]float64, error) {
+	return External(xs, 1, rng)
+}

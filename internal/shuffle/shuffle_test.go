@@ -1,0 +1,206 @@
+package shuffle
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+func TestExternalPreservesMarginal(t *testing.T) {
+	xs := seq(1000)
+	rng := rand.New(rand.NewSource(1))
+	got, err := External(xs, 37, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sortedCopy(got), sortedCopy(xs)) {
+		t.Fatal("external shuffle changed the multiset of samples")
+	}
+}
+
+func TestExternalPreservesBlockInteriors(t *testing.T) {
+	xs := seq(100)
+	rng := rand.New(rand.NewSource(2))
+	got, err := External(xs, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every aligned 10-sample window of the output must be one of the
+	// original blocks, i.e. 10 consecutive integers starting at a multiple
+	// of 10.
+	for lo := 0; lo < 100; lo += 10 {
+		start := got[lo]
+		if int(start)%10 != 0 {
+			t.Fatalf("block at %d starts at %v, not a block boundary", lo, start)
+		}
+		for k := 0; k < 10; k++ {
+			if got[lo+k] != start+float64(k) {
+				t.Fatalf("block interior broken at %d", lo+k)
+			}
+		}
+	}
+}
+
+func TestExternalDoesNotMutateInput(t *testing.T) {
+	xs := seq(50)
+	orig := append([]float64(nil), xs...)
+	if _, err := External(xs, 7, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	if !equal(xs, orig) {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestExternalSingleBlockIsIdentity(t *testing.T) {
+	xs := seq(10)
+	got, err := External(xs, 100, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(got, xs) {
+		t.Fatal("single block should be returned unchanged")
+	}
+}
+
+func TestExternalErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := External(nil, 10, rng); err == nil {
+		t.Fatal("want error on empty series")
+	}
+	if _, err := External(seq(5), 0, rng); err == nil {
+		t.Fatal("want error on zero block length")
+	}
+}
+
+func TestInternalPreservesBlockMultisets(t *testing.T) {
+	xs := seq(95) // trailing partial block of 5
+	rng := rand.New(rand.NewSource(6))
+	got, err := Internal(xs, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(xs); lo += 10 {
+		hi := lo + 10
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		if !equal(sortedCopy(got[lo:hi]), sortedCopy(xs[lo:hi])) {
+			t.Fatalf("block [%d,%d) changed its contents", lo, hi)
+		}
+	}
+}
+
+func TestInternalErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Internal(nil, 10, rng); err == nil {
+		t.Fatal("want error on empty series")
+	}
+	if _, err := Internal(seq(5), -1, rng); err == nil {
+		t.Fatal("want error on negative block length")
+	}
+}
+
+func TestFullPreservesMarginal(t *testing.T) {
+	xs := seq(500)
+	got, err := Full(xs, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(sortedCopy(got), sortedCopy(xs)) {
+		t.Fatal("full shuffle changed the multiset")
+	}
+}
+
+func TestExternalKillsLongLagCorrelation(t *testing.T) {
+	// Build a strongly correlated series (slow square wave), shuffle with a
+	// small block, and check the lag-k autocorrelation beyond the block
+	// length collapses while within-block correlation survives.
+	n := 1 << 14
+	period := 512
+	xs := make([]float64, n)
+	for i := range xs {
+		if (i/period)%2 == 0 {
+			xs[i] = 1
+		} else {
+			xs[i] = -1
+		}
+	}
+	block := 64
+	got, err := External(xs, block, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acf := func(series []float64, lag int) float64 {
+		var num, den float64
+		for i := 0; i+lag < len(series); i++ {
+			num += series[i] * series[i+lag]
+		}
+		for _, v := range series {
+			den += v * v
+		}
+		return num / den
+	}
+	// Original series: strong correlation at lag 128 (a quarter of one
+	// constant segment, so 75 % of pairs fall in the same segment).
+	if acf(xs, 128) < 0.4 {
+		t.Fatalf("test construction broken: original acf = %v", acf(xs, 128))
+	}
+	// Shuffled: correlation at lags beyond the block length is near zero…
+	if got128 := acf(got, 128); got128 > 0.15 {
+		t.Fatalf("external shuffle left correlation at lag 128: %v", got128)
+	}
+	// …but short-lag correlation (within blocks) survives.
+	if got8 := acf(got, 8); got8 < 0.5 {
+		t.Fatalf("external shuffle destroyed within-block correlation: %v", got8)
+	}
+}
+
+// Property: external shuffling preserves the multiset for arbitrary block
+// lengths and sizes.
+func TestExternalMarginalProperty(t *testing.T) {
+	f := func(seed int64, rawLen, rawBlock uint16) bool {
+		n := int(rawLen%2000) + 1
+		block := int(rawBlock%100) + 1
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		got, err := External(xs, block, rng)
+		if err != nil {
+			return false
+		}
+		return equal(sortedCopy(got), sortedCopy(xs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

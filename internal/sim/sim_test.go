@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lrd/internal/dist"
+	"lrd/internal/fluid"
+	"lrd/internal/numerics"
+)
+
+func TestOfferBasicDynamics(t *testing.T) {
+	q := Queue{ServiceRate: 1, Buffer: 10}
+	// Rate 3 for 2 s: net inflow 2·(3−1) = 4 → occupancy 4, no loss.
+	if lost := q.Offer(3, 2); lost != 0 {
+		t.Fatalf("lost = %v, want 0", lost)
+	}
+	if q.Occupancy != 4 {
+		t.Fatalf("occupancy = %v, want 4", q.Occupancy)
+	}
+	// Rate 0 for 10 s drains to empty, never negative.
+	if lost := q.Offer(0, 10); lost != 0 {
+		t.Fatalf("lost = %v, want 0", lost)
+	}
+	if q.Occupancy != 0 {
+		t.Fatalf("occupancy = %v, want 0", q.Occupancy)
+	}
+	// Rate 2 for 20 s: net inflow 20 overflows the 10-unit buffer by 10.
+	if lost := q.Offer(2, 20); lost != 10 {
+		t.Fatalf("lost = %v, want 10", lost)
+	}
+	if q.Occupancy != 10 {
+		t.Fatalf("occupancy = %v, want B", q.Occupancy)
+	}
+}
+
+func TestOfferWorkConservationProperty(t *testing.T) {
+	// Work in = work served + work lost + change in occupancy.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := Queue{ServiceRate: 1 + rng.Float64()*5, Buffer: 0.5 + rng.Float64()*10}
+		var arrived, lost, served float64
+		prevQ := 0.0
+		for i := 0; i < 200; i++ {
+			r := rng.Float64() * 10
+			dt := rng.Float64() * 2
+			arrived += r * dt
+			l := q.Offer(r, dt)
+			lost += l
+			// Served work in this segment: inflow − loss − occupancy change.
+			served += r*dt - l - (q.Occupancy - prevQ)
+			prevQ = q.Occupancy
+		}
+		// Served work can never exceed c × total time and never be negative.
+		return lost >= 0 && served >= -1e-9 && math.Abs(arrived-(lost+served+q.Occupancy)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBinnedTraceValidation(t *testing.T) {
+	if _, err := RunBinnedTrace(nil, 0.01, 1, 1); err == nil {
+		t.Fatal("want error on empty trace")
+	}
+	if _, err := RunBinnedTrace([]float64{1}, 0, 1, 1); err == nil {
+		t.Fatal("want error on zero bin width")
+	}
+	if _, err := RunBinnedTrace([]float64{1}, 0.01, 0, 1); err == nil {
+		t.Fatal("want error on zero service rate")
+	}
+	if _, err := RunBinnedTrace([]float64{1}, 0.01, 1, 0); err == nil {
+		t.Fatal("want error on zero buffer")
+	}
+}
+
+func TestRunBinnedTraceDeterministic(t *testing.T) {
+	// Constant rate below capacity: zero loss.
+	rates := make([]float64, 100)
+	for i := range rates {
+		rates[i] = 0.5
+	}
+	st, err := RunBinnedTrace(rates, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Lost != 0 || st.LossRate() != 0 {
+		t.Fatalf("loss = %v, want 0", st.Lost)
+	}
+	if !numerics.AlmostEqual(st.Arrived, 50, 1e-12) {
+		t.Fatalf("arrived = %v, want 50", st.Arrived)
+	}
+	// Constant overload: rate 2 vs capacity 1; buffer fills once then all
+	// excess is lost: total excess = 100·(2−1) = 100, minus the 5 stored.
+	for i := range rates {
+		rates[i] = 2
+	}
+	st, err = RunBinnedTrace(rates, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(st.Lost, 95, 1e-9) {
+		t.Fatalf("lost = %v, want 95", st.Lost)
+	}
+	if !numerics.AlmostEqual(st.LossRate(), 95.0/200.0, 1e-12) {
+		t.Fatalf("loss rate = %v", st.LossRate())
+	}
+	if st.FinalQ != 5 {
+		t.Fatalf("final occupancy = %v, want 5", st.FinalQ)
+	}
+}
+
+func TestRunEpochsMatchesRunBinnedTrace(t *testing.T) {
+	// A binned trace is just a sequence of equal-duration epochs.
+	rng := rand.New(rand.NewSource(21))
+	rates := make([]float64, 500)
+	epochs := make([]fluid.Epoch, 500)
+	for i := range rates {
+		rates[i] = rng.Float64() * 4
+		epochs[i] = fluid.Epoch{Duration: 0.25, Rate: rates[i]}
+	}
+	a, err := RunBinnedTrace(rates, 0.25, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEpochs(epochs, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(a.Lost, b.Lost, 1e-12) || !numerics.AlmostEqual(a.Arrived, b.Arrived, 1e-12) {
+		t.Fatalf("trace-driven and epoch-driven runs disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestLossRateEmptyRun(t *testing.T) {
+	if (LossStats{}).LossRate() != 0 {
+		t.Fatal("empty run should have zero loss rate")
+	}
+}
+
+func TestMonteCarloLossValidation(t *testing.T) {
+	src := testSource(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := MonteCarloLoss(src, 0, 1, 100, 0, rng); err == nil {
+		t.Fatal("want error on zero service rate")
+	}
+	if _, err := MonteCarloLoss(src, 1, 0, 100, 0, rng); err == nil {
+		t.Fatal("want error on zero buffer")
+	}
+	if _, err := MonteCarloLoss(src, 1, 1, 0, 0, rng); err == nil {
+		t.Fatal("want error on zero epochs")
+	}
+}
+
+func testSource(t *testing.T) fluid.Source {
+	t.Helper()
+	m := dist.MustMarginal([]float64{0, 2}, []float64{0.5, 0.5})
+	src, err := fluid.New(m, dist.TruncatedPareto{Theta: 0.05, Alpha: 1.4, Cutoff: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestMonteCarloLossOnOffSanity(t *testing.T) {
+	// On/off source, mean rate 1, service 1.25 (utilization 0.8), small
+	// buffer: loss must be positive but below the no-buffer bound
+	// E[(λ−c)⁺]/λ̄ = 0.5·0.75/1 = 0.375.
+	src := testSource(t)
+	rng := rand.New(rand.NewSource(7))
+	st, err := MonteCarloLoss(src, 1.25, 0.05, 400000, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := st.LossRate()
+	if lr <= 0 || lr >= 0.375 {
+		t.Fatalf("loss rate %v outside (0, 0.375)", lr)
+	}
+	// Loss decreases with buffer size.
+	rng = rand.New(rand.NewSource(7))
+	bigger, err := MonteCarloLoss(src, 1.25, 1.0, 400000, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigger.LossRate() >= lr {
+		t.Fatalf("larger buffer should lose less: %v vs %v", bigger.LossRate(), lr)
+	}
+}
+
+func TestMonteCarloReproducible(t *testing.T) {
+	src := testSource(t)
+	a, err := MonteCarloLoss(src, 1.25, 0.2, 10000, 100, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarloLoss(src, 1.25, 0.2, 10000, 100, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed must reproduce the same ledger")
+	}
+}

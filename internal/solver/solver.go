@@ -1,0 +1,646 @@
+// Package solver implements the numerical procedure of Grossglauser &
+// Bolot (SIGCOMM '96, §II) for the long-term loss rate of a finite-buffer
+// fluid queue fed by the cutoff-correlated fluid source.
+//
+// The queue occupancy at arrival instants obeys the bounded Lindley
+// recursion Q(n+1) = max(0, min(B, Q(n)+W(n))) (Eq. 9) with i.i.d. work
+// increments W(n) = T_n·(λ(n)−c). The solver discretizes [0, B] into M bins
+// of width d = B/M and iterates two coupled recursions (Eq. 18):
+//
+//   - a lower process Q_L: increments rounded down (Eq. 21), started empty;
+//   - an upper process Q_H: increments rounded up (Eq. 22), started full.
+//
+// By Proposition II.1 the induced loss rates bracket the true loss at every
+// iteration, the lower bound increasing and the upper bound decreasing in
+// both the iteration count n and the resolution M. The per-step convolution
+// (Eq. 19) runs in O(M log M) via FFT above a crossover size. When the
+// bounds stop tightening at a given resolution, M is doubled and the
+// iteration warm-restarts from the coarse occupancy vectors (footnote 3 of
+// the paper).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lrd/internal/dist"
+	"lrd/internal/fft"
+	"lrd/internal/fluid"
+	"lrd/internal/numerics"
+)
+
+// Model is the general system the procedure solves: a finite-buffer
+// constant-rate server fed by a renewal-modulated fluid source whose epoch
+// lengths follow any dist.Interarrival law. The paper instantiates it with
+// the truncated-Pareto law (use Queue for that convenience), but the same
+// machinery solves e.g. the hyperexponential (Markovian) baseline of §IV.
+type Model struct {
+	Marginal     dist.Marginal
+	Interarrival dist.Interarrival
+	ServiceRate  float64 // c, in work units per second (e.g. Mb/s)
+	Buffer       float64 // B, in work units (e.g. Mb); Buffer = c·(normalized buffer)
+}
+
+// NewModel validates and returns a Model.
+func NewModel(marginal dist.Marginal, inter dist.Interarrival, serviceRate, buffer float64) (Model, error) {
+	if !(serviceRate > 0) {
+		return Model{}, fmt.Errorf("solver: service rate %v, need > 0", serviceRate)
+	}
+	if !(buffer > 0) || math.IsInf(buffer, 1) {
+		return Model{}, fmt.Errorf("solver: buffer %v, need finite > 0", buffer)
+	}
+	if marginal.Len() == 0 {
+		return Model{}, errors.New("solver: empty marginal")
+	}
+	if inter == nil {
+		return Model{}, errors.New("solver: nil interarrival law")
+	}
+	if err := inter.Validate(); err != nil {
+		return Model{}, err
+	}
+	return Model{Marginal: marginal, Interarrival: inter, ServiceRate: serviceRate, Buffer: buffer}, nil
+}
+
+// Utilization returns ρ = λ̄/c.
+func (m Model) Utilization() float64 { return m.Marginal.Mean() / m.ServiceRate }
+
+// NormalizedBuffer returns B/c in seconds.
+func (m Model) NormalizedBuffer() float64 { return m.Buffer / m.ServiceRate }
+
+// Queue describes the paper's system: the fluid queue fed by the
+// truncated-Pareto cutoff-correlated source (a Model specialization).
+type Queue struct {
+	Source      fluid.Source
+	ServiceRate float64 // c, in work units per second (e.g. Mb/s)
+	Buffer      float64 // B, in work units (e.g. Mb); Buffer = c·(normalized buffer)
+}
+
+// Model returns the general-solver view of the queue.
+func (q Queue) Model() Model {
+	return Model{
+		Marginal:     q.Source.Marginal,
+		Interarrival: q.Source.Interarrival,
+		ServiceRate:  q.ServiceRate,
+		Buffer:       q.Buffer,
+	}
+}
+
+// NewQueue validates and returns a Queue.
+func NewQueue(src fluid.Source, serviceRate, buffer float64) (Queue, error) {
+	if !(serviceRate > 0) {
+		return Queue{}, fmt.Errorf("solver: service rate %v, need > 0", serviceRate)
+	}
+	if !(buffer > 0) || math.IsInf(buffer, 1) {
+		return Queue{}, fmt.Errorf("solver: buffer %v, need finite > 0", buffer)
+	}
+	if src.Marginal.Len() == 0 {
+		return Queue{}, errors.New("solver: queue source has empty marginal")
+	}
+	if err := src.Interarrival.Validate(); err != nil {
+		return Queue{}, err
+	}
+	return Queue{Source: src, ServiceRate: serviceRate, Buffer: buffer}, nil
+}
+
+// NewQueueNormalized builds a Queue from a utilization target and a
+// normalized buffer size in seconds (buffer capacity divided by service
+// rate), the parameterization used throughout the paper's experiments.
+func NewQueueNormalized(src fluid.Source, utilization, normalizedBuffer float64) (Queue, error) {
+	c, err := src.ServiceRateForUtilization(utilization)
+	if err != nil {
+		return Queue{}, err
+	}
+	return NewQueue(src, c, normalizedBuffer*c)
+}
+
+// Utilization returns ρ = λ̄/c.
+func (q Queue) Utilization() float64 { return q.Source.MeanRate() / q.ServiceRate }
+
+// NormalizedBuffer returns B/c in seconds.
+func (q Queue) NormalizedBuffer() float64 { return q.Buffer / q.ServiceRate }
+
+// Config tunes the solver. The zero value selects the defaults the paper's
+// experimental setup describes (§III): a 20 % relative gap target between
+// the bounds and a 1e-10 loss floor below which zero loss is reported.
+type Config struct {
+	// InitialBins is the starting resolution M. Default 128.
+	InitialBins int
+	// MaxBins caps the resolution-doubling ladder. Default 32768.
+	MaxBins int
+	// RelGap is the convergence target: the solver stops when
+	// (upper−lower) <= RelGap·(upper+lower)/2. Default 0.2 (the paper's 20%).
+	RelGap float64
+	// LossFloor: if the upper bound falls below it, the loss is reported as
+	// zero (paper: 1e-10, "below practical importance").
+	LossFloor float64
+	// MaxIterations caps the total number of Lindley iterations across all
+	// resolutions. Default 200000.
+	MaxIterations int
+	// StallTol declares the n-iteration stationary at the current M when
+	// both bounds move by less than StallTol relative per step. Default 1e-4.
+	StallTol float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialBins <= 0 {
+		c.InitialBins = 128
+	}
+	if c.MaxBins <= 0 {
+		c.MaxBins = 32768
+	}
+	if c.MaxBins < c.InitialBins {
+		c.MaxBins = c.InitialBins
+	}
+	if c.RelGap <= 0 {
+		c.RelGap = 0.2
+	}
+	if c.LossFloor <= 0 {
+		c.LossFloor = 1e-10
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 200000
+	}
+	if c.StallTol <= 0 {
+		c.StallTol = 1e-4
+	}
+	return c
+}
+
+// Result reports the solved loss rate and diagnostics.
+type Result struct {
+	// Loss is the reported loss rate: the midpoint of the final bounds, or
+	// zero when the upper bound fell below the loss floor.
+	Loss float64
+	// Lower and Upper are the final bound values l(Q_L^M(n)) and l(Q_H^M(n)).
+	Lower, Upper float64
+	// Bins is the final resolution M.
+	Bins int
+	// Iterations is the total number of Lindley steps performed.
+	Iterations int
+	// Converged reports whether the RelGap target (or the loss floor) was
+	// met before exhausting MaxBins/MaxIterations.
+	Converged bool
+	// GridStep is the final quantization d = B/M in work units.
+	GridStep float64
+	// LowerOccupancy and UpperOccupancy are the final occupancy pmfs of
+	// the two bound processes over the grid {0, d, …, B} (at arrival
+	// instants). They bracket the stationary occupancy distribution and
+	// yield delay quantiles via OccupancyQuantile.
+	LowerOccupancy, UpperOccupancy []float64
+}
+
+// OccupancyQuantile returns conservative (lower, upper) estimates of the
+// u-quantile of the stationary queue occupancy, in work units, read from
+// the two bound distributions. The delay quantile follows by dividing by
+// the service rate. u must lie in (0, 1].
+func (r Result) OccupancyQuantile(u float64) (lower, upper float64) {
+	quantile := func(pmf []float64) float64 {
+		var acc float64
+		for j, p := range pmf {
+			acc += p
+			if acc >= u {
+				return float64(j) * r.GridStep
+			}
+		}
+		return float64(len(pmf)-1) * r.GridStep
+	}
+	if len(r.LowerOccupancy) == 0 || len(r.UpperOccupancy) == 0 {
+		return 0, 0
+	}
+	// The lower process is stochastically smaller: its quantile is the
+	// lower estimate.
+	return quantile(r.LowerOccupancy), quantile(r.UpperOccupancy)
+}
+
+// RelativeGap returns (Upper−Lower)/midpoint, or 0 when both bounds are zero.
+func (r Result) RelativeGap() float64 {
+	mid := (r.Upper + r.Lower) / 2
+	if mid == 0 {
+		return 0
+	}
+	return (r.Upper - r.Lower) / mid
+}
+
+// Solve computes the stationary loss rate of the paper's queue.
+func Solve(q Queue, cfg Config) (Result, error) {
+	it, err := NewIterator(q, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return it.Run()
+}
+
+// SolveModel computes the stationary loss rate of a general Model.
+func SolveModel(m Model, cfg Config) (Result, error) {
+	it, err := NewModelIterator(m, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return it.Run()
+}
+
+// Iterator exposes the solver's state step by step, which the paper's
+// Figure 2 uses to show the occupancy bounds after n = 5, 10, 30
+// iterations. Most callers should use Solve.
+type Iterator struct {
+	model Model
+	cfg   Config
+
+	bins int       // current M
+	d    float64   // grid step B/M
+	wl   []float64 // lower-rounded increment pmf, index i ↦ w_L(i−M), length 2M+1
+	wh   []float64 // upper-rounded increment pmf
+	ql   []float64 // lower occupancy pmf over {0, d, …, B}, length M+1
+	qh   []float64 // upper occupancy pmf
+	loss []float64 // E[W_l | Q = j·d] for j = 0..M
+
+	arrivalWork float64 // λ̄·E[T], the denominator of Eq. (13)
+	iterations  int
+	lowerLoss   float64
+	upperLoss   float64
+}
+
+// NewIterator validates the queue and prepares the initial resolution.
+func NewIterator(q Queue, cfg Config) (*Iterator, error) {
+	if _, err := NewQueue(q.Source, q.ServiceRate, q.Buffer); err != nil {
+		return nil, err
+	}
+	return NewModelIterator(q.Model(), cfg)
+}
+
+// NewModelIterator validates a general model and prepares the initial
+// resolution.
+func NewModelIterator(m Model, cfg Config) (*Iterator, error) {
+	if _, err := NewModel(m.Marginal, m.Interarrival, m.ServiceRate, m.Buffer); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	it := &Iterator{
+		model:       m,
+		cfg:         cfg,
+		arrivalWork: m.Marginal.Mean() * m.Interarrival.Mean(),
+	}
+	it.setResolution(cfg.InitialBins)
+	it.ql = make([]float64, it.bins+1)
+	it.qh = make([]float64, it.bins+1)
+	it.ql[0] = 1       // Q_L(0) = 0: start empty
+	it.qh[it.bins] = 1 // Q_H(0) = B: start full
+	it.lowerLoss = it.lossOf(it.ql)
+	it.upperLoss = it.lossOf(it.qh)
+	return it, nil
+}
+
+// setResolution (re)builds the grid-dependent tables for M bins.
+func (it *Iterator) setResolution(m int) {
+	it.bins = m
+	it.d = it.model.Buffer / float64(m)
+	it.wl, it.wh = it.incrementPMFs(m)
+	it.loss = it.lossTable(m)
+}
+
+// Bins returns the current resolution M.
+func (it *Iterator) Bins() int { return it.bins }
+
+// GridStep returns d = B/M.
+func (it *Iterator) GridStep() float64 { return it.d }
+
+// Iterations returns the number of Lindley steps performed so far.
+func (it *Iterator) Iterations() int { return it.iterations }
+
+// LossBounds returns the current lower and upper loss-rate bounds.
+func (it *Iterator) LossBounds() (lower, upper float64) {
+	return it.lowerLoss, it.upperLoss
+}
+
+// LowerOccupancy returns a copy of the lower-bound occupancy pmf over the
+// grid {0, d, 2d, …, B}.
+func (it *Iterator) LowerOccupancy() []float64 {
+	return append([]float64(nil), it.ql...)
+}
+
+// UpperOccupancy returns a copy of the upper-bound occupancy pmf.
+func (it *Iterator) UpperOccupancy() []float64 {
+	return append([]float64(nil), it.qh...)
+}
+
+// Step performs one Lindley iteration on both bound processes and refreshes
+// the loss bounds.
+func (it *Iterator) Step() {
+	it.ql = lindleyStep(it.ql, it.wl, it.bins)
+	it.qh = lindleyStep(it.qh, it.wh, it.bins)
+	it.lowerLoss = it.lossOf(it.ql)
+	it.upperLoss = it.lossOf(it.qh)
+	it.iterations++
+}
+
+// Refine doubles the resolution, re-projecting the occupancy vectors onto
+// the finer grid (each coarse atom j·d sits exactly on fine grid point 2j,
+// so the projection is exact and the bound properties are preserved —
+// footnote 3 of the paper). It returns false if MaxBins would be exceeded.
+func (it *Iterator) Refine() bool {
+	if it.bins*2 > it.cfg.MaxBins {
+		return false
+	}
+	old := it.bins
+	it.setResolution(old * 2)
+	ql := make([]float64, it.bins+1)
+	qh := make([]float64, it.bins+1)
+	for j := 0; j <= old; j++ {
+		ql[2*j] = it.ql[j]
+		qh[2*j] = it.qh[j]
+	}
+	it.ql, it.qh = ql, qh
+	it.lowerLoss = it.lossOf(it.ql)
+	it.upperLoss = it.lossOf(it.qh)
+	return true
+}
+
+// converged reports whether the current bounds meet the stopping rule.
+func (it *Iterator) converged() (Result, bool) {
+	lo, hi := it.lowerLoss, it.upperLoss
+	if hi < it.cfg.LossFloor {
+		return it.result(0, lo, hi, true), true
+	}
+	mid := (hi + lo) / 2
+	if mid > 0 && hi-lo <= it.cfg.RelGap*mid {
+		return it.result(mid, lo, hi, true), true
+	}
+	return Result{}, false
+}
+
+func (it *Iterator) result(loss, lo, hi float64, ok bool) Result {
+	return Result{
+		Loss:           loss,
+		Lower:          lo,
+		Upper:          hi,
+		Bins:           it.bins,
+		Iterations:     it.iterations,
+		Converged:      ok,
+		GridStep:       it.d,
+		LowerOccupancy: it.LowerOccupancy(),
+		UpperOccupancy: it.UpperOccupancy(),
+	}
+}
+
+// Run drives the iterate/refine loop to completion.
+func (it *Iterator) Run() (Result, error) {
+	const hardStallTol = 1e-12 // below this the n-recursion is numerically fixed
+	// Bound values far below the loss floor are roundoff noise; snap them
+	// to zero so their jitter does not mask stationarity (otherwise a cell
+	// whose lower bound hovers around 1e-17 never triggers refinement).
+	snap := func(v float64) float64 {
+		if v < it.cfg.LossFloor/100 {
+			return 0
+		}
+		return v
+	}
+	prevLo, prevHi := snap(it.lowerLoss), snap(it.upperLoss)
+	stall, hardStall := 0, 0
+	for it.iterations < it.cfg.MaxIterations {
+		if r, ok := it.converged(); ok {
+			return r, nil
+		}
+		it.Step()
+		// Stationarity in n at this resolution: both bounds barely moving.
+		loMove := relChange(prevLo, snap(it.lowerLoss))
+		hiMove := relChange(prevHi, snap(it.upperLoss))
+		prevLo, prevHi = snap(it.lowerLoss), snap(it.upperLoss)
+		if loMove < it.cfg.StallTol && hiMove < it.cfg.StallTol {
+			stall++
+		} else {
+			stall = 0
+		}
+		if loMove < hardStallTol && hiMove < hardStallTol {
+			hardStall++
+		} else {
+			hardStall = 0
+		}
+		if stall >= 5 {
+			stall, hardStall = 0, 0
+			if !it.Refine() {
+				// Out of resolution. Keep iterating — the bounds may still
+				// tighten in n — but give up once they are numerically fixed.
+				for it.iterations < it.cfg.MaxIterations {
+					if r, ok := it.converged(); ok {
+						return r, nil
+					}
+					it.Step()
+					loMove = relChange(prevLo, snap(it.lowerLoss))
+					hiMove = relChange(prevHi, snap(it.upperLoss))
+					prevLo, prevHi = snap(it.lowerLoss), snap(it.upperLoss)
+					if loMove < hardStallTol && hiMove < hardStallTol {
+						hardStall++
+						if hardStall >= 10 {
+							break
+						}
+					} else {
+						hardStall = 0
+					}
+				}
+				break
+			}
+		}
+	}
+	if r, ok := it.converged(); ok {
+		return r, nil
+	}
+	mid := (it.lowerLoss + it.upperLoss) / 2
+	return it.result(mid, it.lowerLoss, it.upperLoss, false), nil
+}
+
+func relChange(prev, cur float64) float64 {
+	if prev == cur {
+		return 0
+	}
+	den := math.Max(math.Abs(prev), math.Abs(cur))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(cur-prev) / den
+}
+
+// lindleyStep applies Eqs. (19)–(20): convolve the occupancy pmf with the
+// increment pmf, then fold the mass escaping below 0 into bin 0 and the
+// mass escaping above B into bin M. The result is renormalized to unit mass
+// to stop roundoff drift over long runs (and to clamp the ~1-ulp negative
+// values FFT convolution can produce).
+func lindleyStep(q, w []float64, m int) []float64 {
+	// u[k] corresponds to occupancy position (k−m)·d, k = 0..3m.
+	u := fft.ConvolveReal(q, w)
+	out := make([]float64, m+1)
+	var under, over numerics.Accumulator
+	for k := 0; k <= m; k++ { // positions −m·d … 0
+		under.Add(math.Max(u[k], 0))
+	}
+	for k := 2 * m; k < len(u); k++ { // positions B … 2B
+		over.Add(math.Max(u[k], 0))
+	}
+	out[0] = under.Sum()
+	out[m] = over.Sum()
+	for j := 1; j < m; j++ {
+		out[j] = math.Max(u[m+j], 0)
+	}
+	total := numerics.KahanSum(out)
+	if total > 0 {
+		inv := 1 / total
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+	return out
+}
+
+// incrementPMFs builds the rounded-increment pmfs of Eqs. (21)–(22):
+//
+//	w_L(i) = Pr{W ∈ [i·d, (i+1)·d)}   (mass moved down: lower process)
+//	w_H(i) = Pr{W ∈ ((i−1)·d, i·d]}   (mass moved up: upper process)
+//
+// with the tails beyond ±B lumped into the end bins (any step ≤ −B empties
+// and ≥ +B fills the buffer regardless of the starting occupancy). The
+// returned slices have length 2M+1; index i+M holds w(i).
+func (it *Iterator) incrementPMFs(m int) (wl, wh []float64) {
+	d := it.model.Buffer / float64(m)
+	wl = make([]float64, 2*m+1)
+	wh = make([]float64, 2*m+1)
+	// Lower: w_L(i) = P{W < (i+1)d} − P{W < i·d}; end bins lump the tails.
+	// cdfStrict(x) = Pr{W < x}; cdf(x) = Pr{W <= x}.
+	cl := make([]float64, 2*m+2) // cdfStrict at i·d for i = −M..M+1
+	cc := make([]float64, 2*m+2) // cdf at i·d
+	for i := -m; i <= m+1; i++ {
+		x := float64(i) * d
+		cl[i+m] = it.workCDF(x, true)
+		cc[i+m] = it.workCDF(x, false)
+	}
+	for i := -m; i <= m; i++ {
+		switch {
+		case i == -m:
+			wl[0] = cl[1] // Pr{W < (−M+1)d}
+		case i == m:
+			wl[2*m] = 1 - cl[2*m] // Pr{W >= M·d}
+		default:
+			wl[i+m] = cl[i+m+1] - cl[i+m]
+		}
+	}
+	for i := -m; i <= m; i++ {
+		switch {
+		case i == -m:
+			wh[0] = cc[0] // Pr{W <= −M·d}
+		case i == m:
+			wh[2*m] = 1 - cc[2*m-1] // Pr{W > (M−1)d}
+		default:
+			wh[i+m] = cc[i+m] - cc[i+m-1]
+		}
+	}
+	clampNonneg(wl)
+	clampNonneg(wh)
+	return wl, wh
+}
+
+func clampNonneg(xs []float64) {
+	for i, v := range xs {
+		if v < 0 {
+			xs[i] = 0
+		}
+	}
+}
+
+// workCDF evaluates the mixture distribution of the per-epoch work
+// increment W = T·(λ−c) (Eq. 10): Pr{W < x} when strict, else Pr{W <= x}.
+// The interarrival law T has a continuous Pareto part on (0, Tc) and an
+// atom at Tc, so W inherits atoms at (λ_i−c)·Tc.
+func (it *Iterator) workCDF(x float64, strict bool) float64 {
+	p := it.model.Interarrival
+	c := it.model.ServiceRate
+	marg := it.model.Marginal
+	var acc numerics.Accumulator
+	for i := 0; i < marg.Len(); i++ {
+		lam := marg.Rate(i)
+		pi := marg.Prob(i)
+		drift := lam - c
+		switch {
+		case drift == 0:
+			// W_i ≡ 0.
+			if x > 0 || (!strict && x == 0) {
+				acc.Add(pi)
+			}
+		case drift > 0:
+			// W_i = T·drift > 0 a.s.
+			if x <= 0 {
+				continue
+			}
+			t := x / drift
+			// Pr{W_i < x} = Pr{T < t} = 1 − Pr{T >= t};
+			// Pr{W_i <= x} = Pr{T <= t} = 1 − Pr{T > t}.
+			if strict {
+				acc.Add(pi * (1 - p.CCDFAtLeast(t)))
+			} else {
+				acc.Add(pi * (1 - p.CCDF(t)))
+			}
+		default: // drift < 0: W_i < 0 a.s.
+			if x >= 0 {
+				acc.Add(pi)
+				continue
+			}
+			t := x / drift // positive; W_i <= x ⇔ T >= t
+			if strict {
+				// Pr{W_i < x} = Pr{T > t}.
+				acc.Add(pi * p.CCDF(t))
+			} else {
+				acc.Add(pi * p.CCDFAtLeast(t))
+			}
+		}
+	}
+	return numerics.Clamp(acc.Sum(), 0, 1)
+}
+
+// lossTable precomputes E[W_l | Q = j·d] for j = 0..M using the closed form
+// derived in the paper (§II), generalized to any interarrival law:
+//
+//	E[W_l|Q=x] = Σ_{i: λ_i>c} π_i·(λ_i−c)·∫_{(B−x)/(λ_i−c)}^∞ Pr{T > t} dt
+//
+// which for the truncated Pareto reduces to the paper's
+// θ/(α−1)·Σ π_i(λ_i−c)[((B−x)/(θ(λ_i−c))+1)^(1−α) − (Tc/θ+1)^(1−α)].
+func (it *Iterator) lossTable(m int) []float64 {
+	out := make([]float64, m+1)
+	d := it.model.Buffer / float64(m)
+	for j := 0; j <= m; j++ {
+		out[j] = it.ExpectedLossGivenOccupancy(float64(j) * d)
+	}
+	return out
+}
+
+// ExpectedLossGivenOccupancy returns E[W_l | Q = x], the expected work lost
+// in one interarrival interval starting from occupancy x.
+func (it *Iterator) ExpectedLossGivenOccupancy(x float64) float64 {
+	p := it.model.Interarrival
+	c := it.model.ServiceRate
+	marg := it.model.Marginal
+	b := it.model.Buffer
+	if x > b {
+		x = b
+	}
+	var acc numerics.Accumulator
+	for i := 0; i < marg.Len(); i++ {
+		drift := marg.Rate(i) - c
+		if drift <= 0 {
+			continue
+		}
+		// E[(W_i − (B−x))⁺] = drift·∫_{(B−x)/drift}^∞ Pr{T > t} dt.
+		acc.Add(marg.Prob(i) * drift * p.IntegralCCDF((b-x)/drift))
+	}
+	return acc.Sum()
+}
+
+// lossOf evaluates Eq. (23)/(24): the loss rate induced by the occupancy
+// pmf q, namely Σ_j q(j)·E[W_l|Q=j·d] / (λ̄·E[T]).
+func (it *Iterator) lossOf(q []float64) float64 {
+	var acc numerics.Accumulator
+	for j, mass := range q {
+		if mass == 0 {
+			continue
+		}
+		acc.Add(mass * it.loss[j])
+	}
+	return acc.Sum() / it.arrivalWork
+}

@@ -1,0 +1,252 @@
+// Package traces synthesizes and analyzes the binned rate traces used in
+// the paper's trace-driven experiments.
+//
+// The paper uses two proprietary recordings: a one-hour JPEG encoding of
+// the MTV NTSC channel (107,892 frames, mean 9.5222 Mb/s, H ≈ 0.83, mean
+// epoch ≈ 80 ms) and the August 1989 Bellcore "purple cable" Ethernet trace
+// (10 ms bins, H ≈ 0.9, mean epoch ≈ 15 ms). Neither is distributable, so
+// this package builds statistical stand-ins: exact fractional Gaussian
+// noise with the target Hurst parameter is transformed through a Gaussian
+// copula to the target marginal distribution. The fluid model consumes only
+// the trace's histogram marginal, mean epoch length, and Hurst parameter —
+// all of which the synthesis controls — and the shuffle experiments need a
+// sample path with the right correlation decay, which the FGN core
+// provides. See DESIGN.md §4 for the substitution rationale.
+package traces
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"lrd/internal/dist"
+	"lrd/internal/fgn"
+	"lrd/internal/numerics"
+)
+
+// Trace is a binned rate series: Rates[i] is the average arrival rate over
+// the i-th interval of width BinWidth seconds (the format of the paper's
+// traces).
+type Trace struct {
+	Name     string
+	Rates    []float64
+	BinWidth float64
+}
+
+// Duration returns the covered time span in seconds.
+func (t Trace) Duration() float64 { return float64(len(t.Rates)) * t.BinWidth }
+
+// MeanRate returns the time-average rate.
+func (t Trace) MeanRate() float64 {
+	m, err := numerics.Mean(t.Rates)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// Marginal returns the constant-bin-size histogram marginal of the trace
+// (the paper uses 50 bins for all experiments).
+func (t Trace) Marginal(bins int) (dist.Marginal, error) {
+	return dist.FromSamples(t.Rates, bins)
+}
+
+// MeanEpoch estimates the mean epoch duration the way the paper calibrates
+// θ: the average number of consecutive samples falling in the same
+// histogram bin, multiplied by the bin width. bins is the histogram
+// resolution (the paper's 50).
+func (t Trace) MeanEpoch(bins int) (float64, error) {
+	if len(t.Rates) == 0 {
+		return 0, errors.New("traces: empty trace")
+	}
+	if bins < 1 {
+		return 0, errors.New("traces: need at least one histogram bin")
+	}
+	lo, hi := t.Rates[0], t.Rates[0]
+	for _, r := range t.Rates {
+		lo = math.Min(lo, r)
+		hi = math.Max(hi, r)
+	}
+	if lo == hi {
+		return t.Duration(), nil // one epoch spanning the whole trace
+	}
+	w := (hi - lo) / float64(bins)
+	binOf := func(x float64) int {
+		i := int((x - lo) / w)
+		if i >= bins {
+			i = bins - 1
+		}
+		return i
+	}
+	runs := 1
+	prev := binOf(t.Rates[0])
+	for _, r := range t.Rates[1:] {
+		b := binOf(r)
+		if b != prev {
+			runs++
+			prev = b
+		}
+	}
+	return float64(len(t.Rates)) / float64(runs) * t.BinWidth, nil
+}
+
+// Config describes a synthetic trace: an FGN correlation core with Hurst
+// parameter H, pushed through the marginal transform Quantile (the inverse
+// CDF of the target marginal applied to the Gaussian copula).
+type Config struct {
+	Name     string
+	Hurst    float64
+	Bins     int     // number of samples
+	BinWidth float64 // seconds per sample
+	// Quantile maps u ∈ (0,1) to a rate; it is the inverse CDF of the
+	// target marginal distribution.
+	Quantile func(u float64) float64
+}
+
+// Synthesize generates a trace per cfg: exact Davies–Harte FGN of the given
+// Hurst parameter, mapped through Φ (the standard normal CDF) to uniforms
+// and then through cfg.Quantile to rates. The monotone transform preserves
+// the ordering structure of the Gaussian field, and for the smooth
+// marginals used here leaves the asymptotic correlation decay — hence the
+// Hurst parameter — intact (verified by the estimator suite in tests).
+func Synthesize(cfg Config, rng *rand.Rand) (Trace, error) {
+	if cfg.Quantile == nil {
+		return Trace{}, errors.New("traces: Config.Quantile is required")
+	}
+	if cfg.Bins <= 0 || !(cfg.BinWidth > 0) {
+		return Trace{}, errors.New("traces: Bins and BinWidth must be positive")
+	}
+	g, err := fgn.DaviesHarte(cfg.Hurst, cfg.Bins, rng)
+	if err != nil {
+		return Trace{}, err
+	}
+	rates := make([]float64, len(g))
+	for i, v := range g {
+		u := 0.5 * (1 + math.Erf(v/math.Sqrt2))
+		// Keep u strictly inside (0,1) so unbounded quantiles stay finite.
+		u = numerics.Clamp(u, 1e-12, 1-1e-12)
+		rates[i] = cfg.Quantile(u)
+	}
+	return Trace{Name: cfg.Name, Rates: rates, BinWidth: cfg.BinWidth}, nil
+}
+
+// LognormalQuantile returns the inverse CDF of a lognormal distribution
+// parameterized by its linear-scale mean and coefficient of variation
+// (sd/mean). Lognormal marginals are used for both synthetic traces: a
+// narrow one (CoV ≈ 0.3) mimics the MTV JPEG video marginal, a wide one
+// (CoV ≈ 1.3) the spiky near-zero-mass Bellcore Ethernet marginal.
+func LognormalQuantile(mean, cov float64) func(float64) float64 {
+	sigma2 := math.Log(1 + cov*cov)
+	sigma := math.Sqrt(sigma2)
+	mu := math.Log(mean) - sigma2/2
+	return func(u float64) float64 {
+		// Φ⁻¹(u) via erfinv.
+		z := math.Sqrt2 * math.Erfinv(2*u-1)
+		return math.Exp(mu + sigma*z)
+	}
+}
+
+// MTV returns the synthetic stand-in for the paper's MTV trace: 107,892
+// frames at NTSC rate (≈33.37 ms per frame), mean 9.5222 Mb/s, H = 0.83,
+// with a narrow right-skewed marginal (CoV 0.30).
+func MTV(rng *rand.Rand) (Trace, error) {
+	return Synthesize(Config{
+		Name:     "mtv",
+		Hurst:    0.83,
+		Bins:     107892,
+		BinWidth: 1.0 / 29.97, // NTSC frame time
+		Quantile: LognormalQuantile(9.5222, 0.30),
+	}, rng)
+}
+
+// Bellcore returns the synthetic stand-in for the Bellcore August 1989
+// Ethernet trace: 10 ms bins, H = 0.9, and a wide near-zero-mode marginal
+// (CoV 1.3) with mean 1.3 Mb/s.
+func Bellcore(rng *rand.Rand) (Trace, error) {
+	return Synthesize(Config{
+		Name:     "bellcore",
+		Hurst:    0.9,
+		Bins:     262144,
+		BinWidth: 0.01,
+		Quantile: LognormalQuantile(1.3, 1.3),
+	}, rng)
+}
+
+// WriteCSV writes the trace as "time,rate" rows with a header comment
+// carrying the metadata needed to read it back.
+func (t Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# name=%s binwidth=%g\n", t.Name, t.BinWidth); err != nil {
+		return err
+	}
+	for i, r := range t.Rates {
+		if _, err := fmt.Fprintf(bw, "%.6f,%.8g\n", float64(i)*t.BinWidth, r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reads a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var t Trace
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if first {
+				for _, field := range strings.Fields(strings.TrimPrefix(line, "#")) {
+					if name, ok := strings.CutPrefix(field, "name="); ok {
+						t.Name = name
+					}
+					if bwf, ok := strings.CutPrefix(field, "binwidth="); ok {
+						v, err := strconv.ParseFloat(bwf, 64)
+						if err != nil {
+							return Trace{}, fmt.Errorf("traces: bad binwidth %q", bwf)
+						}
+						t.BinWidth = v
+					}
+				}
+				first = false
+			}
+			continue
+		}
+		_, ratePart, ok := strings.Cut(line, ",")
+		if !ok {
+			return Trace{}, fmt.Errorf("traces: malformed row %q", line)
+		}
+		v, err := strconv.ParseFloat(ratePart, 64)
+		if err != nil {
+			return Trace{}, fmt.Errorf("traces: bad rate %q: %w", ratePart, err)
+		}
+		t.Rates = append(t.Rates, v)
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, err
+	}
+	if len(t.Rates) == 0 {
+		return Trace{}, errors.New("traces: no samples in input")
+	}
+	if t.BinWidth == 0 {
+		return Trace{}, errors.New("traces: missing binwidth header")
+	}
+	return t, nil
+}
+
+// MarginalQuantile adapts a fitted discrete marginal into the quantile
+// transform Synthesize needs, enabling trace re-synthesis from measured
+// histograms: the generated trace has (up to binning) the same marginal as
+// the original and the Hurst parameter of the FGN core.
+func MarginalQuantile(m dist.Marginal) func(float64) float64 {
+	return m.Quantile
+}

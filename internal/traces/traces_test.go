@@ -1,0 +1,283 @@
+package traces
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lrd/internal/lrdest"
+	"lrd/internal/numerics"
+)
+
+func TestLognormalQuantileMoments(t *testing.T) {
+	q := LognormalQuantile(9.5222, 0.30)
+	// Integrate the quantile function over u to recover the mean.
+	mean := numerics.Trapezoid(q, 1e-9, 1-1e-9, 2_000_000)
+	if !numerics.AlmostEqual(mean, 9.5222, 0.01) {
+		t.Fatalf("mean from quantile = %v, want 9.5222", mean)
+	}
+	// Median of a lognormal is exp(mu) = mean/√(1+cov²).
+	wantMedian := 9.5222 / math.Sqrt(1+0.09)
+	if !numerics.AlmostEqual(q(0.5), wantMedian, 1e-6) {
+		t.Fatalf("median = %v, want %v", q(0.5), wantMedian)
+	}
+	// Monotone increasing.
+	prev := 0.0
+	for _, u := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		v := q(u)
+		if v <= prev {
+			t.Fatalf("quantile not increasing at %v", u)
+		}
+		prev = v
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Synthesize(Config{Bins: 10, BinWidth: 1}, rng); err == nil {
+		t.Fatal("want error with nil quantile")
+	}
+	q := LognormalQuantile(1, 0.5)
+	if _, err := Synthesize(Config{Quantile: q, Bins: 0, BinWidth: 1, Hurst: 0.8}, rng); err == nil {
+		t.Fatal("want error with zero bins")
+	}
+	if _, err := Synthesize(Config{Quantile: q, Bins: 10, BinWidth: 0, Hurst: 0.8}, rng); err == nil {
+		t.Fatal("want error with zero bin width")
+	}
+	if _, err := Synthesize(Config{Quantile: q, Bins: 10, BinWidth: 1, Hurst: 1.5}, rng); err == nil {
+		t.Fatal("want error with bad Hurst")
+	}
+}
+
+func TestSynthesizeMatchesTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := Config{
+		Name:     "test",
+		Hurst:    0.85,
+		Bins:     1 << 15,
+		BinWidth: 0.01,
+		Quantile: LognormalQuantile(5, 0.4),
+	}
+	tr, err := Synthesize(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rates) != cfg.Bins || tr.BinWidth != cfg.BinWidth || tr.Name != "test" {
+		t.Fatalf("metadata wrong: %d %v %q", len(tr.Rates), tr.BinWidth, tr.Name)
+	}
+	// Mean matches the marginal's mean.
+	if !numerics.AlmostEqual(tr.MeanRate(), 5, 0.15) {
+		t.Fatalf("mean rate %v, want ≈ 5", tr.MeanRate())
+	}
+	// All rates positive (lognormal marginal).
+	for _, r := range tr.Rates {
+		if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+			t.Fatalf("bad rate %v", r)
+		}
+	}
+	// The copula transform preserves the Hurst parameter.
+	h, err := lrdest.AbryVeitch(tr.Rates, lrdest.AbryVeitchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.85) > 0.08 {
+		t.Fatalf("synthesized trace has H = %v, want ≈ 0.85", h)
+	}
+}
+
+func TestMTVStandInProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr, err := MTV(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rates) != 107892 {
+		t.Fatalf("MTV bins = %d, want 107892 (the paper's frame count)", len(tr.Rates))
+	}
+	if !numerics.AlmostEqual(tr.MeanRate(), 9.5222, 0.05) {
+		t.Fatalf("MTV mean = %v, want ≈ 9.5222 Mb/s", tr.MeanRate())
+	}
+	// One hour of NTSC video.
+	if math.Abs(tr.Duration()-3600) > 100 {
+		t.Fatalf("MTV duration = %v s, want ≈ 3600", tr.Duration())
+	}
+	h, err := lrdest.LocalWhittle(tr.Rates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.83) > 0.08 {
+		t.Fatalf("MTV stand-in H = %v, want ≈ 0.83", h)
+	}
+}
+
+func TestBellcoreStandInProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr, err := Bellcore(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.BinWidth != 0.01 {
+		t.Fatalf("Bellcore bin width = %v, want 10 ms", tr.BinWidth)
+	}
+	h, err := lrdest.LocalWhittle(tr.Rates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-0.9) > 0.08 {
+		t.Fatalf("Bellcore stand-in H = %v, want ≈ 0.9", h)
+	}
+	// Strongly right-skewed marginal: mean well above the median.
+	med := append([]float64(nil), tr.Rates...)
+	mean := tr.MeanRate()
+	count := 0
+	for _, r := range med {
+		if r < mean {
+			count++
+		}
+	}
+	if frac := float64(count) / float64(len(med)); frac < 0.6 {
+		t.Fatalf("Bellcore marginal not right-skewed: only %v below the mean", frac)
+	}
+}
+
+func TestMarginalAndMeanEpoch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr, err := Synthesize(Config{
+		Name: "m", Hurst: 0.8, Bins: 1 << 14, BinWidth: 0.01,
+		Quantile: LognormalQuantile(2, 0.5),
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tr.Marginal(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() == 0 || m.Len() > 50 {
+		t.Fatalf("marginal atoms = %d", m.Len())
+	}
+	if !numerics.AlmostEqual(m.Mean(), tr.MeanRate(), 0.01) {
+		t.Fatalf("marginal mean %v vs trace mean %v", m.Mean(), tr.MeanRate())
+	}
+	ep, err := tr.MeanEpoch(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epochs are at least one bin long and far shorter than the trace.
+	if ep < tr.BinWidth || ep > tr.Duration()/10 {
+		t.Fatalf("mean epoch = %v s, implausible", ep)
+	}
+}
+
+func TestMeanEpochEdgeCases(t *testing.T) {
+	if _, err := (Trace{}).MeanEpoch(50); err == nil {
+		t.Fatal("want error on empty trace")
+	}
+	tr := Trace{Rates: []float64{1, 1, 1}, BinWidth: 0.5}
+	if _, err := tr.MeanEpoch(0); err == nil {
+		t.Fatal("want error on zero bins")
+	}
+	ep, err := tr.MeanEpoch(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != 1.5 {
+		t.Fatalf("constant trace epoch = %v, want full duration 1.5", ep)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := Trace{Name: "rt", BinWidth: 0.02, Rates: []float64{1.5, 2.25, 0.75, 9.5}}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "rt" || got.BinWidth != 0.02 {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if len(got.Rates) != len(tr.Rates) {
+		t.Fatalf("rates = %d, want %d", len(got.Rates), len(tr.Rates))
+	}
+	for i := range tr.Rates {
+		if !numerics.AlmostEqual(got.Rates[i], tr.Rates[i], 1e-6) {
+			t.Fatalf("rate %d: %v vs %v", i, got.Rates[i], tr.Rates[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if _, err := ReadCSV(strings.NewReader("# name=x binwidth=0.01\nnocomma\n")); err == nil {
+		t.Fatal("want error on malformed row")
+	}
+	if _, err := ReadCSV(strings.NewReader("# name=x binwidth=bad\n0,1\n")); err == nil {
+		t.Fatal("want error on bad binwidth")
+	}
+	if _, err := ReadCSV(strings.NewReader("0,notanumber\n")); err == nil {
+		t.Fatal("want error on bad rate")
+	}
+	if _, err := ReadCSV(strings.NewReader("0,1\n")); err == nil {
+		t.Fatal("want error on missing binwidth header")
+	}
+}
+
+func TestSynthesizeReproducible(t *testing.T) {
+	cfg := Config{Name: "r", Hurst: 0.8, Bins: 512, BinWidth: 0.01, Quantile: LognormalQuantile(1, 0.5)}
+	a, err := Synthesize(cfg, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(cfg, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rates {
+		if a.Rates[i] != b.Rates[i] {
+			t.Fatal("same seed must reproduce the same trace")
+		}
+	}
+}
+
+func TestMarginalQuantileResynthesis(t *testing.T) {
+	// Fit a marginal to one trace, re-synthesize with it, and check the
+	// new trace's marginal matches (mean and spread).
+	rng := rand.New(rand.NewSource(77))
+	orig, err := Synthesize(Config{
+		Name: "o", Hurst: 0.8, Bins: 1 << 13, BinWidth: 0.01,
+		Quantile: LognormalQuantile(4, 0.4),
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := orig.Marginal(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Synthesize(Config{
+		Name: "re", Hurst: 0.8, Bins: 1 << 13, BinWidth: 0.01,
+		Quantile: MarginalQuantile(m),
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := re.Marginal(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(m2.Mean(), m.Mean(), 0.1) {
+		t.Fatalf("resynthesized mean %v vs %v", m2.Mean(), m.Mean())
+	}
+	sd1 := math.Sqrt(m.Variance())
+	sd2 := math.Sqrt(m2.Variance())
+	if math.Abs(sd2-sd1)/sd1 > 0.25 {
+		t.Fatalf("resynthesized sd %v vs %v", sd2, sd1)
+	}
+}

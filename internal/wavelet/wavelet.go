@@ -1,0 +1,169 @@
+// Package wavelet implements the discrete wavelet transform (DWT) with
+// periodic boundary handling for the Haar and Daubechies-4 wavelets. It is
+// the substrate for the Abry–Veitch wavelet estimator of the Hurst
+// parameter (package lrdest), the estimator the paper cites for its
+// H ≈ 0.83 (MTV) and H ≈ 0.9 (Bellcore) measurements.
+package wavelet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wavelet is an orthonormal wavelet defined by its scaling (low-pass)
+// filter h; the wavelet (high-pass) filter is the quadrature mirror
+// g[i] = (−1)^i · h[L−1−i].
+type Wavelet struct {
+	name string
+	h    []float64
+}
+
+// Name returns the wavelet's name.
+func (w Wavelet) Name() string { return w.name }
+
+// Haar returns the Haar wavelet (Daubechies-1).
+func Haar() Wavelet {
+	s := 1 / math.Sqrt2
+	return Wavelet{name: "haar", h: []float64{s, s}}
+}
+
+// Daubechies4 returns the Daubechies wavelet with two vanishing moments
+// (four filter taps). Its extra vanishing moment makes the derived Hurst
+// estimator robust to linear trends in the data.
+func Daubechies4() Wavelet {
+	r3 := math.Sqrt(3)
+	d := 4 * math.Sqrt2
+	return Wavelet{name: "db4", h: []float64{
+		(1 + r3) / d, (3 + r3) / d, (3 - r3) / d, (1 - r3) / d,
+	}}
+}
+
+// g returns the high-pass filter tap i.
+func (w Wavelet) g(i int) float64 {
+	v := w.h[len(w.h)-1-i]
+	if i%2 == 1 {
+		return -v
+	}
+	return v
+}
+
+// Step performs one level of the periodic DWT on x (whose length must be
+// even and at least the filter length), returning the approximation and
+// detail coefficient vectors, each of length len(x)/2.
+func (w Wavelet) Step(x []float64) (approx, detail []float64, err error) {
+	n := len(x)
+	if n < len(w.h) || n%2 != 0 {
+		return nil, nil, fmt.Errorf("wavelet: step needs even length >= %d, got %d", len(w.h), n)
+	}
+	half := n / 2
+	approx = make([]float64, half)
+	detail = make([]float64, half)
+	for k := 0; k < half; k++ {
+		var a, d float64
+		for i := range w.h {
+			xi := x[(2*k+i)%n]
+			a += w.h[i] * xi
+			d += w.g(i) * xi
+		}
+		approx[k] = a
+		detail[k] = d
+	}
+	return approx, detail, nil
+}
+
+// InverseStep reconstructs the signal from one level of approximation and
+// detail coefficients (periodic boundary).
+func (w Wavelet) InverseStep(approx, detail []float64) ([]float64, error) {
+	if len(approx) != len(detail) {
+		return nil, errors.New("wavelet: approx/detail length mismatch")
+	}
+	n := 2 * len(approx)
+	if n == 0 {
+		return nil, errors.New("wavelet: empty coefficients")
+	}
+	out := make([]float64, n)
+	for k := 0; k < len(approx); k++ {
+		for i := range w.h {
+			out[(2*k+i)%n] += w.h[i]*approx[k] + w.g(i)*detail[k]
+		}
+	}
+	return out, nil
+}
+
+// Decomposition is a multi-level DWT: Details[j] holds the detail
+// coefficients of octave j+1 (scale 2^(j+1)), Approx the final coarse
+// approximation.
+type Decomposition struct {
+	Details [][]float64
+	Approx  []float64
+}
+
+// Levels returns the number of decomposition levels.
+func (d Decomposition) Levels() int { return len(d.Details) }
+
+// Transform computes a levels-deep DWT of x. The input length must be
+// divisible by 2^levels and the coarsest level must still be at least the
+// filter length. Pass levels <= 0 to decompose as deeply as possible.
+func Transform(x []float64, w Wavelet, levels int) (Decomposition, error) {
+	if len(x) == 0 {
+		return Decomposition{}, errors.New("wavelet: empty input")
+	}
+	if levels <= 0 {
+		levels = MaxLevels(len(x), w)
+		if levels == 0 {
+			return Decomposition{}, fmt.Errorf("wavelet: input of length %d too short for %s", len(x), w.name)
+		}
+	}
+	cur := append([]float64(nil), x...)
+	var details [][]float64
+	for j := 0; j < levels; j++ {
+		a, d, err := w.Step(cur)
+		if err != nil {
+			return Decomposition{}, fmt.Errorf("wavelet: level %d: %w", j+1, err)
+		}
+		details = append(details, d)
+		cur = a
+	}
+	return Decomposition{Details: details, Approx: cur}, nil
+}
+
+// Inverse reconstructs the original signal from a Decomposition.
+func Inverse(dec Decomposition, w Wavelet) ([]float64, error) {
+	cur := dec.Approx
+	for j := len(dec.Details) - 1; j >= 0; j-- {
+		var err error
+		cur, err = w.InverseStep(cur, dec.Details[j])
+		if err != nil {
+			return nil, fmt.Errorf("wavelet: inverse level %d: %w", j+1, err)
+		}
+	}
+	return cur, nil
+}
+
+// MaxLevels returns the deepest decomposition possible for an input of
+// length n: each level halves the length, which must stay even and at
+// least the filter length.
+func MaxLevels(n int, w Wavelet) int {
+	levels := 0
+	for n >= len(w.h) && n%2 == 0 {
+		n /= 2
+		levels++
+	}
+	return levels
+}
+
+// DetailEnergies returns μ_j = (1/n_j)·Σ_k d_{j,k}², the mean squared
+// detail coefficient per octave — the statistic the Abry–Veitch estimator
+// regresses against the octave index.
+func DetailEnergies(dec Decomposition) []float64 {
+	out := make([]float64, len(dec.Details))
+	for j, d := range dec.Details {
+		var acc float64
+		for _, v := range d {
+			acc += v * v
+		}
+		out[j] = acc / float64(len(d))
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lrd/internal/numerics"
+)
+
+func randSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func TestFiltersOrthonormal(t *testing.T) {
+	for _, w := range []Wavelet{Haar(), Daubechies4()} {
+		var hh, hg float64
+		for i := range w.h {
+			hh += w.h[i] * w.h[i]
+			hg += w.h[i] * w.g(i)
+		}
+		if !numerics.AlmostEqual(hh, 1, 1e-12) {
+			t.Errorf("%s: ||h||² = %v, want 1", w.Name(), hh)
+		}
+		if math.Abs(hg) > 1e-12 {
+			t.Errorf("%s: <h,g> = %v, want 0", w.Name(), hg)
+		}
+		// Low-pass filter sums to √2; high-pass sums to 0.
+		var hs, gs float64
+		for i := range w.h {
+			hs += w.h[i]
+			gs += w.g(i)
+		}
+		if !numerics.AlmostEqual(hs, math.Sqrt2, 1e-12) {
+			t.Errorf("%s: Σh = %v, want √2", w.Name(), hs)
+		}
+		if math.Abs(gs) > 1e-12 {
+			t.Errorf("%s: Σg = %v, want 0", w.Name(), gs)
+		}
+	}
+}
+
+func TestDaubechies4VanishingMoment(t *testing.T) {
+	// D4 has two vanishing moments: Σ g(i)·i = 0 as well as Σ g(i) = 0,
+	// so linear signals produce (periodic-boundary-interior) zero details.
+	w := Daubechies4()
+	var m1 float64
+	for i := range w.h {
+		m1 += w.g(i) * float64(i)
+	}
+	if math.Abs(m1) > 1e-12 {
+		t.Fatalf("first moment of g = %v, want 0", m1)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	w := Daubechies4()
+	if _, _, err := w.Step([]float64{1, 2}); err == nil {
+		t.Fatal("want error: shorter than filter")
+	}
+	if _, _, err := w.Step([]float64{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("want error: odd length")
+	}
+}
+
+func TestPerfectReconstructionOneLevel(t *testing.T) {
+	for _, w := range []Wavelet{Haar(), Daubechies4()} {
+		x := randSeries(64, 10)
+		a, d, err := w.Step(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != 32 || len(d) != 32 {
+			t.Fatalf("%s: wrong output lengths", w.Name())
+		}
+		y, err := w.InverseStep(a, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-10 {
+				t.Fatalf("%s: reconstruction error at %d: %v vs %v", w.Name(), i, x[i], y[i])
+			}
+		}
+	}
+}
+
+func TestPerfectReconstructionMultiLevel(t *testing.T) {
+	for _, w := range []Wavelet{Haar(), Daubechies4()} {
+		x := randSeries(256, 11)
+		dec, err := Transform(x, w, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Levels() != 5 {
+			t.Fatalf("levels = %d", dec.Levels())
+		}
+		y, err := Inverse(dec, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-9 {
+				t.Fatalf("%s: multilevel reconstruction error at %d", w.Name(), i)
+			}
+		}
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Orthonormal DWT preserves the signal's energy (Parseval).
+	for _, w := range []Wavelet{Haar(), Daubechies4()} {
+		x := randSeries(512, 12)
+		var ex float64
+		for _, v := range x {
+			ex += v * v
+		}
+		dec, err := Transform(x, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ec float64
+		for _, d := range dec.Details {
+			for _, v := range d {
+				ec += v * v
+			}
+		}
+		for _, v := range dec.Approx {
+			ec += v * v
+		}
+		if !numerics.AlmostEqual(ex, ec, 1e-9) {
+			t.Fatalf("%s: energy %v -> %v", w.Name(), ex, ec)
+		}
+	}
+}
+
+func TestHaarKnownValues(t *testing.T) {
+	// Haar on [1,3]: approx = (1+3)/√2 = 2√2, detail = (1−3)/√2 = −√2.
+	a, d, err := Haar().Step([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numerics.AlmostEqual(a[0], 2*math.Sqrt2, 1e-12) {
+		t.Fatalf("approx = %v", a[0])
+	}
+	if !numerics.AlmostEqual(d[0], -math.Sqrt2, 1e-12) {
+		t.Fatalf("detail = %v", d[0])
+	}
+}
+
+func TestConstantSignalHasZeroDetails(t *testing.T) {
+	for _, w := range []Wavelet{Haar(), Daubechies4()} {
+		x := make([]float64, 64)
+		for i := range x {
+			x[i] = 5
+		}
+		dec, err := Transform(x, w, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, d := range dec.Details {
+			for _, v := range d {
+				if math.Abs(v) > 1e-10 {
+					t.Fatalf("%s: nonzero detail %v at level %d for constant input", w.Name(), v, j+1)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxLevels(t *testing.T) {
+	if got := MaxLevels(256, Haar()); got != 8 {
+		t.Fatalf("MaxLevels(256, haar) = %d, want 8", got)
+	}
+	// D4 needs at least 4 samples to step: 256 can be stepped down to an
+	// approximation of length 2 (the last step consumes a length-4 signal).
+	if got := MaxLevels(256, Daubechies4()); got != 7 {
+		t.Fatalf("MaxLevels(256, db4) = %d, want 7", got)
+	}
+	if got := MaxLevels(3, Daubechies4()); got != 0 {
+		t.Fatalf("MaxLevels(3, db4) = %d, want 0", got)
+	}
+}
+
+func TestTransformValidation(t *testing.T) {
+	if _, err := Transform(nil, Haar(), 1); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if _, err := Transform([]float64{1, 2, 3}, Daubechies4(), 0); err == nil {
+		t.Fatal("want error when too short for any level")
+	}
+	if _, err := Transform(randSeries(8, 1), Haar(), 5); err == nil {
+		t.Fatal("want error when requesting too many levels")
+	}
+}
+
+func TestInverseStepValidation(t *testing.T) {
+	w := Haar()
+	if _, err := w.InverseStep([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error on length mismatch")
+	}
+	if _, err := w.InverseStep(nil, nil); err == nil {
+		t.Fatal("want error on empty input")
+	}
+}
+
+func TestDetailEnergies(t *testing.T) {
+	x := randSeries(128, 13)
+	dec, err := Transform(x, Haar(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := DetailEnergies(dec)
+	if len(es) != 4 {
+		t.Fatalf("energies = %d, want 4", len(es))
+	}
+	for j, e := range es {
+		if e <= 0 {
+			t.Fatalf("level %d energy %v, want > 0", j+1, e)
+		}
+	}
+}
+
+// Property: perfect reconstruction holds for random inputs of random
+// power-of-two lengths.
+func TestReconstructionProperty(t *testing.T) {
+	f := func(seed int64, rawLen uint8, useD4 bool) bool {
+		n := 8 << (rawLen % 5) // 8..128
+		w := Haar()
+		if useD4 {
+			w = Daubechies4()
+		}
+		x := randSeries(n, seed)
+		dec, err := Transform(x, w, 0)
+		if err != nil {
+			return false
+		}
+		y, err := Inverse(dec, w)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-y[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package lrd is a Go implementation of the traffic model, queueing solver,
+// and experimental methodology of
+//
+//	M. Grossglauser and J.-C. Bolot,
+//	"On the Relevance of Long-Range Dependence in Network Traffic",
+//	ACM SIGCOMM 1996 (extended version in IEEE/ACM ToN 7(5), 1999).
+//
+// The library centres on the paper's cutoff-correlated fluid traffic model
+// — a renewal-modulated fluid whose rate is drawn i.i.d. at the epochs of a
+// truncated-Pareto renewal process — and its very efficient bounded
+// solver for the loss rate of a finite-buffer queue. Three aspects of the
+// traffic are controlled independently: the marginal rate distribution, the
+// Hurst parameter H = (3−α)/2 of the (asymptotically self-similar)
+// correlation structure, and the cutoff lag Tc beyond which correlation
+// vanishes.
+//
+// # Quick start
+//
+//	marginal := lrd.MustMarginal(
+//		[]float64{2, 8, 16},        // Mb/s rate levels
+//		[]float64{0.3, 0.5, 0.2},   // probabilities
+//	)
+//	src, err := lrd.NewSource(marginal, lrd.TruncatedPareto{
+//		Theta: 0.016, Alpha: 1.2, Cutoff: 10, // H = 0.9, 10 s cutoff
+//	})
+//	// 80 % utilization, half a second of buffering.
+//	q, err := lrd.NewQueueNormalized(src, 0.8, 0.5)
+//	res, err := lrd.Solve(q, lrd.SolverConfig{})
+//	fmt.Println(res.Loss, res.Lower, res.Upper)
+//
+// # Package map
+//
+//   - internal/fluid    — the traffic model (rates, covariance, sampling)
+//   - internal/solver   — the bounded-discretization loss solver (§II)
+//   - internal/dist     — truncated Pareto, hyperexponential, marginals
+//   - internal/sim      — exact trace-driven and Monte-Carlo simulation
+//   - internal/shuffle  — external/internal block shuffling (Fig. 6)
+//   - internal/fgn      — exact fractional Gaussian noise
+//   - internal/lrdest   — Hurst estimators (R/S, variance-time, Whittle, wavelet)
+//   - internal/traces   — synthetic MTV/Bellcore stand-in traces
+//   - internal/horizon  — correlation-horizon estimation (Eq. 26, Fig. 14)
+//   - internal/markov   — Markovian (hyperexponential) equivalent models (§IV)
+//   - internal/core     — experiment orchestration for every figure
+//   - internal/errctl   — the ARQ-vs-FEC time-scale example (§V)
+//
+// This package re-exports the types and functions a typical user needs;
+// advanced users can reach the internal packages through the re-exported
+// constructors here. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record.
+package lrd
+
+import (
+	"lrd/internal/ams"
+	"lrd/internal/core"
+	"lrd/internal/dist"
+	"lrd/internal/errctl"
+	"lrd/internal/fluid"
+	"lrd/internal/horizon"
+	"lrd/internal/lrdest"
+	"lrd/internal/markov"
+	"lrd/internal/mmfq"
+	"lrd/internal/onoff"
+	"lrd/internal/shuffle"
+	"lrd/internal/sim"
+	"lrd/internal/solver"
+	"lrd/internal/traces"
+)
+
+// Core model types.
+type (
+	// Marginal is a finite discrete fluid-rate distribution (Λ, Π).
+	Marginal = dist.Marginal
+	// TruncatedPareto is the paper's interarrival law (Eq. 6) with scale
+	// Theta, tail index Alpha, and cutoff lag Cutoff.
+	TruncatedPareto = dist.TruncatedPareto
+	// Hyperexponential is a Markovian (phase-type) interarrival law.
+	Hyperexponential = dist.Hyperexponential
+	// Interarrival is the solver's epoch-length contract.
+	Interarrival = dist.Interarrival
+	// Source is the cutoff-correlated fluid traffic source.
+	Source = fluid.Source
+	// Epoch is one constant-rate segment of a sample path.
+	Epoch = fluid.Epoch
+	// Queue is the finite-buffer fluid queue fed by a Source.
+	Queue = solver.Queue
+	// Model generalizes Queue to any Interarrival law.
+	Model = solver.Model
+	// SolverConfig tunes the numerical procedure; the zero value uses the
+	// paper's settings (20 % bound gap, 1e-10 loss floor).
+	SolverConfig = solver.Config
+	// Result is a solved loss rate with its bracketing bounds.
+	Result = solver.Result
+	// Iterator exposes the solver step by step (Fig. 2).
+	Iterator = solver.Iterator
+	// Trace is a binned rate series.
+	Trace = traces.Trace
+	// TraceConfig parameterizes synthetic trace generation.
+	TraceConfig = traces.Config
+	// TraceModel bundles a trace with fitted model ingredients.
+	TraceModel = core.TraceModel
+	// HurstEstimates holds the four estimators' outputs for one series.
+	HurstEstimates = lrdest.Estimates
+)
+
+// Marginal constructors.
+var (
+	// NewMarginal builds a validated marginal from rate/probability slices.
+	NewMarginal = dist.NewMarginal
+	// MustMarginal is NewMarginal that panics on error.
+	MustMarginal = dist.MustMarginal
+	// MarginalFromSamples histograms a sample set (the paper uses 50 bins).
+	MarginalFromSamples = dist.FromSamples
+)
+
+// Hurst/α conversions and calibration.
+var (
+	// HurstFromAlpha maps the Pareto tail index to H = (3−α)/2.
+	HurstFromAlpha = dist.HurstFromAlpha
+	// AlphaFromHurst is the inverse map α = 3−2H.
+	AlphaFromHurst = dist.AlphaFromHurst
+	// CalibrateTheta fits θ from a mean epoch duration (Eq. 25 at Tc = ∞).
+	CalibrateTheta = dist.CalibrateTheta
+)
+
+// Source and queue constructors.
+var (
+	// NewSource builds a validated Source.
+	NewSource = fluid.New
+	// SourceFromTraceStats fits a Source from (marginal, H, mean epoch,
+	// cutoff) the way the paper fits its traces.
+	SourceFromTraceStats = fluid.FromTraceStats
+	// NewQueue builds a queue in absolute units (service rate, buffer).
+	NewQueue = solver.NewQueue
+	// NewQueueNormalized builds a queue from utilization and a normalized
+	// buffer size in seconds.
+	NewQueueNormalized = solver.NewQueueNormalized
+	// NewModel builds a general model over any Interarrival law.
+	NewModel = solver.NewModel
+	// NewHyperexponential builds a Markovian interarrival mixture.
+	NewHyperexponential = dist.NewHyperexponential
+)
+
+// Solving.
+var (
+	// Solve computes the stationary loss rate of a Queue.
+	Solve = solver.Solve
+	// SolveModel computes the stationary loss rate of a general Model.
+	SolveModel = solver.SolveModel
+	// NewIterator exposes the bound iteration step by step.
+	NewIterator = solver.NewIterator
+)
+
+// Simulation and shuffling.
+var (
+	// SimulateTrace drives the exact fluid queue with a binned rate trace.
+	SimulateTrace = sim.RunBinnedTrace
+	// MonteCarloLoss estimates loss by simulating the renewal model.
+	MonteCarloLoss = sim.MonteCarloLoss
+	// ShuffleExternal permutes blocks of a series, destroying correlation
+	// beyond the block length (Fig. 6).
+	ShuffleExternal = shuffle.External
+	// ShuffleInternal permutes samples within blocks.
+	ShuffleInternal = shuffle.Internal
+)
+
+// Trace synthesis and Hurst estimation.
+var (
+	// SynthesizeTrace builds a trace from an FGN core and a marginal
+	// quantile transform.
+	SynthesizeTrace = traces.Synthesize
+	// LognormalQuantile builds an inverse-CDF marginal transform from a
+	// mean and coefficient of variation.
+	LognormalQuantile = traces.LognormalQuantile
+	// MTVTrace and BellcoreTrace are the built-in stand-ins for the
+	// paper's proprietary traces.
+	MTVTrace = traces.MTV
+	// BellcoreTrace is the Bellcore Ethernet stand-in.
+	BellcoreTrace = traces.Bellcore
+	// EstimateHurst runs all four estimators on a series.
+	EstimateHurst = lrdest.EstimateAll
+)
+
+// Correlation-horizon analysis.
+var (
+	// CorrelationHorizon evaluates the paper's closed form (Eq. 26).
+	CorrelationHorizon = horizon.Analytic
+	// HorizonFromCurve detects the horizon on a loss-vs-cutoff curve.
+	HorizonFromCurve = horizon.FromCurve
+)
+
+// Markovian equivalent modeling (§IV).
+var (
+	// FitMarkovCorrelation fits a sum of exponentials to a correlation
+	// function.
+	FitMarkovCorrelation = markov.FitCorrelation
+	// MarkovEquivalentModel swaps a model's epoch law for a Markovian one
+	// matching its correlation up to a horizon.
+	MarkovEquivalentModel = markov.EquivalentModel
+)
+
+// Experiment orchestration (the figures of the paper's §III).
+var (
+	// BuildTraceModel fits model ingredients to a trace.
+	BuildTraceModel = core.BuildTraceModel
+	// MTVModel and BellcoreModel synthesize and fit the standard corpus.
+	MTVModel = core.MTVModel
+	// BellcoreModel is the Bellcore counterpart of MTVModel.
+	BellcoreModel = core.BellcoreModel
+	// LossVsBufferAndCutoff reproduces Figs. 4–5.
+	LossVsBufferAndCutoff = core.LossVsBufferAndCutoff
+	// LossVsCutoffFixedTheta reproduces Fig. 9.
+	LossVsCutoffFixedTheta = core.LossVsCutoffFixedTheta
+	// LossVsHurstAndScale reproduces Fig. 10.
+	LossVsHurstAndScale = core.LossVsHurstAndScale
+	// LossVsHurstAndStreams reproduces Fig. 11.
+	LossVsHurstAndStreams = core.LossVsHurstAndStreams
+	// LossVsBufferAndScale reproduces Figs. 12–13.
+	LossVsBufferAndScale = core.LossVsBufferAndScale
+	// ShuffleLossSurface reproduces Figs. 7–8.
+	ShuffleLossSurface = core.ShuffleLossSurface
+	// HorizonFromSurface reproduces the Fig. 14 analysis.
+	HorizonFromSurface = core.HorizonFromSurface
+	// BoundConvergence reproduces Fig. 2.
+	BoundConvergence = core.BoundConvergence
+)
+
+// Classical baselines and source constructions.
+var (
+	// OnOffAggregate superposes heavy-tailed on/off sources (Willinger et
+	// al.), the paper's cited physical explanation of LRD.
+	OnOffAggregate = onoff.Aggregate
+	// GenerateLosses derives a correlated binary loss process from a
+	// fluid source whose rates are loss intensities.
+	GenerateLosses = errctl.GenerateLosses
+	// EvaluateFEC applies a block erasure code to a loss sequence.
+	EvaluateFEC = errctl.EvaluateFEC
+	// EvaluateARQ measures burst structure and feedback cost.
+	EvaluateARQ = errctl.EvaluateARQ
+	// CompareErrorControl sweeps the loss-correlation time scale (§V).
+	CompareErrorControl = errctl.CompareAcrossTimescales
+)
+
+// Baseline and example types.
+type (
+	// AMSQueue is the Anick–Mitra–Sondhi exponential on/off fluid queue,
+	// the classical short-range-dependent baseline (closed form).
+	AMSQueue = ams.OnOffQueue
+	// OnOffParams parameterizes heavy-tailed on/off sources.
+	OnOffParams = onoff.SourceParams
+	// FECParams is a block erasure code (n, kmax).
+	FECParams = errctl.FECParams
+	// MMFQModulator is a finite CTMC with per-state fluid rates, the
+	// input of the spectral Markov-modulated fluid queue engine.
+	MMFQModulator = mmfq.Modulator
+	// MMFQSolution is the spectral buffer-content distribution.
+	MMFQSolution = mmfq.Solution
+)
+
+// Spectral Markov-modulated fluid queue engine (generalized AMS/Mitra).
+var (
+	// SolveMMFQ computes the infinite-buffer content distribution of a
+	// Markov-modulated fluid queue by spectral decomposition; its overflow
+	// probability at B upper-bounds the finite-buffer loss (footnote 2 of
+	// the paper).
+	SolveMMFQ = mmfq.Solve
+	// NSourceOnOff builds the modulator of N superposed exponential
+	// on/off sources (the Anick–Mitra–Sondhi setting).
+	NSourceOnOff = mmfq.NSourceOnOff
+	// CriticalTimeScale computes the Ryu–Elwalid large-deviations
+	// analogue of the correlation horizon (§IV).
+	CriticalTimeScale = horizon.CriticalTimeScale
+)
