@@ -12,6 +12,7 @@ package lrd_test
 // accompany the figure benches at the bottom of the file.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -44,7 +45,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.ResetTimer()
 	var rows int
 	for i := 0; i < b.N; i++ {
-		table, err := e.Run(opts)
+		table, err := e.Run(context.Background(), opts)
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
@@ -112,7 +113,9 @@ func BenchmarkSolverStep(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		it.Step()
+		if err := it.Step(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

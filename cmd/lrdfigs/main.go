@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -41,18 +44,30 @@ func main() {
 			selected[strings.TrimSpace(id)] = true
 		}
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	opts := core.RunOptions{Seed: *seed, Quick: *quick}
 	failures := 0
 	for _, e := range core.Experiments() {
 		if selected != nil && !selected[e.ID] {
 			continue
 		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "lrdfigs: interrupted")
+			failures++
+			break
+		}
 		start := time.Now()
-		table, err := e.Run(opts)
-		if err != nil {
+		table, err := e.Run(ctx, opts)
+		if err != nil && !errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "lrdfigs: %s FAILED: %v\n", e.ID, err)
 			failures++
 			continue
+		}
+		if err != nil {
+			// Interrupted mid-experiment: keep the completed rows on disk,
+			// report the run as failed.
+			failures++
 		}
 		path := filepath.Join(*out, e.ID+".tsv")
 		if err := writeTSV(path, e, table); err != nil {

@@ -10,13 +10,19 @@
 //
 //	lrdloss -marginal 0:0.5,2:0.5 -hurst 0.8 -epoch 0.05 -cutoff 10 \
 //	        -util 0.8 -buffer 0.5
+//
+// The solve is interruptible: on SIGINT or when the -timeout budget
+// expires the best-so-far loss bounds are printed (they bracket the true
+// loss at every iteration) and the command exits nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -38,6 +44,7 @@ func main() {
 		buffer       = flag.Float64("buffer", 0, "normalized buffer size B/c in seconds (required)")
 		relGap       = flag.Float64("relgap", 0.2, "bound convergence target (paper: 0.2)")
 		maxBins      = flag.Int("maxbins", 0, "resolution cap (default 32768)")
+		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the solve (0 = none)")
 		verbose      = flag.Bool("v", false, "print solver diagnostics")
 	)
 	flag.Parse()
@@ -94,7 +101,11 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	res, err := solver.Solve(q, solver.Config{RelGap: *relGap, MaxBins: *maxBins})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := solver.SolveContext(ctx, q, solver.Config{
+		RelGap: *relGap, MaxBins: *maxBins, MaxDuration: *timeout,
+	})
 	if err != nil {
 		fail("%v", err)
 	}
@@ -107,7 +118,13 @@ func main() {
 		fmt.Printf("solver bins %d, iterations %d, converged %v, relative gap %.3g\n",
 			res.Bins, res.Iterations, res.Converged, res.RelativeGap())
 	}
-	if !res.Converged {
+	switch {
+	case res.Degraded == solver.DegradedCanceled || res.Degraded == solver.DegradedDeadline:
+		fmt.Fprintf(os.Stderr, "lrdloss: interrupted (%s); bounds above still bracket the true loss\n", res.Degraded)
+		os.Exit(1)
+	case res.Degraded != "":
+		fmt.Fprintf(os.Stderr, "lrdloss: degraded result (%s); bounds above still bracket the true loss\n", res.Degraded)
+	case !res.Converged:
 		fmt.Fprintln(os.Stderr, "lrdloss: warning: bounds did not reach the requested gap; result is the bracket midpoint")
 	}
 }

@@ -3,16 +3,27 @@
 // (fig2 … fig14) plus the extension experiments (hurst, markov, arqfec,
 // eq26); run with -list to enumerate them.
 //
+// The sweep degrades gracefully rather than discarding work: on SIGINT, or
+// when the -timeout budget expires, the run is canceled, every completed
+// row is still printed (followed by a "# interrupted" trailer), and the
+// command exits nonzero. -point-timeout caps the wall-clock budget of each
+// individual solver cell; cells that hit it are reported with their
+// best-so-far loss bounds and a nonempty "degraded" column.
+//
 // Example:
 //
-//	lrdsweep -exp fig9 -quick          # fast, shrunken grids
+//	lrdsweep -exp fig9 -quick                     # fast, shrunken grids
 //	lrdsweep -exp fig4 -seed 7 > fig4.tsv
+//	lrdsweep -exp fig5 -timeout 2m -point-timeout 5s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"lrd/internal/core"
@@ -20,10 +31,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list)")
-		seed  = flag.Int64("seed", 1, "random seed for trace synthesis and shuffling")
-		quick = flag.Bool("quick", false, "use shrunken grids for a fast run")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp          = flag.String("exp", "", "experiment id (see -list)")
+		seed         = flag.Int64("seed", 1, "random seed for trace synthesis and shuffling")
+		quick        = flag.Bool("quick", false, "use shrunken grids for a fast run")
+		list         = flag.Bool("list", false, "list experiment ids and exit")
+		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
+		pointTimeout = flag.Duration("point-timeout", 0, "wall-clock budget per solver cell (0 = none)")
 	)
 	flag.Parse()
 
@@ -42,14 +55,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lrdsweep: %v\n", err)
 		os.Exit(1)
 	}
-	table, err := e.Run(core.RunOptions{Seed: *seed, Quick: *quick})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lrdsweep: %s: %v\n", e.ID, err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := core.RunOptions{Seed: *seed, Quick: *quick, PointTimeout: *pointTimeout}
+	table, runErr := e.Run(ctx, opts)
+	interrupted := runErr != nil &&
+		(errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
+	if runErr != nil && !interrupted {
+		fmt.Fprintf(os.Stderr, "lrdsweep: %s: %v\n", e.ID, runErr)
 		os.Exit(1)
 	}
+
 	fmt.Printf("# %s: %s\n", e.ID, e.Title)
-	fmt.Println(strings.Join(table.Header, "\t"))
+	if len(table.Header) > 0 {
+		fmt.Println(strings.Join(table.Header, "\t"))
+	}
 	for _, row := range table.Rows {
 		fmt.Println(strings.Join(row, "\t"))
+	}
+	if interrupted {
+		fmt.Printf("# interrupted: %v (%d completed rows flushed)\n", runErr, len(table.Rows))
+		fmt.Fprintf(os.Stderr, "lrdsweep: %s interrupted: %v\n", e.ID, runErr)
+		os.Exit(1)
 	}
 }

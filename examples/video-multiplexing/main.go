@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -42,7 +43,7 @@ func main() {
 	// Control 1: buffering. Sweep the per-stream buffer with one stream.
 	fmt.Println("control 1 — buffering (single stream, fully correlated input):")
 	fmt.Printf("%12s  %12s\n", "buffer", "loss")
-	pts, err := lrd.LossVsBufferAndScale(tm, util, []float64{0.1, 0.5, 1, 2, 5}, []float64{1}, cfg)
+	pts, err := lrd.LossVsBufferAndScale(context.Background(), tm, util, []float64{0.1, 0.5, 1, 2, 5}, []float64{1}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func main() {
 	// superpose n streams (service rate and buffer per stream constant).
 	fmt.Println("\ncontrol 2 — statistical multiplexing (buffer fixed at 0.5 s/stream):")
 	fmt.Printf("%12s  %12s\n", "streams", "loss")
-	mpts, err := lrd.LossVsHurstAndStreams(tm, util, 0.5, []float64{0.83}, []int{1, 2, 4, 6, 8, 10}, cfg)
+	mpts, err := lrd.LossVsHurstAndStreams(context.Background(), tm, util, 0.5, []float64{0.83}, []int{1, 2, 4, 6, 8, 10}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

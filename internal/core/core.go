@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -114,11 +115,18 @@ type Point struct {
 	Loss             float64
 	Lower, Upper     float64
 	Converged        bool
+	// Degraded is nonempty when this cell's solve stopped early (deadline,
+	// cancellation, or budget exhaustion); the bounds still bracket the
+	// true loss.
+	Degraded solver.DegradeReason
 }
 
-// parallelMap runs f over n indices on a bounded worker pool and returns
-// the first error.
-func parallelMap(n int, f func(i int) error) error {
+// parallelMap runs f over n indices on a bounded worker pool. It returns a
+// per-index completion mask and the first error. When ctx is canceled,
+// dispatch stops, in-flight cells finish, and the returned error is
+// ctx.Err() — completed indices remain marked done, so callers can emit
+// partial, clearly-marked results instead of discarding the sweep.
+func parallelMap(ctx context.Context, n int, f func(i int) error) ([]bool, error) {
 	workers := runtime.NumCPU()
 	if workers > n {
 		workers = n
@@ -126,6 +134,11 @@ func parallelMap(n int, f func(i int) error) error {
 	if workers < 1 {
 		workers = 1
 	}
+	// An internal cancel lets an erroring worker unblock the dispatcher
+	// (which would otherwise wait forever on the unbuffered jobs send).
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make([]bool, n)
 	jobs := make(chan int)
 	errs := make(chan error, workers)
 	var wg sync.WaitGroup
@@ -139,31 +152,54 @@ func parallelMap(n int, f func(i int) error) error {
 					case errs <- err:
 					default:
 					}
+					cancel()
 					return
 				}
+				done[i] = true
 			}
 		}()
 	}
+	var ctxErr error
+dispatch:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break dispatch
+		case jobs <- i:
+		}
 	}
 	close(jobs)
 	wg.Wait()
 	select {
 	case err := <-errs:
-		return err
+		return done, err
 	default:
-		return nil
+		return done, ctxErr
 	}
 }
 
-// solveCell runs the solver on one parameter cell.
-func solveCell(src fluid.Source, util, nbuf float64, cfg solver.Config) (Point, error) {
+// completedPoints filters a parallelMap output down to the cells that
+// actually finished.
+func completedPoints(pts []Point, done []bool) []Point {
+	out := make([]Point, 0, len(pts))
+	for i, p := range pts {
+		if done[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// solveCell runs the solver on one parameter cell. Cancellation or budget
+// expiry never errors: the cell comes back with its best-so-far bracket and
+// a nonempty Degraded reason.
+func solveCell(ctx context.Context, src fluid.Source, util, nbuf float64, cfg solver.Config) (Point, error) {
 	q, err := solver.NewQueueNormalized(src, util, nbuf)
 	if err != nil {
 		return Point{}, err
 	}
-	res, err := solver.Solve(q, cfg)
+	res, err := solver.SolveContext(ctx, q, cfg)
 	if err != nil {
 		return Point{}, err
 	}
@@ -177,67 +213,69 @@ func solveCell(src fluid.Source, util, nbuf float64, cfg solver.Config) (Point, 
 		Lower:            res.Lower,
 		Upper:            res.Upper,
 		Converged:        res.Converged,
+		Degraded:         res.Degraded,
 	}, nil
 }
 
 // LossVsBufferAndCutoff computes the model loss surface of Figs. 4 and 5:
 // loss rate over a (normalized buffer, cutoff lag) grid at fixed
-// utilization.
-func LossVsBufferAndCutoff(tm TraceModel, util float64, buffers, cutoffs []float64, cfg solver.Config) ([]Point, error) {
+// utilization. On context cancellation it returns the completed cells
+// alongside the context error, so a sweep always yields its partial rows.
+func LossVsBufferAndCutoff(ctx context.Context, tm TraceModel, util float64, buffers, cutoffs []float64, cfg solver.Config) ([]Point, error) {
 	if len(buffers) == 0 || len(cutoffs) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
 	out := make([]Point, len(buffers)*len(cutoffs))
-	err := parallelMap(len(out), func(i int) error {
+	done, err := parallelMap(ctx, len(out), func(i int) error {
 		b := buffers[i/len(cutoffs)]
 		tc := cutoffs[i%len(cutoffs)]
 		src, err := tm.Source(tc)
 		if err != nil {
 			return err
 		}
-		p, err := solveCell(src, util, b, cfg)
+		p, err := solveCell(ctx, src, util, b, cfg)
 		if err != nil {
 			return err
 		}
 		out[i] = p
 		return nil
 	})
-	return out, err
+	return completedPoints(out, done), err
 }
 
 // LossVsCutoffFixedTheta reproduces Fig. 9: loss rate versus cutoff lag
 // with *all* other parameters fixed across marginals (normalized buffer,
 // utilization, θ, and H), isolating the marginal's influence.
-func LossVsCutoffFixedTheta(marginal dist.Marginal, util, nbuf, theta, hurst float64, cutoffs []float64, cfg solver.Config) ([]Point, error) {
+func LossVsCutoffFixedTheta(ctx context.Context, marginal dist.Marginal, util, nbuf, theta, hurst float64, cutoffs []float64, cfg solver.Config) ([]Point, error) {
 	if len(cutoffs) == 0 {
 		return nil, errors.New("core: empty cutoff grid")
 	}
 	alpha := dist.AlphaFromHurst(hurst)
 	out := make([]Point, len(cutoffs))
-	err := parallelMap(len(out), func(i int) error {
+	done, err := parallelMap(ctx, len(out), func(i int) error {
 		src, err := fluid.New(marginal, dist.TruncatedPareto{Theta: theta, Alpha: alpha, Cutoff: cutoffs[i]})
 		if err != nil {
 			return err
 		}
-		p, err := solveCell(src, util, nbuf, cfg)
+		p, err := solveCell(ctx, src, util, nbuf, cfg)
 		if err != nil {
 			return err
 		}
 		out[i] = p
 		return nil
 	})
-	return out, err
+	return completedPoints(out, done), err
 }
 
 // LossVsHurstAndScale reproduces Fig. 10: loss over a (Hurst, marginal
 // scaling factor) grid at fixed normalized buffer, utilization, and an
 // infinite cutoff; θ is matched at the trace model's nominal H.
-func LossVsHurstAndScale(tm TraceModel, util, nbuf float64, hursts, scales []float64, cfg solver.Config) ([]Point, error) {
+func LossVsHurstAndScale(ctx context.Context, tm TraceModel, util, nbuf float64, hursts, scales []float64, cfg solver.Config) ([]Point, error) {
 	if len(hursts) == 0 || len(scales) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
 	out := make([]Point, len(hursts)*len(scales))
-	err := parallelMap(len(out), func(i int) error {
+	done, err := parallelMap(ctx, len(out), func(i int) error {
 		h := hursts[i/len(scales)]
 		a := scales[i%len(scales)]
 		src, err := tm.SourceWithHurst(h, math.Inf(1))
@@ -245,7 +283,7 @@ func LossVsHurstAndScale(tm TraceModel, util, nbuf float64, hursts, scales []flo
 			return err
 		}
 		src = src.WithMarginal(tm.Marginal.Scale(a))
-		p, err := solveCell(src, util, nbuf, cfg)
+		p, err := solveCell(ctx, src, util, nbuf, cfg)
 		if err != nil {
 			return err
 		}
@@ -253,14 +291,14 @@ func LossVsHurstAndScale(tm TraceModel, util, nbuf float64, hursts, scales []flo
 		out[i] = p
 		return nil
 	})
-	return out, err
+	return completedPoints(out, done), err
 }
 
 // LossVsHurstAndStreams reproduces Fig. 11: loss over a (Hurst, number of
 // superposed streams) grid; the marginal is the n-fold convolution
 // renormalized to the original mean, with buffer and service rate per
 // stream kept constant.
-func LossVsHurstAndStreams(tm TraceModel, util, nbuf float64, hursts []float64, streams []int, cfg solver.Config) ([]Point, error) {
+func LossVsHurstAndStreams(ctx context.Context, tm TraceModel, util, nbuf float64, hursts []float64, streams []int, cfg solver.Config) ([]Point, error) {
 	if len(hursts) == 0 || len(streams) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
@@ -277,7 +315,7 @@ func LossVsHurstAndStreams(tm TraceModel, util, nbuf float64, hursts []float64, 
 		margs[j] = sm
 	}
 	out := make([]Point, len(hursts)*len(streams))
-	err := parallelMap(len(out), func(i int) error {
+	done, err := parallelMap(ctx, len(out), func(i int) error {
 		h := hursts[i/len(streams)]
 		j := i % len(streams)
 		src, err := tm.SourceWithHurst(h, math.Inf(1))
@@ -285,7 +323,7 @@ func LossVsHurstAndStreams(tm TraceModel, util, nbuf float64, hursts []float64, 
 			return err
 		}
 		src = src.WithMarginal(margs[j])
-		p, err := solveCell(src, util, nbuf, cfg)
+		p, err := solveCell(ctx, src, util, nbuf, cfg)
 		if err != nil {
 			return err
 		}
@@ -293,17 +331,17 @@ func LossVsHurstAndStreams(tm TraceModel, util, nbuf float64, hursts []float64, 
 		out[i] = p
 		return nil
 	})
-	return out, err
+	return completedPoints(out, done), err
 }
 
 // LossVsBufferAndScale reproduces Figs. 12 and 13: loss over a (normalized
 // buffer, marginal scaling factor) grid with an infinite cutoff.
-func LossVsBufferAndScale(tm TraceModel, util float64, buffers, scales []float64, cfg solver.Config) ([]Point, error) {
+func LossVsBufferAndScale(ctx context.Context, tm TraceModel, util float64, buffers, scales []float64, cfg solver.Config) ([]Point, error) {
 	if len(buffers) == 0 || len(scales) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
 	out := make([]Point, len(buffers)*len(scales))
-	err := parallelMap(len(out), func(i int) error {
+	done, err := parallelMap(ctx, len(out), func(i int) error {
 		b := buffers[i/len(scales)]
 		a := scales[i%len(scales)]
 		src, err := tm.Source(math.Inf(1))
@@ -311,7 +349,7 @@ func LossVsBufferAndScale(tm TraceModel, util float64, buffers, scales []float64
 			return err
 		}
 		src = src.WithMarginal(tm.Marginal.Scale(a))
-		p, err := solveCell(src, util, b, cfg)
+		p, err := solveCell(ctx, src, util, b, cfg)
 		if err != nil {
 			return err
 		}
@@ -319,7 +357,7 @@ func LossVsBufferAndScale(tm TraceModel, util float64, buffers, scales []float64
 		out[i] = p
 		return nil
 	})
-	return out, err
+	return completedPoints(out, done), err
 }
 
 // BoundSnapshot is the occupancy-bound state after a given iteration count
@@ -354,7 +392,9 @@ func BoundConvergence(tm TraceModel, util, nbuf float64, bins int, iterations []
 			return nil, fmt.Errorf("core: iteration targets must be non-decreasing (got %d after %d)", target, step)
 		}
 		for step < target {
-			it.Step()
+			if err := it.Step(); err != nil {
+				return nil, err
+			}
 			step++
 		}
 		lower := it.LowerOccupancy()

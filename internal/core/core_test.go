@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -106,10 +107,13 @@ func TestSourceWithHurstKeepsTheta(t *testing.T) {
 }
 
 func TestLossVsBufferAndCutoffShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2×3 sweep with near-zero-loss cells is slow")
+	}
 	tm := quickModel(t)
 	buffers := []float64{0.05, 0.5}
 	cutoffs := []float64{0.1, 2, math.Inf(1)}
-	pts, err := LossVsBufferAndCutoff(tm, 0.85, buffers, cutoffs, fastCfg())
+	pts, err := LossVsBufferAndCutoff(context.Background(), tm, 0.85, buffers, cutoffs, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +141,7 @@ func TestLossVsBufferAndCutoffShape(t *testing.T) {
 			t.Fatalf("loss not decreasing in buffer at Tc=%v", tc)
 		}
 	}
-	if _, err := LossVsBufferAndCutoff(tm, 0.85, nil, cutoffs, fastCfg()); err == nil {
+	if _, err := LossVsBufferAndCutoff(context.Background(), tm, 0.85, nil, cutoffs, fastCfg()); err == nil {
 		t.Fatal("want error on empty grid")
 	}
 }
@@ -149,11 +153,11 @@ func TestLossVsCutoffFixedThetaSeparatesMarginals(t *testing.T) {
 	wide := dist.MustMarginal([]float64{0, 2}, []float64{0.5, 0.5})
 	narrow := dist.MustMarginal([]float64{0.8, 1.2}, []float64{0.5, 0.5})
 	cutoffs := []float64{0.5, 5}
-	wpts, err := LossVsCutoffFixedTheta(wide, 2.0/3.0, 0.5, 0.02, 0.9, cutoffs, fastCfg())
+	wpts, err := LossVsCutoffFixedTheta(context.Background(), wide, 2.0/3.0, 0.5, 0.02, 0.9, cutoffs, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	npts, err := LossVsCutoffFixedTheta(narrow, 2.0/3.0, 0.5, 0.02, 0.9, cutoffs, fastCfg())
+	npts, err := LossVsCutoffFixedTheta(context.Background(), narrow, 2.0/3.0, 0.5, 0.02, 0.9, cutoffs, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +187,7 @@ func TestLossVsHurstAndScaleShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The paper's ranges: H ∈ (0.55, 0.95), a ∈ (0.5, 1.5), Tc = ∞, B/c = 1 s.
-	pts, err := LossVsHurstAndScale(tm, 0.8, 1.0, []float64{0.55, 0.75, 0.95}, []float64{0.5, 1.0, 1.5}, fastCfg())
+	pts, err := LossVsHurstAndScale(context.Background(), tm, 0.8, 1.0, []float64{0.55, 0.75, 0.95}, []float64{0.5, 1.0, 1.5}, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +228,7 @@ func TestLossVsHurstAndScaleShape(t *testing.T) {
 
 func TestLossVsHurstAndStreamsShape(t *testing.T) {
 	tm := quickModel(t)
-	pts, err := LossVsHurstAndStreams(tm, 0.85, 0.3, []float64{0.85}, []int{1, 4}, fastCfg())
+	pts, err := LossVsHurstAndStreams(context.Background(), tm, 0.85, 0.3, []float64{0.85}, []int{1, 4}, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +252,7 @@ func TestLossVsHurstAndStreamsShape(t *testing.T) {
 
 func TestLossVsBufferAndScaleShape(t *testing.T) {
 	tm := quickModel(t)
-	pts, err := LossVsBufferAndScale(tm, 0.85, []float64{0.1, 1.0}, []float64{0.5, 1.0}, fastCfg())
+	pts, err := LossVsBufferAndScale(context.Background(), tm, 0.85, []float64{0.1, 1.0}, []float64{0.5, 1.0}, fastCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +319,7 @@ func TestShuffleLossSurface(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	buffers := []float64{0.05, 0.5}
 	blocks := []float64{0.1, 5, math.Inf(1)}
-	pts, err := ShuffleLossSurface(tr, 0.85, buffers, blocks, rng)
+	pts, err := ShuffleLossSurface(context.Background(), tr, 0.85, buffers, blocks, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,13 +343,13 @@ func TestShuffleLossSurface(t *testing.T) {
 		}
 	}
 	// Validation errors.
-	if _, err := ShuffleLossSurface(traces.Trace{}, 0.8, buffers, blocks, rng); err == nil {
+	if _, err := ShuffleLossSurface(context.Background(), traces.Trace{}, 0.8, buffers, blocks, rng); err == nil {
 		t.Fatal("want error on empty trace")
 	}
-	if _, err := ShuffleLossSurface(tr, 1.5, buffers, blocks, rng); err == nil {
+	if _, err := ShuffleLossSurface(context.Background(), tr, 1.5, buffers, blocks, rng); err == nil {
 		t.Fatal("want error on bad utilization")
 	}
-	if _, err := ShuffleLossSurface(tr, 0.8, nil, blocks, rng); err == nil {
+	if _, err := ShuffleLossSurface(context.Background(), tr, 0.8, nil, blocks, rng); err == nil {
 		t.Fatal("want error on empty grid")
 	}
 }
@@ -411,7 +415,8 @@ func TestMTVAndBellcoreModels(t *testing.T) {
 }
 
 func TestParallelMapPropagatesError(t *testing.T) {
-	err := parallelMap(64, func(i int) error {
+	ctx := context.Background()
+	_, err := parallelMap(ctx, 64, func(i int) error {
 		if i == 17 {
 			return errTest
 		}
@@ -420,21 +425,65 @@ func TestParallelMapPropagatesError(t *testing.T) {
 	if err != errTest {
 		t.Fatalf("err = %v, want errTest", err)
 	}
-	if err := parallelMap(0, func(int) error { return nil }); err != nil {
+	if _, err := parallelMap(ctx, 0, func(int) error { return nil }); err != nil {
 		t.Fatalf("empty map errored: %v", err)
 	}
-	// Order-independence: results land in their own slots.
+	// Order-independence: results land in their own slots, and the done
+	// mask marks every index.
 	out := make([]int, 100)
-	if err := parallelMap(100, func(i int) error {
+	done, err := parallelMap(ctx, 100, func(i int) error {
 		out[i] = i * i
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range out {
 		if v != i*i {
 			t.Fatalf("slot %d = %d", i, v)
 		}
+		if !done[i] {
+			t.Fatalf("slot %d not marked done", i)
+		}
+	}
+}
+
+func TestParallelMapCancellation(t *testing.T) {
+	// A pre-canceled context: no work dispatched, ctx error reported,
+	// nothing marked done.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done, err := parallelMap(ctx, 32, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, d := range done {
+		if d {
+			t.Fatalf("index %d ran despite canceled context", i)
+		}
+	}
+	// Cancellation mid-run: the call returns (no deadlock) and reports the
+	// context error, keeping whatever completed. n is far above any
+	// plausible worker count so completion stays partial.
+	const n = 1 << 14
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done2, err2 := parallelMap(ctx2, n, func(i int) error {
+		if i == 3 {
+			cancel2()
+		}
+		return nil
+	})
+	if !errors.Is(err2, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err2)
+	}
+	completed := 0
+	for _, d := range done2 {
+		if d {
+			completed++
+		}
+	}
+	if completed == 0 || completed >= n {
+		t.Fatalf("completed = %d, want partial completion", completed)
 	}
 }
 

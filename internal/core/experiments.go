@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 	"strconv"
+	"time"
 
 	"lrd/internal/dist"
 	"lrd/internal/errctl"
@@ -36,14 +38,26 @@ func f(v float64) string {
 	return strconv.FormatFloat(v, 'g', 6, 64)
 }
 
-// Experiment is one reproducible unit of the paper's evaluation.
+// deg renders a cell's degradation reason for TSV output ("-" = none).
+func deg(r solver.DegradeReason) string {
+	if r == "" {
+		return "-"
+	}
+	return string(r)
+}
+
+// Experiment is one reproducible unit of the paper's evaluation. Run
+// observes ctx between parameter points: on cancellation or deadline expiry
+// it returns the rows completed so far together with the context's error,
+// so a sweep always produces partial, clearly-marked output instead of
+// hanging or discarding finished work.
 type Experiment struct {
 	ID    string // e.g. "fig4"
 	Title string // what the paper's figure/table shows
-	Run   func(opts RunOptions) (Table, error)
+	Run   func(ctx context.Context, opts RunOptions) (Table, error)
 }
 
-// RunOptions controls experiment scale.
+// RunOptions controls experiment scale and per-point budgets.
 type RunOptions struct {
 	// Seed drives all randomness (trace synthesis, shuffling).
 	Seed int64
@@ -51,7 +65,22 @@ type RunOptions struct {
 	// match the ranges in the paper's §III.
 	Quick bool
 	// Solver overrides the solver configuration (zero value = defaults).
+	// Its MaxIterations field doubles as the per-point iteration budget.
 	Solver solver.Config
+	// PointTimeout is a per-point wall-clock budget. A pathological cell
+	// (α→1, ρ→1, huge B) then yields a degraded bracketed row instead of
+	// wedging the whole sweep. Zero means no per-point budget.
+	PointTimeout time.Duration
+}
+
+// solverConfig returns the effective per-point solver configuration with
+// the RunOptions budgets applied.
+func (o RunOptions) solverConfig() solver.Config {
+	cfg := o.Solver
+	if o.PointTimeout > 0 {
+		cfg.MaxDuration = o.PointTimeout
+	}
+	return cfg
 }
 
 func (o RunOptions) rng(offset int64) *rand.Rand {
@@ -169,9 +198,12 @@ func ExperimentByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
 }
 
-func runFig2(o RunOptions) (Table, error) {
+func runFig2(ctx context.Context, o RunOptions) (Table, error) {
 	tm, err := o.mtv()
 	if err != nil {
+		return Table{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Table{}, err
 	}
 	snaps, err := BoundConvergence(tm, 0.8, 1.0, 100, []int{5, 10, 30})
@@ -187,7 +219,7 @@ func runFig2(o RunOptions) (Table, error) {
 	return t, nil
 }
 
-func runFig3(o RunOptions) (Table, error) {
+func runFig3(_ context.Context, o RunOptions) (Table, error) {
 	t := Table{Header: []string{"trace", "rate_mbps", "probability"}}
 	for _, get := range []func() (TraceModel, error){o.mtv, o.bellcore} {
 		tm, err := get()
@@ -201,28 +233,32 @@ func runFig3(o RunOptions) (Table, error) {
 	return t, nil
 }
 
-func surfaceRun(o RunOptions, get func() (TraceModel, error), util float64) (Table, error) {
+func surfaceRun(ctx context.Context, o RunOptions, get func() (TraceModel, error), util float64) (Table, error) {
 	tm, err := get()
 	if err != nil {
 		return Table{}, err
 	}
 	buffers, cutoffs := o.surfaceGrids()
-	pts, err := LossVsBufferAndCutoff(tm, util, buffers, cutoffs, o.Solver)
-	if err != nil {
+	pts, err := LossVsBufferAndCutoff(ctx, tm, util, buffers, cutoffs, o.solverConfig())
+	if err != nil && len(pts) == 0 {
 		return Table{}, err
 	}
 	return pointsTable(
-		[]string{"buffer_s", "cutoff_s", "loss", "lower", "upper", "converged"},
+		[]string{"buffer_s", "cutoff_s", "loss", "lower", "upper", "converged", "degraded"},
 		pts,
 		func(p Point) []string {
-			return []string{f(p.NormalizedBuffer), f(p.Cutoff), f(p.Loss), f(p.Lower), f(p.Upper), strconv.FormatBool(p.Converged)}
-		}), nil
+			return []string{f(p.NormalizedBuffer), f(p.Cutoff), f(p.Loss), f(p.Lower), f(p.Upper), strconv.FormatBool(p.Converged), deg(p.Degraded)}
+		}), err
 }
 
-func runFig4(o RunOptions) (Table, error) { return surfaceRun(o, o.mtv, 0.8) }
-func runFig5(o RunOptions) (Table, error) { return surfaceRun(o, o.bellcore, 0.4) }
+func runFig4(ctx context.Context, o RunOptions) (Table, error) {
+	return surfaceRun(ctx, o, o.mtv, 0.8)
+}
+func runFig5(ctx context.Context, o RunOptions) (Table, error) {
+	return surfaceRun(ctx, o, o.bellcore, 0.4)
+}
 
-func runFig6(o RunOptions) (Table, error) {
+func runFig6(_ context.Context, o RunOptions) (Table, error) {
 	tm, err := o.mtv()
 	if err != nil {
 		return Table{}, err
@@ -250,7 +286,7 @@ func runFig6(o RunOptions) (Table, error) {
 	return t, nil
 }
 
-func shuffleRun(o RunOptions, get func() (TraceModel, error), util float64, seedOff int64) (Table, []ShufflePoint, error) {
+func shuffleRun(ctx context.Context, o RunOptions, get func() (TraceModel, error), util float64, seedOff int64) (Table, []ShufflePoint, error) {
 	tm, err := get()
 	if err != nil {
 		return Table{}, nil, err
@@ -260,28 +296,28 @@ func shuffleRun(o RunOptions, get func() (TraceModel, error), util float64, seed
 	for _, tc := range cutoffs {
 		blocks = append(blocks, tc) // block length in seconds == cutoff lag
 	}
-	pts, err := ShuffleLossSurface(tm.Trace, util, buffers, blocks, o.rng(seedOff))
-	if err != nil {
+	pts, err := ShuffleLossSurface(ctx, tm.Trace, util, buffers, blocks, o.rng(seedOff))
+	if err != nil && len(pts) == 0 {
 		return Table{}, nil, err
 	}
 	t := Table{Header: []string{"buffer_s", "block_s", "loss"}}
 	for _, p := range pts {
 		t.Add(f(p.NormalizedBuffer), f(p.BlockLen), f(p.Loss))
 	}
-	return t, pts, nil
+	return t, pts, err
 }
 
-func runFig7(o RunOptions) (Table, error) {
-	t, _, err := shuffleRun(o, o.mtv, 0.8, 7)
+func runFig7(ctx context.Context, o RunOptions) (Table, error) {
+	t, _, err := shuffleRun(ctx, o, o.mtv, 0.8, 7)
 	return t, err
 }
 
-func runFig8(o RunOptions) (Table, error) {
-	t, _, err := shuffleRun(o, o.bellcore, 0.4, 8)
+func runFig8(ctx context.Context, o RunOptions) (Table, error) {
+	t, _, err := shuffleRun(ctx, o, o.bellcore, 0.4, 8)
 	return t, err
 }
 
-func runFig9(o RunOptions) (Table, error) {
+func runFig9(ctx context.Context, o RunOptions) (Table, error) {
 	mtv, err := o.mtv()
 	if err != nil {
 		return Table{}, err
@@ -296,59 +332,61 @@ func runFig9(o RunOptions) (Table, error) {
 	} else {
 		cutoffs = append(numerics.Logspace(0.02, 100, 11), math.Inf(1))
 	}
-	t := Table{Header: []string{"marginal", "cutoff_s", "loss", "lower", "upper"}}
+	t := Table{Header: []string{"marginal", "cutoff_s", "loss", "lower", "upper", "degraded"}}
+	var sweepErr error
 	for _, tc := range []struct {
 		name string
 		tm   TraceModel
 	}{{"mtv", mtv}, {"bellcore", bc}} {
 		// Fig. 9 normalizes the comparison: B/c = 1 s, util = 2/3,
 		// θ = 20 ms, H = 0.9 for both marginals.
-		pts, err := LossVsCutoffFixedTheta(tc.tm.Marginal, 2.0/3.0, 1.0, 0.02, 0.9, cutoffs, o.Solver)
-		if err != nil {
+		pts, err := LossVsCutoffFixedTheta(ctx, tc.tm.Marginal, 2.0/3.0, 1.0, 0.02, 0.9, cutoffs, o.solverConfig())
+		if err != nil && len(pts) == 0 && sweepErr == nil {
 			return Table{}, err
 		}
+		sweepErr = err
 		for _, p := range pts {
-			t.Add(tc.name, f(p.Cutoff), f(p.Loss), f(p.Lower), f(p.Upper))
+			t.Add(tc.name, f(p.Cutoff), f(p.Loss), f(p.Lower), f(p.Upper), deg(p.Degraded))
 		}
 	}
-	return t, nil
+	return t, sweepErr
 }
 
-func runFig10(o RunOptions) (Table, error) {
+func runFig10(ctx context.Context, o RunOptions) (Table, error) {
 	tm, err := o.mtv()
 	if err != nil {
 		return Table{}, err
 	}
-	pts, err := LossVsHurstAndScale(tm, 0.8, 1.0, o.hurstGrid(), o.scaleGrid(), o.Solver)
-	if err != nil {
+	pts, err := LossVsHurstAndScale(ctx, tm, 0.8, 1.0, o.hurstGrid(), o.scaleGrid(), o.solverConfig())
+	if err != nil && len(pts) == 0 {
 		return Table{}, err
 	}
 	return pointsTable(
-		[]string{"hurst", "scale", "loss", "lower", "upper"},
+		[]string{"hurst", "scale", "loss", "lower", "upper", "degraded"},
 		pts,
 		func(p Point) []string {
-			return []string{f(p.Hurst), f(p.Scale), f(p.Loss), f(p.Lower), f(p.Upper)}
-		}), nil
+			return []string{f(p.Hurst), f(p.Scale), f(p.Loss), f(p.Lower), f(p.Upper), deg(p.Degraded)}
+		}), err
 }
 
-func runFig11(o RunOptions) (Table, error) {
+func runFig11(ctx context.Context, o RunOptions) (Table, error) {
 	tm, err := o.mtv()
 	if err != nil {
 		return Table{}, err
 	}
-	pts, err := LossVsHurstAndStreams(tm, 0.8, 1.0, o.hurstGrid(), o.streamsGrid(), o.Solver)
-	if err != nil {
+	pts, err := LossVsHurstAndStreams(ctx, tm, 0.8, 1.0, o.hurstGrid(), o.streamsGrid(), o.solverConfig())
+	if err != nil && len(pts) == 0 {
 		return Table{}, err
 	}
 	return pointsTable(
-		[]string{"hurst", "streams", "loss", "lower", "upper"},
+		[]string{"hurst", "streams", "loss", "lower", "upper", "degraded"},
 		pts,
 		func(p Point) []string {
-			return []string{f(p.Hurst), strconv.Itoa(p.Streams), f(p.Loss), f(p.Lower), f(p.Upper)}
-		}), nil
+			return []string{f(p.Hurst), strconv.Itoa(p.Streams), f(p.Loss), f(p.Lower), f(p.Upper), deg(p.Degraded)}
+		}), err
 }
 
-func bufferScaleRun(o RunOptions, get func() (TraceModel, error), util float64) (Table, error) {
+func bufferScaleRun(ctx context.Context, o RunOptions, get func() (TraceModel, error), util float64) (Table, error) {
 	tm, err := get()
 	if err != nil {
 		return Table{}, err
@@ -359,26 +397,30 @@ func bufferScaleRun(o RunOptions, get func() (TraceModel, error), util float64) 
 	} else {
 		buffers = numerics.Logspace(0.1, 5, 7)
 	}
-	pts, err := LossVsBufferAndScale(tm, util, buffers, o.scaleGrid(), o.Solver)
-	if err != nil {
+	pts, err := LossVsBufferAndScale(ctx, tm, util, buffers, o.scaleGrid(), o.solverConfig())
+	if err != nil && len(pts) == 0 {
 		return Table{}, err
 	}
 	return pointsTable(
-		[]string{"buffer_s", "scale", "loss", "lower", "upper"},
+		[]string{"buffer_s", "scale", "loss", "lower", "upper", "degraded"},
 		pts,
 		func(p Point) []string {
-			return []string{f(p.NormalizedBuffer), f(p.Scale), f(p.Loss), f(p.Lower), f(p.Upper)}
-		}), nil
+			return []string{f(p.NormalizedBuffer), f(p.Scale), f(p.Loss), f(p.Lower), f(p.Upper), deg(p.Degraded)}
+		}), err
 }
 
-func runFig12(o RunOptions) (Table, error) { return bufferScaleRun(o, o.mtv, 0.8) }
-func runFig13(o RunOptions) (Table, error) { return bufferScaleRun(o, o.bellcore, 0.4) }
+func runFig12(ctx context.Context, o RunOptions) (Table, error) {
+	return bufferScaleRun(ctx, o, o.mtv, 0.8)
+}
+func runFig13(ctx context.Context, o RunOptions) (Table, error) {
+	return bufferScaleRun(ctx, o, o.bellcore, 0.4)
+}
 
-func runFig14(o RunOptions) (Table, error) {
+func runFig14(ctx context.Context, o RunOptions) (Table, error) {
 	var pts []ShufflePoint
 	if o.Quick {
 		var err error
-		_, pts, err = shuffleRun(o, o.mtv, 0.8, 14)
+		_, pts, err = shuffleRun(ctx, o, o.mtv, 0.8, 14)
 		if err != nil {
 			return Table{}, err
 		}
@@ -393,7 +435,7 @@ func runFig14(o RunOptions) (Table, error) {
 		}
 		buffers := numerics.Logspace(0.02, 1, 7)
 		blocks := append(numerics.Logspace(0.05, 2000, 14), math.Inf(1))
-		pts, err = ShuffleLossSurface(tm.Trace, 0.8, buffers, blocks, o.rng(14))
+		pts, err = ShuffleLossSurface(ctx, tm.Trace, 0.8, buffers, blocks, o.rng(14))
 		if err != nil {
 			return Table{}, err
 		}
@@ -409,7 +451,7 @@ func runFig14(o RunOptions) (Table, error) {
 	return t, nil
 }
 
-func runHurst(o RunOptions) (Table, error) {
+func runHurst(_ context.Context, o RunOptions) (Table, error) {
 	t := Table{Header: []string{"trace", "aggvar", "rs", "whittle", "abry_veitch", "gph", "paper"}}
 	for _, tc := range []struct {
 		get   func() (TraceModel, error)
@@ -429,7 +471,7 @@ func runHurst(o RunOptions) (Table, error) {
 	return t, nil
 }
 
-func runMarkov(o RunOptions) (Table, error) {
+func runMarkov(ctx context.Context, o RunOptions) (Table, error) {
 	tm, err := o.mtv()
 	if err != nil {
 		return Table{}, err
@@ -444,11 +486,14 @@ func runMarkov(o RunOptions) (Table, error) {
 		buffers = []float64{0.1, 0.5}
 	}
 	for _, b := range buffers {
+		if err := ctx.Err(); err != nil {
+			return t, err // completed rows survive the interruption
+		}
 		q, err := solver.NewQueueNormalized(src, 0.8, b)
 		if err != nil {
 			return Table{}, err
 		}
-		orig, err := solver.Solve(q, o.Solver)
+		orig, err := solver.SolveContext(ctx, q, o.solverConfig())
 		if err != nil {
 			return Table{}, err
 		}
@@ -458,7 +503,7 @@ func runMarkov(o RunOptions) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		alt, err := solver.SolveModel(mk, o.Solver)
+		alt, err := solver.SolveModelContext(ctx, mk, o.solverConfig())
 		if err != nil {
 			return Table{}, err
 		}
@@ -471,7 +516,7 @@ func runMarkov(o RunOptions) (Table, error) {
 	return t, nil
 }
 
-func runARQFEC(o RunOptions) (Table, error) {
+func runARQFEC(ctx context.Context, o RunOptions) (Table, error) {
 	m, iv, err := onoffLossModel()
 	if err != nil {
 		return Table{}, err
@@ -480,6 +525,9 @@ func runARQFEC(o RunOptions) (Table, error) {
 	n := 2_000_000
 	if o.Quick {
 		n = 200_000
+	}
+	if err := ctx.Err(); err != nil {
+		return Table{}, err
 	}
 	losses, err := errctl.GenerateLosses(src, n, 0.001, o.rng(15))
 	if err != nil {
@@ -498,7 +546,7 @@ func runARQFEC(o RunOptions) (Table, error) {
 	return t, nil
 }
 
-func runEq26(o RunOptions) (Table, error) {
+func runEq26(ctx context.Context, o RunOptions) (Table, error) {
 	tm, err := o.mtv()
 	if err != nil {
 		return Table{}, err
@@ -509,6 +557,9 @@ func runEq26(o RunOptions) (Table, error) {
 	}
 	t := Table{Header: []string{"buffer_s", "analytic_horizon_s"}}
 	for _, b := range []float64{0.1, 0.3, 1, 3} {
+		if err := ctx.Err(); err != nil {
+			return t, err
+		}
 		q, err := solver.NewQueueNormalized(src, 0.8, b)
 		if err != nil {
 			return Table{}, err
@@ -565,17 +616,17 @@ func fluidSource(m dist.Marginal, iv dist.TruncatedPareto) fluid.Source {
 // surface cell by cell, reporting the prediction ratio — the paper's
 // "the loss predicted by the model is very close to that obtained with
 // shuffling and simulation" check, quantified.
-func runModelFit(o RunOptions) (Table, error) {
+func runModelFit(ctx context.Context, o RunOptions) (Table, error) {
 	tm, err := o.mtv()
 	if err != nil {
 		return Table{}, err
 	}
 	buffers, cutoffs := o.surfaceGrids()
-	model, err := LossVsBufferAndCutoff(tm, 0.8, buffers, cutoffs, o.Solver)
+	model, err := LossVsBufferAndCutoff(ctx, tm, 0.8, buffers, cutoffs, o.solverConfig())
 	if err != nil {
 		return Table{}, err
 	}
-	shufflePts, err := ShuffleLossSurface(tm.Trace, 0.8, buffers, cutoffs, o.rng(99))
+	shufflePts, err := ShuffleLossSurface(ctx, tm.Trace, 0.8, buffers, cutoffs, o.rng(99))
 	if err != nil {
 		return Table{}, err
 	}
@@ -603,7 +654,7 @@ func runModelFit(o RunOptions) (Table, error) {
 // (delay = occupancy / service rate). Like the loss rate, the delay
 // quantiles saturate once the cutoff lag passes the correlation horizon —
 // the horizon is a property of the system, not of the metric chosen.
-func runDelay(o RunOptions) (Table, error) {
+func runDelay(ctx context.Context, o RunOptions) (Table, error) {
 	tm, err := o.mtv()
 	if err != nil {
 		return Table{}, err
@@ -614,8 +665,11 @@ func runDelay(o RunOptions) (Table, error) {
 	} else {
 		cutoffs = append(numerics.Logspace(0.05, 100, 8), math.Inf(1))
 	}
-	t := Table{Header: []string{"cutoff_s", "delay_p50_s", "delay_p95_s", "delay_p99_s", "loss"}}
+	t := Table{Header: []string{"cutoff_s", "delay_p50_s", "delay_p95_s", "delay_p99_s", "loss", "degraded"}}
 	for _, tc := range cutoffs {
+		if err := ctx.Err(); err != nil {
+			return t, err // completed rows survive the interruption
+		}
 		src, err := tm.Source(tc)
 		if err != nil {
 			return Table{}, err
@@ -624,7 +678,7 @@ func runDelay(o RunOptions) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		res, err := solver.Solve(q, o.Solver)
+		res, err := solver.SolveContext(ctx, q, o.solverConfig())
 		if err != nil {
 			return Table{}, err
 		}
@@ -634,7 +688,7 @@ func runDelay(o RunOptions) (Table, error) {
 			// Report the bracket midpoint as seconds of delay.
 			row = append(row, f((lo+hi)/2/q.ServiceRate))
 		}
-		row = append(row, f(res.Loss))
+		row = append(row, f(res.Loss), deg(res.Degraded))
 		t.Add(row...)
 	}
 	return t, nil

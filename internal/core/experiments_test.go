@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"testing"
@@ -56,7 +57,7 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range Experiments() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tb, err := e.Run(opts)
+			tb, err := e.Run(context.Background(), opts)
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}
@@ -76,7 +77,10 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 // corpus: at identical (B, util, θ, H), the wide Bellcore marginal loses
 // orders of magnitude more than the narrow MTV marginal.
 func TestFig9ShowsMarginalDominance(t *testing.T) {
-	tb, err := runFig9(quickOpts())
+	if testing.Short() {
+		t.Skip("corpus synthesis and the fig9 sweep are slow")
+	}
+	tb, err := runFig9(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +105,7 @@ func TestFig9ShowsMarginalDominance(t *testing.T) {
 // TestFig14HorizonScalesWithBuffer checks the Fig. 14 claim on the quick
 // corpus: the fitted horizon-vs-buffer exponent is near 1 and positive.
 func TestFig14HorizonScalesWithBuffer(t *testing.T) {
-	tb, err := runFig14(quickOpts())
+	tb, err := runFig14(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +124,7 @@ func TestFig14HorizonScalesWithBuffer(t *testing.T) {
 // TestMarkovExperimentRatioNearOne: the §IV experiment's loss ratio
 // between the fitted Markovian model and the original must be O(1).
 func TestMarkovExperimentRatioNearOne(t *testing.T) {
-	tb, err := runMarkov(quickOpts())
+	tb, err := runMarkov(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +145,7 @@ func TestMarkovExperimentRatioNearOne(t *testing.T) {
 // TestARQFECTrend: FEC residual worsens and ARQ burst length grows as the
 // correlation block grows.
 func TestARQFECTrend(t *testing.T) {
-	tb, err := runARQFEC(quickOpts())
+	tb, err := runARQFEC(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -27,7 +28,11 @@ type ShufflePoint struct {
 // and driven through queues of every buffer size. A block length of
 // math.Inf(1) means no shuffling (the original trace). The service rate is
 // set from the trace's mean rate and the requested utilization.
-func ShuffleLossSurface(tr traces.Trace, util float64, buffers, blocks []float64, rng *rand.Rand) ([]ShufflePoint, error) {
+//
+// The context is observed between cells: on cancellation the completed
+// points are returned together with the context's error, so an interrupted
+// sweep still yields its partial surface.
+func ShuffleLossSurface(ctx context.Context, tr traces.Trace, util float64, buffers, blocks []float64, rng *rand.Rand) ([]ShufflePoint, error) {
 	if len(tr.Rates) == 0 {
 		return nil, errors.New("core: empty trace")
 	}
@@ -40,6 +45,10 @@ func ShuffleLossSurface(tr traces.Trace, util float64, buffers, blocks []float64
 	c := tr.MeanRate() / util
 	out := make([]ShufflePoint, 0, len(buffers)*len(blocks))
 	for _, blk := range blocks {
+		// The shuffle must run even on a canceled context so the rng
+		// consumption (and hence later blocks' shuffles) stays deterministic
+		// regardless of where the interruption lands; the cheap check below
+		// still stops the expensive queue simulations promptly.
 		var series []float64
 		switch {
 		case math.IsInf(blk, 1):
@@ -56,6 +65,9 @@ func ShuffleLossSurface(tr traces.Trace, util float64, buffers, blocks []float64
 			}
 		}
 		for _, b := range buffers {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			st, err := sim.RunBinnedTrace(series, tr.BinWidth, c, b*c)
 			if err != nil {
 				return nil, err

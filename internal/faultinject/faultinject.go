@@ -1,0 +1,111 @@
+// Package faultinject provides hook-based fault injection for the numeric
+// hot paths of the library. Production code calls Apply at named fault
+// points; tests Arm a corruption function at a point to prove that the
+// downstream numeric guards detect the corruption they claim to detect.
+//
+// When nothing is armed, Apply costs a single atomic load, so fault points
+// are safe to leave in solver inner loops. All operations are safe for
+// concurrent use; armed faults may fire from multiple goroutines at once,
+// so corruption functions must themselves be reentrant (pure slice edits
+// are).
+//
+// The package is intended for tests only. Nothing in the library arms a
+// fault on its own, and a released binary with no armed faults behaves
+// identically to one compiled without the hooks.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Point names a fault-injection site. Each site documents the slice its
+// corruption function receives.
+type Point string
+
+const (
+	// SolverConvolution fires on the raw FFT convolution output of every
+	// Lindley step, before boundary folding and renormalization. The
+	// corruption function receives the full convolution buffer.
+	SolverConvolution Point = "solver/convolution"
+	// SolverIncrementPMF fires on each freshly built rounded-increment pmf
+	// (once for the lower-rounded law, once for the upper). The corruption
+	// function receives the pmf of length 2M+1.
+	SolverIncrementPMF Point = "solver/increment-pmf"
+	// SolverLossBounds fires after each Lindley step on the pair
+	// {lower, upper} of freshly evaluated loss bounds, before the solver's
+	// invariant checks. The corruption function receives a 2-element slice.
+	SolverLossBounds Point = "solver/loss-bounds"
+)
+
+var (
+	armedCount atomic.Int32 // fast-path gate: number of armed points
+
+	mu    sync.RWMutex
+	hooks = map[Point]func([]float64){}
+	fires = map[Point]int{}
+)
+
+// Arm installs f as the corruption function at point p, replacing any
+// previous one. f runs synchronously inside the instrumented hot path.
+func Arm(p Point, f func([]float64)) {
+	if f == nil {
+		Disarm(p)
+		return
+	}
+	mu.Lock()
+	if _, ok := hooks[p]; !ok {
+		armedCount.Add(1)
+	}
+	hooks[p] = f
+	mu.Unlock()
+}
+
+// Disarm removes the corruption function at point p, if any.
+func Disarm(p Point) {
+	mu.Lock()
+	if _, ok := hooks[p]; ok {
+		armedCount.Add(-1)
+		delete(hooks, p)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point and clears the fire counters.
+func Reset() {
+	mu.Lock()
+	armedCount.Add(-int32(len(hooks)))
+	hooks = map[Point]func([]float64){}
+	fires = map[Point]int{}
+	mu.Unlock()
+}
+
+// Active reports whether any fault point is armed. It is the cheap guard
+// instrumented code may use to skip work when nothing is armed.
+func Active() bool { return armedCount.Load() != 0 }
+
+// Apply invokes the corruption function armed at p, if any, on xs.
+// With nothing armed anywhere it returns after one atomic load.
+func Apply(p Point, xs []float64) {
+	if armedCount.Load() == 0 {
+		return
+	}
+	mu.RLock()
+	f := hooks[p]
+	mu.RUnlock()
+	if f == nil {
+		return
+	}
+	f(xs)
+	mu.Lock()
+	fires[p]++
+	mu.Unlock()
+}
+
+// Fired returns how many times the fault at p has fired since the last
+// Reset. Tests use it to assert that an armed fault actually executed.
+func Fired(p Point) int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return fires[p]
+}

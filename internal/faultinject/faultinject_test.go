@@ -1,0 +1,87 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArmApplyDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	if Active() {
+		t.Fatal("fresh package must have nothing armed")
+	}
+	xs := []float64{1, 2, 3}
+	Apply(SolverConvolution, xs) // no-op when disarmed
+	if xs[0] != 1 {
+		t.Fatal("disarmed Apply mutated data")
+	}
+	Arm(SolverConvolution, func(v []float64) { v[0] = -7 })
+	if !Active() {
+		t.Fatal("Active false after Arm")
+	}
+	Apply(SolverConvolution, xs)
+	if xs[0] != -7 {
+		t.Fatal("armed fault did not fire")
+	}
+	if Fired(SolverConvolution) != 1 {
+		t.Fatalf("fire count = %d, want 1", Fired(SolverConvolution))
+	}
+	// Other points are unaffected.
+	ys := []float64{5}
+	Apply(SolverIncrementPMF, ys)
+	if ys[0] != 5 {
+		t.Fatal("fault fired at wrong point")
+	}
+	Disarm(SolverConvolution)
+	if Active() {
+		t.Fatal("Active true after Disarm")
+	}
+	xs[0] = 1
+	Apply(SolverConvolution, xs)
+	if xs[0] != 1 {
+		t.Fatal("fault fired after Disarm")
+	}
+}
+
+func TestArmNilDisarms(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SolverLossBounds, func([]float64) {})
+	Arm(SolverLossBounds, nil)
+	if Active() {
+		t.Fatal("Arm(nil) must disarm")
+	}
+}
+
+func TestResetClearsCounters(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SolverIncrementPMF, func([]float64) {})
+	Apply(SolverIncrementPMF, nil)
+	Reset()
+	if Active() || Fired(SolverIncrementPMF) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestConcurrentApply(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(SolverConvolution, func(v []float64) {
+		if len(v) > 0 {
+			v[0]++
+		}
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := []float64{0}
+			for i := 0; i < 100; i++ {
+				Apply(SolverConvolution, local)
+			}
+		}()
+	}
+	wg.Wait()
+	if Fired(SolverConvolution) != 800 {
+		t.Fatalf("fire count = %d, want 800", Fired(SolverConvolution))
+	}
+}

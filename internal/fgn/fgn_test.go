@@ -148,6 +148,9 @@ func TestDaviesHarteSelfSimilarAggregateVariance(t *testing.T) {
 }
 
 func TestHoskingMatchesTheoryACF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("O(n²) Hosking replicas are slow")
+	}
 	h := 0.75
 	n := 4096
 	reps := 8
@@ -173,6 +176,9 @@ func TestHoskingMatchesTheoryACF(t *testing.T) {
 }
 
 func TestGeneratorsAgreeInDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many-replica generator comparison is slow")
+	}
 	// Compare the two exact generators through summary statistics of many
 	// short replicas: per-lag covariance estimates should agree closely.
 	h := 0.85

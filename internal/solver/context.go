@@ -1,0 +1,142 @@
+package solver
+
+import (
+	"context"
+	"errors"
+)
+
+// DegradeReason explains why a Result was returned before the convergence
+// target was met. An empty reason means the solve ran to completion.
+type DegradeReason string
+
+const (
+	// DegradedCanceled: the context was canceled mid-solve.
+	DegradedCanceled DegradeReason = "canceled"
+	// DegradedDeadline: the context deadline (or Config.MaxDuration budget)
+	// expired mid-solve.
+	DegradedDeadline DegradeReason = "deadline exceeded"
+	// DegradedIterations: the Config.MaxIterations budget was exhausted.
+	DegradedIterations DegradeReason = "iteration budget exhausted"
+	// DegradedStalled: the bounds stopped moving numerically at the maximum
+	// resolution without reaching the RelGap target.
+	DegradedStalled DegradeReason = "bounds stalled at maximum resolution"
+)
+
+func degradeReasonFromContext(err error) DegradeReason {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return DegradedDeadline
+	case errors.Is(err, context.Canceled):
+		return DegradedCanceled
+	case err != nil:
+		return DegradeReason(err.Error())
+	}
+	return ""
+}
+
+// SolveContext is Solve with cancellation and deadline support. The context
+// is checked between Lindley iterations; on cancellation or deadline expiry
+// the solver does not discard its work — by Proposition II.1 the bounds are
+// valid at every iteration, so it returns the best-so-far bracketed Result
+// with Result.Degraded set and a nil error. Errors are returned only for
+// malformed inputs or numeric-watchdog violations (see ErrNumeric).
+func SolveContext(ctx context.Context, q Queue, cfg Config) (Result, error) {
+	it, err := NewIterator(q, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return it.RunContext(ctx)
+}
+
+// SolveModelContext is SolveModel with cancellation and deadline support;
+// it follows the same degrade-gracefully contract as SolveContext.
+func SolveModelContext(ctx context.Context, m Model, cfg Config) (Result, error) {
+	it, err := NewModelIterator(m, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return it.RunContext(ctx)
+}
+
+// RunContext drives the iterate/refine loop to completion, checking ctx
+// between Lindley steps. A positive Config.MaxDuration additionally imposes
+// a per-solve wall-clock budget on top of any deadline already carried by
+// ctx. On cancellation or expiry the current bracket is returned as a
+// degraded Result (Converged false, Degraded set, Lower <= Loss <= Upper)
+// with a nil error.
+func (it *Iterator) RunContext(ctx context.Context) (Result, error) {
+	if it.cfg.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, it.cfg.MaxDuration)
+		defer cancel()
+	}
+	const hardStallTol = 1e-12 // below this the n-recursion is numerically fixed
+	// Bound values far below the loss floor are roundoff noise; snap them
+	// to zero so their jitter does not mask stationarity (otherwise a cell
+	// whose lower bound hovers around 1e-17 never triggers refinement).
+	snap := func(v float64) float64 {
+		if v < it.cfg.LossFloor/100 {
+			return 0
+		}
+		return v
+	}
+	prevLo, prevHi := snap(it.lowerLoss), snap(it.upperLoss)
+	stall, hardStall := 0, 0
+	outOfResolution := false
+	for it.iterations < it.cfg.MaxIterations {
+		if r, ok := it.converged(); ok {
+			return r, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return it.degraded(degradeReasonFromContext(err)), nil
+		}
+		if err := it.Step(); err != nil {
+			return Result{}, err
+		}
+		// Stationarity in n at this resolution: both bounds barely moving.
+		loMove := relChange(prevLo, snap(it.lowerLoss))
+		hiMove := relChange(prevHi, snap(it.upperLoss))
+		prevLo, prevHi = snap(it.lowerLoss), snap(it.upperLoss)
+		if loMove < it.cfg.StallTol && hiMove < it.cfg.StallTol {
+			stall++
+		} else {
+			stall = 0
+		}
+		if loMove < hardStallTol && hiMove < hardStallTol {
+			hardStall++
+		} else {
+			hardStall = 0
+		}
+		if outOfResolution {
+			// Out of resolution. Keep iterating — the bounds may still
+			// tighten in n — but give up once they are numerically fixed.
+			if hardStall >= 10 {
+				break
+			}
+			continue
+		}
+		if stall >= 5 {
+			stall, hardStall = 0, 0
+			if !it.Refine() {
+				outOfResolution = true
+			}
+		}
+	}
+	if r, ok := it.converged(); ok {
+		return r, nil
+	}
+	reason := DegradedStalled
+	if it.iterations >= it.cfg.MaxIterations {
+		reason = DegradedIterations
+	}
+	return it.degraded(reason), nil
+}
+
+// degraded packages the current bracket as a valid, clearly tagged partial
+// result: the loss is the bracket midpoint, Converged is false, and
+// Degraded records why the solve stopped early.
+func (it *Iterator) degraded(reason DegradeReason) Result {
+	r := it.result((it.lowerLoss+it.upperLoss)/2, it.lowerLoss, it.upperLoss, false)
+	r.Degraded = reason
+	return r
+}

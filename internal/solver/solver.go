@@ -17,14 +17,39 @@
 // bounds stop tightening at a given resolution, M is doubled and the
 // iteration warm-restarts from the coarse occupancy vectors (footnote 3 of
 // the paper).
+//
+// # Robustness contract
+//
+// Every solve is interruptible, budgeted, and self-checking:
+//
+//   - Cancellation. SolveContext, SolveModelContext, and Iterator.RunContext
+//     check their context between Lindley iterations. Because the bounds are
+//     valid at every iteration (Prop. II.1), cancellation or deadline expiry
+//     never discards work: the solver returns the best-so-far bracketed
+//     Result with Converged=false and Result.Degraded recording the reason,
+//     and a nil error. A degraded Result still brackets the true loss:
+//     Lower <= true loss <= Upper, and Lower <= Loss <= Upper (the midpoint).
+//   - Budgets. Config.MaxDuration imposes a per-solve wall-clock budget,
+//     Config.MaxIterations an iteration budget; exhausting either degrades
+//     gracefully the same way instead of erroring or hanging.
+//   - Numeric health. A watchdog in the hot loop rejects NaN/Inf values,
+//     occupancy-mass drift beyond Config.MassDriftTol, bracket inversion
+//     (lower > upper), and non-monotone bound movement. Violations surface
+//     as *NumericError (matching the ErrNumeric sentinel) and the offending
+//     step is never committed, so callers never observe garbage bounds. The
+//     internal/faultinject package deliberately corrupts these quantities in
+//     tests to prove the watchdog catches what it claims.
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"lrd/internal/dist"
+	"lrd/internal/faultinject"
 	"lrd/internal/fft"
 	"lrd/internal/fluid"
 	"lrd/internal/numerics"
@@ -140,6 +165,15 @@ type Config struct {
 	// StallTol declares the n-iteration stationary at the current M when
 	// both bounds move by less than StallTol relative per step. Default 1e-4.
 	StallTol float64
+	// MaxDuration is a per-solve wall-clock budget. When positive, RunContext
+	// (and SolveContext/SolveModelContext) stop after it elapses and return
+	// the best-so-far bracket as a degraded Result. Zero means no budget.
+	MaxDuration time.Duration
+	// MassDriftTol is the numeric-health watchdog's tolerance for occupancy
+	// pmf mass drift per convolution step before renormalization. Drift
+	// beyond it returns a *NumericError instead of silently renormalizing
+	// corrupted mass. Default 1e-6 (roundoff drift is ~1e-15).
+	MassDriftTol float64
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +198,9 @@ func (c Config) withDefaults() Config {
 	if c.StallTol <= 0 {
 		c.StallTol = 1e-4
 	}
+	if c.MassDriftTol <= 0 {
+		c.MassDriftTol = 1e-6
+	}
 	return c
 }
 
@@ -181,6 +218,12 @@ type Result struct {
 	// Converged reports whether the RelGap target (or the loss floor) was
 	// met before exhausting MaxBins/MaxIterations.
 	Converged bool
+	// Degraded is nonempty when the solve stopped before its convergence
+	// target — context cancellation, deadline or budget expiry, or a
+	// numeric stall — and records why. A degraded result is still a valid
+	// bracket: Lower <= true loss <= Upper holds at every iteration
+	// (Prop. II.1), and Loss is the bracket midpoint.
+	Degraded DegradeReason
 	// GridStep is the final quantization d = B/M in work units.
 	GridStep float64
 	// LowerOccupancy and UpperOccupancy are the final occupancy pmfs of
@@ -193,8 +236,12 @@ type Result struct {
 // OccupancyQuantile returns conservative (lower, upper) estimates of the
 // u-quantile of the stationary queue occupancy, in work units, read from
 // the two bound distributions. The delay quantile follows by dividing by
-// the service rate. u must lie in (0, 1].
+// the service rate. u must lie in (0, 1]; any other value (including NaN)
+// yields (NaN, NaN) rather than a silently wrong quantile.
 func (r Result) OccupancyQuantile(u float64) (lower, upper float64) {
+	if !(u > 0 && u <= 1) {
+		return math.NaN(), math.NaN()
+	}
 	quantile := func(pmf []float64) float64 {
 		var acc float64
 		for j, p := range pmf {
@@ -282,6 +329,12 @@ func NewModelIterator(m Model, cfg Config) (*Iterator, error) {
 		arrivalWork: m.Marginal.Mean() * m.Interarrival.Mean(),
 	}
 	it.setResolution(cfg.InitialBins)
+	if err := it.validatePMF("lower increment", it.wl, cfg.MassDriftTol); err != nil {
+		return nil, err
+	}
+	if err := it.validatePMF("upper increment", it.wh, cfg.MassDriftTol); err != nil {
+		return nil, err
+	}
 	it.ql = make([]float64, it.bins+1)
 	it.qh = make([]float64, it.bins+1)
 	it.ql[0] = 1       // Q_L(0) = 0: start empty
@@ -325,13 +378,25 @@ func (it *Iterator) UpperOccupancy() []float64 {
 }
 
 // Step performs one Lindley iteration on both bound processes and refreshes
-// the loss bounds.
-func (it *Iterator) Step() {
-	it.ql = lindleyStep(it.ql, it.wl, it.bins)
-	it.qh = lindleyStep(it.qh, it.wh, it.bins)
-	it.lowerLoss = it.lossOf(it.ql)
-	it.upperLoss = it.lossOf(it.qh)
+// the loss bounds. The numeric-health watchdog validates the step before it
+// is committed: on a violation Step returns a *NumericError and leaves the
+// iterator at its last healthy state.
+func (it *Iterator) Step() error {
+	ql, driftL := lindleyStep(it.ql, it.wl, it.bins)
+	qh, driftH := lindleyStep(it.qh, it.wh, it.bins)
+	newLo, newHi := it.lossOf(ql), it.lossOf(qh)
+	if faultinject.Active() {
+		pair := []float64{newLo, newHi}
+		faultinject.Apply(faultinject.SolverLossBounds, pair)
+		newLo, newHi = pair[0], pair[1]
+	}
+	if err := it.checkStepHealth(driftL, driftH, newLo, newHi); err != nil {
+		return err
+	}
+	it.ql, it.qh = ql, qh
+	it.lowerLoss, it.upperLoss = newLo, newHi
 	it.iterations++
+	return nil
 }
 
 // Refine doubles the resolution, re-projecting the occupancy vectors onto
@@ -383,70 +448,11 @@ func (it *Iterator) result(loss, lo, hi float64, ok bool) Result {
 	}
 }
 
-// Run drives the iterate/refine loop to completion.
+// Run drives the iterate/refine loop to completion. It is RunContext with
+// a background context; see RunContext for the degrade-gracefully and
+// numeric-health contract.
 func (it *Iterator) Run() (Result, error) {
-	const hardStallTol = 1e-12 // below this the n-recursion is numerically fixed
-	// Bound values far below the loss floor are roundoff noise; snap them
-	// to zero so their jitter does not mask stationarity (otherwise a cell
-	// whose lower bound hovers around 1e-17 never triggers refinement).
-	snap := func(v float64) float64 {
-		if v < it.cfg.LossFloor/100 {
-			return 0
-		}
-		return v
-	}
-	prevLo, prevHi := snap(it.lowerLoss), snap(it.upperLoss)
-	stall, hardStall := 0, 0
-	for it.iterations < it.cfg.MaxIterations {
-		if r, ok := it.converged(); ok {
-			return r, nil
-		}
-		it.Step()
-		// Stationarity in n at this resolution: both bounds barely moving.
-		loMove := relChange(prevLo, snap(it.lowerLoss))
-		hiMove := relChange(prevHi, snap(it.upperLoss))
-		prevLo, prevHi = snap(it.lowerLoss), snap(it.upperLoss)
-		if loMove < it.cfg.StallTol && hiMove < it.cfg.StallTol {
-			stall++
-		} else {
-			stall = 0
-		}
-		if loMove < hardStallTol && hiMove < hardStallTol {
-			hardStall++
-		} else {
-			hardStall = 0
-		}
-		if stall >= 5 {
-			stall, hardStall = 0, 0
-			if !it.Refine() {
-				// Out of resolution. Keep iterating — the bounds may still
-				// tighten in n — but give up once they are numerically fixed.
-				for it.iterations < it.cfg.MaxIterations {
-					if r, ok := it.converged(); ok {
-						return r, nil
-					}
-					it.Step()
-					loMove = relChange(prevLo, snap(it.lowerLoss))
-					hiMove = relChange(prevHi, snap(it.upperLoss))
-					prevLo, prevHi = snap(it.lowerLoss), snap(it.upperLoss)
-					if loMove < hardStallTol && hiMove < hardStallTol {
-						hardStall++
-						if hardStall >= 10 {
-							break
-						}
-					} else {
-						hardStall = 0
-					}
-				}
-				break
-			}
-		}
-	}
-	if r, ok := it.converged(); ok {
-		return r, nil
-	}
-	mid := (it.lowerLoss + it.upperLoss) / 2
-	return it.result(mid, it.lowerLoss, it.upperLoss, false), nil
+	return it.RunContext(context.Background())
 }
 
 func relChange(prev, cur float64) float64 {
@@ -464,11 +470,13 @@ func relChange(prev, cur float64) float64 {
 // increment pmf, then fold the mass escaping below 0 into bin 0 and the
 // mass escaping above B into bin M. The result is renormalized to unit mass
 // to stop roundoff drift over long runs (and to clamp the ~1-ulp negative
-// values FFT convolution can produce).
-func lindleyStep(q, w []float64, m int) []float64 {
+// values FFT convolution can produce). The pre-renormalization drift
+// (total−1) is returned for the numeric-health watchdog.
+func lindleyStep(q, w []float64, m int) (out []float64, drift float64) {
 	// u[k] corresponds to occupancy position (k−m)·d, k = 0..3m.
 	u := fft.ConvolveReal(q, w)
-	out := make([]float64, m+1)
+	faultinject.Apply(faultinject.SolverConvolution, u)
+	out = make([]float64, m+1)
 	var under, over numerics.Accumulator
 	for k := 0; k <= m; k++ { // positions −m·d … 0
 		under.Add(math.Max(u[k], 0))
@@ -488,7 +496,7 @@ func lindleyStep(q, w []float64, m int) []float64 {
 			out[j] *= inv
 		}
 	}
-	return out
+	return out, total - 1
 }
 
 // incrementPMFs builds the rounded-increment pmfs of Eqs. (21)–(22):
@@ -534,6 +542,8 @@ func (it *Iterator) incrementPMFs(m int) (wl, wh []float64) {
 	}
 	clampNonneg(wl)
 	clampNonneg(wh)
+	faultinject.Apply(faultinject.SolverIncrementPMF, wl)
+	faultinject.Apply(faultinject.SolverIncrementPMF, wh)
 	return wl, wh
 }
 

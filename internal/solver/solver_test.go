@@ -574,3 +574,41 @@ func TestResultOccupancyQuantile(t *testing.T) {
 		t.Fatal("empty result should give zero quantiles")
 	}
 }
+
+// TestOccupancyQuantileEdges pins the domain contract: u must lie in
+// (0, 1]. Out-of-domain arguments return NaN rather than a misleading
+// boundary value; u = 1 is the largest valid probability and u just above
+// 0 is valid too.
+func TestOccupancyQuantileEdges(t *testing.T) {
+	q, err := NewQueueNormalized(onOffSource(t, 1), 0.8, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(q, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0, -0.25, -1, 1.0000001, 2, math.Inf(1), math.Inf(-1), math.NaN()} {
+		lo, hi := res.OccupancyQuantile(u)
+		if !math.IsNaN(lo) || !math.IsNaN(hi) {
+			t.Fatalf("u=%v: want NaN quantiles, got %v %v", u, lo, hi)
+		}
+	}
+	// u = 1 is in-domain: it is the full-mass quantile, finite and <= B.
+	lo, hi := res.OccupancyQuantile(1)
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatal("u=1 must be valid")
+	}
+	if lo < 0 || hi > q.Buffer+1e-9 {
+		t.Fatalf("u=1 quantiles outside [0, B]: %v %v", lo, hi)
+	}
+	// The smallest representable positive u is in-domain as well.
+	lo, hi = res.OccupancyQuantile(math.SmallestNonzeroFloat64)
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo < 0 {
+		t.Fatalf("tiny positive u misbehaved: %v %v", lo, hi)
+	}
+	// Out-of-domain on an empty Result is still NaN (domain checked first).
+	if lo, hi := (Result{}).OccupancyQuantile(0); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatal("empty result with u=0 should give NaN")
+	}
+}

@@ -146,8 +146,39 @@ var (
 	Solve = solver.Solve
 	// SolveModel computes the stationary loss rate of a general Model.
 	SolveModel = solver.SolveModel
+	// SolveContext is Solve with cancellation, deadline, and budget support:
+	// on interruption it returns the best-so-far bracketed Result with
+	// Result.Degraded set rather than an error.
+	SolveContext = solver.SolveContext
+	// SolveModelContext is SolveModel with the same degrade-gracefully
+	// contract as SolveContext.
+	SolveModelContext = solver.SolveModelContext
 	// NewIterator exposes the bound iteration step by step.
 	NewIterator = solver.NewIterator
+	// ErrNumeric is the sentinel matched (via errors.Is) by every numeric
+	// watchdog violation the solver detects.
+	ErrNumeric = solver.ErrNumeric
+)
+
+// Robustness vocabulary: why a Result came back degraded, and the typed
+// error carrying numeric-watchdog diagnoses.
+type (
+	// DegradeReason tags a Result that was returned before convergence.
+	DegradeReason = solver.DegradeReason
+	// NumericError is the typed error for numeric invariant violations.
+	NumericError = solver.NumericError
+)
+
+// DegradeReason values.
+const (
+	// DegradedCanceled: the context was canceled mid-solve.
+	DegradedCanceled = solver.DegradedCanceled
+	// DegradedDeadline: a deadline or wall-clock budget expired mid-solve.
+	DegradedDeadline = solver.DegradedDeadline
+	// DegradedIterations: the iteration budget ran out.
+	DegradedIterations = solver.DegradedIterations
+	// DegradedStalled: the bounds stopped moving at maximum resolution.
+	DegradedStalled = solver.DegradedStalled
 )
 
 // Simulation and shuffling.
