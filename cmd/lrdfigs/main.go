@@ -3,11 +3,17 @@
 // experiment into an output directory and printing a one-line summary per
 // experiment as it completes.
 //
+// Observability flags: -metrics writes a JSON metrics snapshot on exit,
+// -trace streams per-iteration solver convergence points as JSONL,
+// -progress prints a periodic status line to stderr, and -pprof serves
+// net/http/pprof plus an expvar metrics export.
+//
 // Example:
 //
 //	lrdfigs -out results -quick      # fast smoke run
 //	lrdfigs -out results             # full paper-scale grids
 //	lrdfigs -out results -only fig4,fig5
+//	lrdfigs -out results -quick -metrics m.json -progress
 package main
 
 import (
@@ -22,20 +28,32 @@ import (
 	"time"
 
 	"lrd/internal/core"
+	"lrd/internal/fft"
+	"lrd/internal/obs"
+	"lrd/internal/solver"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real main so that deferred cleanup — in particular the
+// -metrics snapshot written by the obs CLI on Close — executes on every
+// exit path, including interrupted runs. os.Exit would skip defers.
+func run() int {
 	var (
-		out   = flag.String("out", "results", "output directory for the TSV files")
-		seed  = flag.Int64("seed", 1, "random seed")
-		quick = flag.Bool("quick", false, "use shrunken grids")
-		only  = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+		out         = flag.String("out", "results", "output directory for the TSV files")
+		seed        = flag.Int64("seed", 1, "random seed")
+		quick       = flag.Bool("quick", false, "use shrunken grids")
+		only        = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		tracePath   = flag.String("trace", "", "write per-iteration solver convergence points to this file as JSONL")
+		progress    = flag.Bool("progress", false, "print a periodic progress line to stderr")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
 	)
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "lrdfigs: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	var selected map[string]bool
 	if *only != "" {
@@ -44,9 +62,28 @@ func main() {
 			selected[strings.TrimSpace(id)] = true
 		}
 	}
+
+	cli, err := obs.StartCLI(obs.CLIOptions{
+		Name:        "lrdfigs",
+		MetricsPath: *metricsPath,
+		TracePath:   *tracePath,
+		PprofAddr:   *pprofAddr,
+		Progress:    *progress,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrdfigs: %v\n", err)
+		return 1
+	}
+	defer cli.Close()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opts := core.RunOptions{Seed: *seed, Quick: *quick}
+	opts.Solver.Recorder = cli.Recorder()
+	fft.SetRecorder(cli.Recorder())
+	if enc := cli.TraceEncoder(); enc != nil {
+		opts.Solver.Trace = func(p solver.TracePoint) { enc(p) }
+	}
 	failures := 0
 	for _, e := range core.Experiments() {
 		if selected != nil && !selected[e.ID] {
@@ -78,8 +115,9 @@ func main() {
 		fmt.Printf("%-8s %4d rows  %8s  %s\n", e.ID, len(table.Rows), time.Since(start).Round(time.Millisecond), path)
 	}
 	if failures > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func writeTSV(path string, e core.Experiment, table core.Table) error {

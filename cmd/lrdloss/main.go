@@ -14,6 +14,10 @@
 // The solve is interruptible: on SIGINT or when the -timeout budget
 // expires the best-so-far loss bounds are printed (they bracket the true
 // loss at every iteration) and the command exits nonzero.
+//
+// Observability flags: -metrics writes a JSON metrics snapshot on exit,
+// -trace streams per-iteration convergence points as JSONL, and -pprof
+// serves net/http/pprof plus an expvar metrics export.
 package main
 
 import (
@@ -28,10 +32,16 @@ import (
 
 	"lrd/internal/dist"
 	"lrd/internal/fluid"
+	"lrd/internal/obs"
 	"lrd/internal/solver"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real main so that deferred cleanup — in particular the
+// -metrics snapshot written by the obs CLI on Close — executes on every
+// exit path, including interrupted solves. os.Exit would skip defers.
+func run() int {
 	var (
 		marginalFlag = flag.String("marginal", "", "marginal as rate:prob pairs, e.g. 0:0.5,2:0.5 (required)")
 		hurst        = flag.Float64("hurst", 0, "Hurst parameter in (0.5, 1); sets alpha = 3-2H")
@@ -46,20 +56,26 @@ func main() {
 		maxBins      = flag.Int("maxbins", 0, "resolution cap (default 32768)")
 		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the solve (0 = none)")
 		verbose      = flag.Bool("v", false, "print solver diagnostics")
+		metricsPath  = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		tracePath    = flag.String("trace", "", "write per-iteration convergence points to this file as JSONL")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
 	)
 	flag.Parse()
 
+	bad := false
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "lrdloss: "+format+"\n", args...)
-		os.Exit(1)
+		bad = true
 	}
 
 	if *marginalFlag == "" {
 		fail("-marginal is required (rate:prob pairs)")
+		return 1
 	}
 	m, err := parseMarginal(*marginalFlag)
 	if err != nil {
 		fail("%v", err)
+		return 1
 	}
 	a := *alpha
 	switch {
@@ -70,22 +86,29 @@ func main() {
 	case *alpha == 0:
 		fail("one of -hurst or -alpha is required")
 	}
+	if bad {
+		return 1
+	}
 	th := *theta
 	if th == 0 {
 		if *epoch == 0 {
 			fail("one of -theta or -epoch is required")
+			return 1
 		}
 		th, err = dist.CalibrateTheta(a, *epoch)
 		if err != nil {
 			fail("%v", err)
+			return 1
 		}
 	}
 	src, err := fluid.New(m, dist.TruncatedPareto{Theta: th, Alpha: a, Cutoff: *cutoff})
 	if err != nil {
 		fail("%v", err)
+		return 1
 	}
 	if *buffer <= 0 {
 		fail("-buffer is required (seconds)")
+		return 1
 	}
 	var q solver.Queue
 	switch {
@@ -98,16 +121,39 @@ func main() {
 	default:
 		fail("one of -util or -service is required")
 	}
+	if bad {
+		return 1
+	}
 	if err != nil {
 		fail("%v", err)
+		return 1
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	res, err := solver.SolveContext(ctx, q, solver.Config{
-		RelGap: *relGap, MaxBins: *maxBins, MaxDuration: *timeout,
+
+	cli, err := obs.StartCLI(obs.CLIOptions{
+		Name:        "lrdloss",
+		MetricsPath: *metricsPath,
+		TracePath:   *tracePath,
+		PprofAddr:   *pprofAddr,
 	})
 	if err != nil {
 		fail("%v", err)
+		return 1
+	}
+	defer cli.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := solver.Config{
+		RelGap: *relGap, MaxBins: *maxBins, MaxDuration: *timeout,
+		Recorder: cli.Recorder(),
+	}
+	if enc := cli.TraceEncoder(); enc != nil {
+		cfg.Trace = func(p solver.TracePoint) { enc(p) }
+	}
+	res, err := solver.SolveContext(ctx, q, cfg)
+	if err != nil {
+		fail("%v", err)
+		return 1
 	}
 	fmt.Printf("loss %.6g\n", res.Loss)
 	fmt.Printf("bounds [%.6g, %.6g]\n", res.Lower, res.Upper)
@@ -121,12 +167,13 @@ func main() {
 	switch {
 	case res.Degraded == solver.DegradedCanceled || res.Degraded == solver.DegradedDeadline:
 		fmt.Fprintf(os.Stderr, "lrdloss: interrupted (%s); bounds above still bracket the true loss\n", res.Degraded)
-		os.Exit(1)
+		return 1
 	case res.Degraded != "":
 		fmt.Fprintf(os.Stderr, "lrdloss: degraded result (%s); bounds above still bracket the true loss\n", res.Degraded)
 	case !res.Converged:
 		fmt.Fprintln(os.Stderr, "lrdloss: warning: bounds did not reach the requested gap; result is the bracket midpoint")
 	}
+	return 0
 }
 
 // parseMarginal parses "rate:prob,rate:prob,…".

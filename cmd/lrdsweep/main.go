@@ -10,11 +10,17 @@
 // individual solver cell; cells that hit it are reported with their
 // best-so-far loss bounds and a nonempty "degraded" column.
 //
+// Observability flags: -metrics writes a JSON metrics snapshot on exit
+// (including interrupted exits), -trace streams per-iteration solver
+// convergence points as JSONL, -progress prints a periodic status line to
+// stderr, and -pprof serves net/http/pprof plus an expvar metrics export.
+//
 // Example:
 //
 //	lrdsweep -exp fig9 -quick                     # fast, shrunken grids
 //	lrdsweep -exp fig4 -seed 7 > fig4.tsv
 //	lrdsweep -exp fig5 -timeout 2m -point-timeout 5s
+//	lrdsweep -exp fig4 -quick -metrics m.json -trace t.jsonl -progress
 package main
 
 import (
@@ -27,9 +33,17 @@ import (
 	"strings"
 
 	"lrd/internal/core"
+	"lrd/internal/fft"
+	"lrd/internal/obs"
+	"lrd/internal/solver"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real main so that deferred cleanup — in particular the
+// -metrics snapshot written by the obs CLI on Close — executes on every
+// exit path, including interrupted sweeps. os.Exit would skip defers.
+func run() int {
 	var (
 		exp          = flag.String("exp", "", "experiment id (see -list)")
 		seed         = flag.Int64("seed", 1, "random seed for trace synthesis and shuffling")
@@ -37,6 +51,10 @@ func main() {
 		list         = flag.Bool("list", false, "list experiment ids and exit")
 		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
 		pointTimeout = flag.Duration("point-timeout", 0, "wall-clock budget per solver cell (0 = none)")
+		metricsPath  = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		tracePath    = flag.String("trace", "", "write per-iteration solver convergence points to this file as JSONL")
+		progress     = flag.Bool("progress", false, "print a periodic progress line to stderr")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -44,17 +62,30 @@ func main() {
 		for _, e := range core.Experiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "lrdsweep: -exp is required (use -list to enumerate)")
-		os.Exit(1)
+		return 1
 	}
 	e, err := core.ExperimentByID(*exp)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lrdsweep: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+
+	cli, err := obs.StartCLI(obs.CLIOptions{
+		Name:        "lrdsweep",
+		MetricsPath: *metricsPath,
+		TracePath:   *tracePath,
+		PprofAddr:   *pprofAddr,
+		Progress:    *progress,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lrdsweep: %v\n", err)
+		return 1
+	}
+	defer cli.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -65,12 +96,17 @@ func main() {
 	}
 
 	opts := core.RunOptions{Seed: *seed, Quick: *quick, PointTimeout: *pointTimeout}
+	opts.Solver.Recorder = cli.Recorder()
+	fft.SetRecorder(cli.Recorder())
+	if enc := cli.TraceEncoder(); enc != nil {
+		opts.Solver.Trace = func(p solver.TracePoint) { enc(p) }
+	}
 	table, runErr := e.Run(ctx, opts)
 	interrupted := runErr != nil &&
 		(errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
 	if runErr != nil && !interrupted {
 		fmt.Fprintf(os.Stderr, "lrdsweep: %s: %v\n", e.ID, runErr)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("# %s: %s\n", e.ID, e.Title)
@@ -83,6 +119,7 @@ func main() {
 	if interrupted {
 		fmt.Printf("# interrupted: %v (%d completed rows flushed)\n", runErr, len(table.Rows))
 		fmt.Fprintf(os.Stderr, "lrdsweep: %s interrupted: %v\n", e.ID, runErr)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

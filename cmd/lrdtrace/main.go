@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -29,24 +30,34 @@ import (
 	"lrd/internal/traces"
 )
 
-func main() {
-	var (
-		gen      = flag.String("gen", "", "trace to generate: mtv, bellcore, lognormal, onoff")
-		analyze  = flag.String("analyze", "", "CSV trace file to analyze")
-		out      = flag.String("out", "", "write the generated trace to this CSV file")
-		seed     = flag.Int64("seed", 1, "random seed")
-		mean     = flag.Float64("mean", 5, "lognormal: mean rate")
-		cov      = flag.Float64("cov", 0.5, "lognormal: coefficient of variation")
-		hurst    = flag.Float64("hurst", 0.85, "lognormal/onoff: Hurst parameter")
-		bins     = flag.Int("bins", 1<<15, "lognormal: number of samples")
-		binWidth = flag.Float64("binwidth", 0.01, "lognormal/onoff: seconds per bin")
-		sources  = flag.Int("sources", 32, "onoff: number of superposed sources")
-	)
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
+// run is the testable body of main: it parses args with its own FlagSet and
+// writes the report to stdout, diagnostics to stderr, returning the exit
+// code instead of calling os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lrdtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		gen      = fs.String("gen", "", "trace to generate: mtv, bellcore, lognormal, onoff")
+		analyze  = fs.String("analyze", "", "CSV trace file to analyze")
+		out      = fs.String("out", "", "write the generated trace to this CSV file")
+		seed     = fs.Int64("seed", 1, "random seed")
+		mean     = fs.Float64("mean", 5, "lognormal: mean rate")
+		cov      = fs.Float64("cov", 0.5, "lognormal: coefficient of variation")
+		hurst    = fs.Float64("hurst", 0.85, "lognormal/onoff: Hurst parameter")
+		bins     = fs.Int("bins", 1<<15, "lognormal: number of samples")
+		binWidth = fs.Float64("binwidth", 0.01, "lognormal/onoff: seconds per bin")
+		sources  = fs.Int("sources", 32, "onoff: number of superposed sources")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	bad := false
 	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "lrdtrace: "+format+"\n", args...)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "lrdtrace: "+format+"\n", args...)
+		bad = true
 	}
 
 	var tr traces.Trace
@@ -57,6 +68,7 @@ func main() {
 		f, err := os.Open(*analyze)
 		if err != nil {
 			fail("%v", err)
+			break
 		}
 		tr, err = traces.ReadCSV(f)
 		f.Close()
@@ -94,36 +106,44 @@ func main() {
 	default:
 		fail("one of -gen or -analyze is required")
 	}
+	if bad {
+		return 1
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fail("%v", err)
+			return 1
 		}
 		if err := tr.WriteCSV(f); err != nil {
 			fail("%v", err)
+			return 1
 		}
 		if err := f.Close(); err != nil {
 			fail("%v", err)
+			return 1
 		}
-		fmt.Printf("wrote %d samples to %s\n", len(tr.Rates), *out)
-		return
+		fmt.Fprintf(stdout, "wrote %d samples to %s\n", len(tr.Rates), *out)
+		return 0
 	}
 
 	// Analysis report.
-	fmt.Printf("trace      %s\n", tr.Name)
-	fmt.Printf("samples    %d × %.4g s = %.4g s\n", len(tr.Rates), tr.BinWidth, tr.Duration())
-	fmt.Printf("mean rate  %.6g\n", tr.MeanRate())
+	fmt.Fprintf(stdout, "trace      %s\n", tr.Name)
+	fmt.Fprintf(stdout, "samples    %d × %.4g s = %.4g s\n", len(tr.Rates), tr.BinWidth, tr.Duration())
+	fmt.Fprintf(stdout, "mean rate  %.6g\n", tr.MeanRate())
 	if m, err := tr.Marginal(50); err == nil {
-		fmt.Printf("marginal   %v\n", m)
+		fmt.Fprintf(stdout, "marginal   %v\n", m)
 	}
 	if ep, err := tr.MeanEpoch(50); err == nil {
-		fmt.Printf("mean epoch %.4g s\n", ep)
+		fmt.Fprintf(stdout, "mean epoch %.4g s\n", ep)
 	}
 	est, err := lrdest.EstimateAll(tr.Rates)
 	if err != nil {
 		fail("Hurst estimation: %v", err)
+		return 1
 	}
-	fmt.Printf("Hurst      aggvar %.3f | R/S %.3f | Whittle %.3f | wavelet %.3f | GPH %.3f\n",
+	fmt.Fprintf(stdout, "Hurst      aggvar %.3f | R/S %.3f | Whittle %.3f | wavelet %.3f | GPH %.3f\n",
 		est.AggregatedVariance, est.RescaledRange, est.LocalWhittle, est.AbryVeitch, est.GPH)
+	return 0
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run with captured stdout/stderr.
+func runCapture(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunRequiresMode(t *testing.T) {
+	code, _, stderr := runCapture()
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "one of -gen or -analyze is required") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunRejectsBothModes(t *testing.T) {
+	code, _, stderr := runCapture("-gen", "mtv", "-analyze", "x.csv")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "either -gen or -analyze, not both") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunRejectsUnknownGenerator(t *testing.T) {
+	code, _, stderr := runCapture("-gen", "nosuch")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown generator "nosuch"`) {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	code, _, stderr := runCapture("-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunAnalyzeMissingFile(t *testing.T) {
+	code, _, stderr := runCapture("-analyze", filepath.Join(t.TempDir(), "absent.csv"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "lrdtrace:") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunGenerateAnalyzeRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+
+	// Generate a small lognormal trace to a file.
+	code, stdout, stderr := runCapture(
+		"-gen", "lognormal", "-bins", "4096", "-seed", "7", "-out", path)
+	if code != 0 {
+		t.Fatalf("generate: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "wrote 4096 samples to "+path) {
+		t.Fatalf("generate stdout = %q", stdout)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("output file missing or empty: %v", err)
+	}
+
+	// Analyze it back and check the report format.
+	code, stdout, stderr = runCapture("-analyze", path)
+	if code != 0 {
+		t.Fatalf("analyze: exit %d, stderr %q", code, stderr)
+	}
+	for _, want := range []string{
+		"trace      ",
+		"samples    4096 ",
+		"mean rate  ",
+		"marginal   ",
+		"mean epoch ",
+		"Hurst      aggvar ",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("analysis report missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestRunGenerateWithoutOutAnalyzesInline(t *testing.T) {
+	code, stdout, stderr := runCapture("-gen", "onoff", "-sources", "4", "-bins", "2048", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "samples    2048 ") || !strings.Contains(stdout, "Hurst      ") {
+		t.Fatalf("inline analysis report = %q", stdout)
+	}
+}

@@ -14,10 +14,12 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"lrd/internal/dist"
 	"lrd/internal/fluid"
 	"lrd/internal/lrdest"
+	"lrd/internal/obs"
 	"lrd/internal/solver"
 	"lrd/internal/traces"
 )
@@ -126,13 +128,25 @@ type Point struct {
 // dispatch stops, in-flight cells finish, and the returned error is
 // ctx.Err() — completed indices remain marked done, so callers can emit
 // partial, clearly-marked results instead of discarding the sweep.
-func parallelMap(ctx context.Context, n int, f func(i int) error) ([]bool, error) {
+//
+// A non-nil rec receives the sweep telemetry: cells planned/started/
+// completed, per-cell wall time, worker-pool size, and accumulated busy
+// time (worker utilization = busy seconds / (workers × sweep seconds)).
+func parallelMap(ctx context.Context, rec obs.Recorder, n int, f func(i int) error) ([]bool, error) {
 	workers := runtime.NumCPU()
 	if workers > n {
 		workers = n
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	if rec != nil {
+		rec.Add(obs.MetricCoreCellsPlanned, float64(n))
+		rec.Set(obs.MetricCoreWorkers, float64(workers))
+		sweepStart := time.Now()
+		defer func() {
+			rec.Observe(obs.MetricCoreSweepSeconds, time.Since(sweepStart).Seconds())
+		}()
 	}
 	// An internal cancel lets an erroring worker unblock the dispatcher
 	// (which would otherwise wait forever on the unbuffered jobs send).
@@ -147,7 +161,18 @@ func parallelMap(ctx context.Context, n int, f func(i int) error) ([]bool, error
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if err := f(i); err != nil {
+				var cellStart time.Time
+				if rec != nil {
+					rec.Add(obs.MetricCoreCellsStarted, 1)
+					cellStart = time.Now()
+				}
+				err := f(i)
+				if rec != nil {
+					d := time.Since(cellStart).Seconds()
+					rec.Observe(obs.MetricCoreCellSeconds, d)
+					rec.Add(obs.MetricCoreWorkerBusySecond, d)
+				}
+				if err != nil {
 					select {
 					case errs <- err:
 					default:
@@ -156,6 +181,9 @@ func parallelMap(ctx context.Context, n int, f func(i int) error) ([]bool, error
 					return
 				}
 				done[i] = true
+				if rec != nil {
+					rec.Add(obs.MetricCoreCellsCompleted, 1)
+				}
 			}
 		}()
 	}
@@ -203,6 +231,9 @@ func solveCell(ctx context.Context, src fluid.Source, util, nbuf float64, cfg so
 	if err != nil {
 		return Point{}, err
 	}
+	if res.Degraded != "" && cfg.Recorder != nil {
+		cfg.Recorder.Add(obs.MetricCoreCellsDegraded, 1)
+	}
 	return Point{
 		NormalizedBuffer: nbuf,
 		Cutoff:           src.Interarrival.Cutoff,
@@ -226,7 +257,7 @@ func LossVsBufferAndCutoff(ctx context.Context, tm TraceModel, util float64, buf
 		return nil, errors.New("core: empty parameter grid")
 	}
 	out := make([]Point, len(buffers)*len(cutoffs))
-	done, err := parallelMap(ctx, len(out), func(i int) error {
+	done, err := parallelMap(ctx, cfg.Recorder, len(out), func(i int) error {
 		b := buffers[i/len(cutoffs)]
 		tc := cutoffs[i%len(cutoffs)]
 		src, err := tm.Source(tc)
@@ -252,7 +283,7 @@ func LossVsCutoffFixedTheta(ctx context.Context, marginal dist.Marginal, util, n
 	}
 	alpha := dist.AlphaFromHurst(hurst)
 	out := make([]Point, len(cutoffs))
-	done, err := parallelMap(ctx, len(out), func(i int) error {
+	done, err := parallelMap(ctx, cfg.Recorder, len(out), func(i int) error {
 		src, err := fluid.New(marginal, dist.TruncatedPareto{Theta: theta, Alpha: alpha, Cutoff: cutoffs[i]})
 		if err != nil {
 			return err
@@ -275,7 +306,7 @@ func LossVsHurstAndScale(ctx context.Context, tm TraceModel, util, nbuf float64,
 		return nil, errors.New("core: empty parameter grid")
 	}
 	out := make([]Point, len(hursts)*len(scales))
-	done, err := parallelMap(ctx, len(out), func(i int) error {
+	done, err := parallelMap(ctx, cfg.Recorder, len(out), func(i int) error {
 		h := hursts[i/len(scales)]
 		a := scales[i%len(scales)]
 		src, err := tm.SourceWithHurst(h, math.Inf(1))
@@ -315,7 +346,7 @@ func LossVsHurstAndStreams(ctx context.Context, tm TraceModel, util, nbuf float6
 		margs[j] = sm
 	}
 	out := make([]Point, len(hursts)*len(streams))
-	done, err := parallelMap(ctx, len(out), func(i int) error {
+	done, err := parallelMap(ctx, cfg.Recorder, len(out), func(i int) error {
 		h := hursts[i/len(streams)]
 		j := i % len(streams)
 		src, err := tm.SourceWithHurst(h, math.Inf(1))
@@ -341,7 +372,7 @@ func LossVsBufferAndScale(ctx context.Context, tm TraceModel, util float64, buff
 		return nil, errors.New("core: empty parameter grid")
 	}
 	out := make([]Point, len(buffers)*len(scales))
-	done, err := parallelMap(ctx, len(out), func(i int) error {
+	done, err := parallelMap(ctx, cfg.Recorder, len(out), func(i int) error {
 		b := buffers[i/len(scales)]
 		a := scales[i%len(scales)]
 		src, err := tm.Source(math.Inf(1))

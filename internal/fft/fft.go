@@ -7,12 +7,106 @@
 // length-agnostic Forward/Inverse entry points, or ConvolveReal for linear
 // convolution of real sequences (the operation at the heart of the paper's
 // O(M log M) queue-occupancy recursion).
+//
+// Twiddle factors for the radix-2 kernel are precomputed per transform
+// size and cached process-wide (the solver hits the same handful of sizes
+// millions of times during a sweep). SetRecorder attaches a telemetry
+// recorder counting plan-cache hits/misses, transform sizes, and which
+// convolution path (direct vs. FFT) each ConvolveReal call took.
 package fft
 
 import (
 	"math"
 	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"lrd/internal/obs"
 )
+
+// recBox wraps the recorder so a nil interface can be stored in
+// atomic.Value (which rejects inconsistently-typed or nil values).
+type recBox struct{ r obs.Recorder }
+
+var globalRec atomic.Value // recBox
+
+// SetRecorder attaches a telemetry recorder to the package's transform and
+// convolution entry points; nil detaches it. Safe for concurrent use with
+// running transforms.
+func SetRecorder(r obs.Recorder) { globalRec.Store(recBox{r}) }
+
+func recorder() obs.Recorder {
+	if b, ok := globalRec.Load().(recBox); ok {
+		return b.r
+	}
+	return nil
+}
+
+// directConvolutionCrossover is the work bound (len(a)*len(b)) below which
+// the O(n·m) direct convolution beats the FFT path.
+const directConvolutionCrossover = 4096
+
+// DirectConvolutionSizes reports whether ConvolveReal would take the direct
+// O(n·m) path for inputs of the given lengths — exported so instrumented
+// callers (the solver's per-step metrics) can label the path taken without
+// duplicating the crossover constant.
+func DirectConvolutionSizes(n, m int) bool {
+	return n*m <= directConvolutionCrossover
+}
+
+// maxCachedPlanSize bounds plan-cache memory: transforms larger than this
+// (well beyond the solver's maximum convolution length) build their
+// twiddles on the fly instead of being cached.
+const maxCachedPlanSize = 1 << 21
+
+// plan holds the per-stage twiddle factors of a radix-2 transform of one
+// size, flattened: the stage with half-size h occupies indices
+// [h-1, 2h-1). Forward and inverse tables differ only in the sign of the
+// exponent.
+type plan struct {
+	fwd, inv []complex128
+}
+
+var planCache sync.Map // int -> *plan
+
+// planFor returns the (possibly cached) twiddle plan for size n.
+func planFor(n int) *plan {
+	if v, ok := planCache.Load(n); ok {
+		if rec := recorder(); rec != nil {
+			rec.Add(obs.MetricFFTPlanHits, 1)
+		}
+		return v.(*plan)
+	}
+	if rec := recorder(); rec != nil {
+		rec.Add(obs.MetricFFTPlanMisses, 1)
+	}
+	p := buildPlan(n)
+	if n <= maxCachedPlanSize {
+		if v, loaded := planCache.LoadOrStore(n, p); loaded {
+			return v.(*plan)
+		}
+	}
+	return p
+}
+
+// buildPlan precomputes the twiddle factors w_size^k = exp(±2πik/size) for
+// every stage size 2, 4, …, n, k < size/2.
+func buildPlan(n int) *plan {
+	p := &plan{
+		fwd: make([]complex128, n-1),
+		inv: make([]complex128, n-1),
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := 2 * math.Pi / float64(size)
+		for k := 0; k < half; k++ {
+			s, c := math.Sincos(step * float64(k))
+			p.fwd[half-1+k] = complex(c, -s)
+			p.inv[half-1+k] = complex(c, s)
+		}
+	}
+	return p
+}
 
 // Forward returns the discrete Fourier transform of x. The input is not
 // modified. Any length is accepted; power-of-two lengths use the radix-2
@@ -53,9 +147,16 @@ func transform(x []complex128, inverse bool) {
 }
 
 // radix2 computes an unnormalized in-place DFT for power-of-two lengths
-// using the iterative decimation-in-time Cooley–Tukey algorithm.
+// using the iterative decimation-in-time Cooley–Tukey algorithm. The
+// twiddle factors come from the process-wide plan cache, so after the
+// first transform of a given size the kernel performs no trigonometry at
+// all — the dominant setup cost of the per-step solver convolution
+// otherwise.
 func radix2(x []complex128, inverse bool) {
 	n := len(x)
+	if rec := recorder(); rec != nil {
+		rec.Observe(obs.MetricFFTTransformSize, float64(n))
+	}
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	// Bit-reversal permutation.
 	for i := 0; i < n; i++ {
@@ -64,26 +165,18 @@ func radix2(x []complex128, inverse bool) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	sign := -1.0
+	p := planFor(n)
+	tw := p.fwd
 	if inverse {
-		sign = 1.0
+		tw = p.inv
 	}
-	// Twiddle factors are precomputed once per stage (size/2 values) and
-	// reused across all blocks of that stage, turning O(n log n) Sincos
-	// calls into O(n) — the dominant cost of the per-step solver
-	// convolution otherwise.
-	tw := make([]complex128, n>>1)
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		for k := 0; k < half; k++ {
-			s, c := math.Sincos(step * float64(k))
-			tw[k] = complex(c, s)
-		}
+		stage := tw[half-1 : 2*half-1]
 		for start := 0; start < n; start += size {
 			for k := 0; k < half; k++ {
 				a := x[start+k]
-				b := x[start+k+half] * tw[k]
+				b := x[start+k+half] * stage[k]
 				x[start+k] = a + b
 				x[start+k+half] = a - b
 			}
@@ -144,9 +237,15 @@ func ConvolveReal(a, b []float64) []float64 {
 		return nil
 	}
 	outLen := len(a) + len(b) - 1
-	if len(a)*len(b) <= 4096 {
+	if DirectConvolutionSizes(len(a), len(b)) {
 		// Small problems: the direct algorithm is both faster and exact.
+		if rec := recorder(); rec != nil {
+			rec.Add(obs.MetricFFTConvolveNaive, 1)
+		}
 		return convolveNaive(a, b)
+	}
+	if rec := recorder(); rec != nil {
+		rec.Add(obs.MetricFFTConvolveViaFFT, 1)
 	}
 	m := 1
 	for m < outLen {

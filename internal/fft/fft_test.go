@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"lrd/internal/obs"
 )
 
 // dftNaive is the O(n²) reference DFT.
@@ -323,5 +325,67 @@ func BenchmarkConvolveReal4096(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ConvolveReal(a, c)
+	}
+}
+
+func TestPlanCacheHitsAndMisses(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetRecorder(reg)
+	defer SetRecorder(nil)
+	before := reg.CounterValue(obs.MetricFFTPlanHits)
+	// A size never cached in this test: first transform misses, second hits.
+	x := make([]complex128, 1<<9)
+	x[1] = 1
+	planCache.Delete(len(x))
+	_ = Forward(x)
+	_ = Forward(x)
+	if misses := reg.CounterValue(obs.MetricFFTPlanMisses); misses < 1 {
+		t.Fatalf("plan misses = %v, want >= 1", misses)
+	}
+	if hits := reg.CounterValue(obs.MetricFFTPlanHits); hits <= before {
+		t.Fatalf("plan hits = %v, want > %v", hits, before)
+	}
+	if n := reg.Histogram(obs.MetricFFTTransformSize).Count(); n < 2 {
+		t.Fatalf("transform size observations = %d, want >= 2", n)
+	}
+}
+
+func TestPlanMatchesTrig(t *testing.T) {
+	// The cached plan must reproduce the on-the-fly twiddles exactly.
+	const n = 64
+	p := buildPlan(n)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := 2 * math.Pi / float64(size)
+		for k := 0; k < half; k++ {
+			s, c := math.Sincos(step * float64(k))
+			if got, want := p.fwd[half-1+k], complex(c, -s); got != want {
+				t.Fatalf("fwd twiddle size=%d k=%d: %v != %v", size, k, got, want)
+			}
+			if got, want := p.inv[half-1+k], complex(c, s); got != want {
+				t.Fatalf("inv twiddle size=%d k=%d: %v != %v", size, k, got, want)
+			}
+		}
+	}
+}
+
+func TestConvolvePathCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetRecorder(reg)
+	defer SetRecorder(nil)
+	small := make([]float64, 8)
+	small[0] = 1
+	_ = ConvolveReal(small, small) // 64 <= crossover: direct
+	big := make([]float64, 256)
+	big[0] = 1
+	_ = ConvolveReal(big, big) // 65536 > crossover: FFT
+	if v := reg.CounterValue(obs.MetricFFTConvolveNaive); v != 1 {
+		t.Fatalf("direct counter = %v, want 1", v)
+	}
+	if v := reg.CounterValue(obs.MetricFFTConvolveViaFFT); v != 1 {
+		t.Fatalf("fft counter = %v, want 1", v)
+	}
+	if !DirectConvolutionSizes(8, 8) || DirectConvolutionSizes(256, 256) {
+		t.Fatal("DirectConvolutionSizes disagrees with the crossover")
 	}
 }

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CLIOptions selects the observability surface a command wires up from its
+// flags. The zero value disables everything.
+type CLIOptions struct {
+	// Name prefixes progress lines, e.g. "lrdsweep".
+	Name string
+	// MetricsPath, when nonempty, receives a JSON metrics snapshot when
+	// Close is called (the -metrics flag). The write happens on every exit
+	// path, including interruption, as long as the command reaches Close.
+	MetricsPath string
+	// TracePath, when nonempty, receives JSONL records through the
+	// TraceEncoder (the -trace flag).
+	TracePath string
+	// PprofAddr, when nonempty, serves net/http/pprof and expvar (which
+	// includes this registry under "lrd_metrics") on that address
+	// (the -pprof flag), e.g. "localhost:6060".
+	PprofAddr string
+	// Progress enables a periodic progress line on ProgressOut
+	// (the -progress flag).
+	Progress bool
+	// ProgressInterval defaults to 2 s.
+	ProgressInterval time.Duration
+	// ProgressOut defaults to os.Stderr.
+	ProgressOut io.Writer
+}
+
+// CLI bundles one command's observability surface: a Registry every
+// instrumented layer records into, an optional JSONL trace sink, an
+// optional progress reporter, and an optional pprof server. Construct with
+// StartCLI and Close before exiting.
+type CLI struct {
+	opts     CLIOptions
+	registry *Registry
+	start    time.Time
+
+	traceMu   sync.Mutex
+	traceFile *os.File
+	traceEnc  *json.Encoder
+	traceErr  error
+
+	pprofLn  net.Listener
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// StartCLI wires up the requested surface. It always returns a usable *CLI
+// (Close is a cheap no-op when nothing was requested); the error reports
+// an unopenable trace file or pprof address.
+func StartCLI(opts CLIOptions) (*CLI, error) {
+	if opts.ProgressInterval <= 0 {
+		opts.ProgressInterval = 2 * time.Second
+	}
+	if opts.ProgressOut == nil {
+		opts.ProgressOut = os.Stderr
+	}
+	c := &CLI{
+		opts:     opts,
+		registry: NewRegistry(),
+		start:    time.Now(),
+		stopCh:   make(chan struct{}),
+	}
+	if opts.TracePath != "" {
+		f, err := os.Create(opts.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("obs: opening trace file: %w", err)
+		}
+		c.traceFile = f
+		c.traceEnc = json.NewEncoder(f)
+	}
+	if opts.PprofAddr != "" {
+		ln, err := net.Listen("tcp", opts.PprofAddr)
+		if err != nil {
+			c.closeTrace()
+			return nil, fmt.Errorf("obs: pprof listener: %w", err)
+		}
+		c.pprofLn = ln
+		publishExpvar(c.registry)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			// The default mux carries net/http/pprof and expvar handlers.
+			_ = http.Serve(ln, nil) //nolint:gosec // local debug endpoint by construction
+		}()
+	}
+	if opts.Progress {
+		c.wg.Add(1)
+		go c.progressLoop()
+	}
+	return c, nil
+}
+
+// Recorder returns the registry as a Recorder when any metrics-consuming
+// surface (-metrics, -progress, -pprof) was requested, and nil otherwise —
+// so an unobserved run keeps the hot paths on their uninstrumented branch.
+func (c *CLI) Recorder() Recorder {
+	if c.opts.MetricsPath == "" && !c.opts.Progress && c.opts.PprofAddr == "" {
+		return nil
+	}
+	return c.registry
+}
+
+// Registry returns the underlying registry (always non-nil).
+func (c *CLI) Registry() *Registry { return c.registry }
+
+// TraceEncoder returns a concurrency-safe JSONL encoder writing to the
+// -trace file, or nil when no trace was requested. Encoding errors are
+// remembered and surfaced by Close.
+func (c *CLI) TraceEncoder() func(v any) {
+	if c.traceEnc == nil {
+		return nil
+	}
+	return func(v any) {
+		c.traceMu.Lock()
+		defer c.traceMu.Unlock()
+		if c.traceErr == nil && c.traceEnc != nil {
+			c.traceErr = c.traceEnc.Encode(v)
+		}
+	}
+}
+
+// Close stops the progress reporter and pprof server, flushes and closes
+// the trace file, and writes the metrics snapshot. Safe to call more than
+// once; only the first call does the work.
+func (c *CLI) Close() error {
+	var err error
+	c.stopOnce.Do(func() {
+		close(c.stopCh)
+		if c.pprofLn != nil {
+			_ = c.pprofLn.Close()
+		}
+		c.wg.Wait()
+		err = c.closeTrace()
+		if c.opts.MetricsPath != "" {
+			if werr := c.writeMetrics(); werr != nil && err == nil {
+				err = werr
+			}
+		}
+	})
+	return err
+}
+
+func (c *CLI) closeTrace() error {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	if c.traceFile == nil {
+		return nil
+	}
+	err := c.traceErr
+	if cerr := c.traceFile.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	c.traceFile = nil
+	c.traceEnc = nil
+	return err
+}
+
+func (c *CLI) writeMetrics() error {
+	f, err := os.Create(c.opts.MetricsPath)
+	if err != nil {
+		return fmt.Errorf("obs: writing metrics snapshot: %w", err)
+	}
+	if err := c.registry.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing metrics snapshot: %w", err)
+	}
+	return f.Close()
+}
+
+func (c *CLI) progressLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.ProgressInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			fmt.Fprintln(c.opts.ProgressOut, c.ProgressLine())
+		}
+	}
+}
+
+// ProgressLine renders the current progress: sweep cells done/total with an
+// ETA when a sweep is running, otherwise the single-solve view (iterations,
+// resolution, current bound gap).
+func (c *CLI) ProgressLine() string {
+	r := c.registry
+	elapsed := time.Since(c.start)
+	line := fmt.Sprintf("%s: elapsed %s", c.opts.Name, elapsed.Round(time.Second))
+	planned := r.CounterValue(MetricCoreCellsPlanned)
+	completed := r.CounterValue(MetricCoreCellsCompleted)
+	if planned > 0 {
+		line += fmt.Sprintf(", cells %.0f/%.0f", completed, planned)
+		if deg := r.CounterValue(MetricCoreCellsDegraded); deg > 0 {
+			line += fmt.Sprintf(" (%.0f degraded)", deg)
+		}
+		if completed > 0 && completed < planned {
+			eta := time.Duration(float64(elapsed) / completed * (planned - completed))
+			line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+		}
+	}
+	if steps := r.CounterValue(MetricSolverSteps); steps > 0 {
+		line += fmt.Sprintf(", %.0f iters", steps)
+	}
+	if bins, ok := r.GaugeValue(MetricSolverBins); ok && planned == 0 {
+		line += fmt.Sprintf(", M=%.0f", bins)
+	}
+	if gap, ok := r.GaugeValue(MetricSolverGap); ok {
+		line += fmt.Sprintf(", gap %.3g", gap)
+	}
+	return line
+}
+
+// expvar publication: expvar.Publish panics on duplicate names, so the
+// process-wide "lrd_metrics" var is registered once and redirected to the
+// most recently started CLI's registry.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+func publishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("lrd_metrics", expvar.Func(func() any {
+			if r := expvarReg.Load(); r != nil {
+				return r.Snapshot().sanitized()
+			}
+			return nil
+		}))
+	})
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCLIMetricsSnapshotOnClose(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	c, err := StartCLI(CLIOptions{Name: "test", MetricsPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := c.Recorder()
+	if rec == nil {
+		t.Fatal("Recorder() = nil with -metrics requested")
+	}
+	rec.Add(MetricSolverSolves, 3)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file does not parse: %v", err)
+	}
+	if snap.Counters[MetricSolverSolves] != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Close is idempotent.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLITraceJSONL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	c, err := StartCLI(CLIOptions{Name: "test", TracePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := c.TraceEncoder()
+	if enc == nil {
+		t.Fatal("TraceEncoder() = nil with -trace requested")
+	}
+	type rec struct {
+		Iter  int     `json:"iter"`
+		Lower float64 `json:"lower"`
+	}
+	for i := 0; i < 5; i++ {
+		enc(rec{Iter: i, Lower: float64(i) * 0.1})
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	n := 0
+	for sc.Scan() {
+		var r rec
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d does not parse: %v", n, err)
+		}
+		if r.Iter != n {
+			t.Fatalf("line %d: iter = %d", n, r.Iter)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("got %d JSONL lines, want 5", n)
+	}
+}
+
+func TestCLINoSurfaceRequested(t *testing.T) {
+	c, err := StartCLI(CLIOptions{Name: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Recorder() != nil {
+		t.Fatal("Recorder() non-nil with nothing requested")
+	}
+	if c.TraceEncoder() != nil {
+		t.Fatal("TraceEncoder() non-nil with nothing requested")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lockedBuffer synchronizes test reads with the progress goroutine's writes.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func TestCLIProgressLine(t *testing.T) {
+	var buf lockedBuffer
+	c, err := StartCLI(CLIOptions{
+		Name: "sweep", Progress: true,
+		ProgressInterval: 10 * time.Millisecond, ProgressOut: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := c.Registry()
+	r.Add(MetricCoreCellsPlanned, 10)
+	r.Add(MetricCoreCellsCompleted, 4)
+	r.Add(MetricCoreCellsDegraded, 1)
+	r.Add(MetricSolverSteps, 1234)
+	r.Set(MetricSolverGap, 0.5)
+	line := c.ProgressLine()
+	for _, want := range []string{"sweep:", "cells 4/10", "(1 degraded)", "eta", "1234 iters", "gap 0.5"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("progress line %q missing %q", line, want)
+		}
+	}
+	// The loop actually emits lines.
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("progress loop emitted nothing")
+	}
+}
+
+func TestCLIPprofServesMetrics(t *testing.T) {
+	c, err := StartCLI(CLIOptions{Name: "test", PprofAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer c.Close()
+	c.Registry().Add(MetricSolverSolves, 1)
+	addr := c.pprofLn.Addr().String()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "lrd_metrics") {
+		t.Fatalf("/debug/vars missing lrd_metrics:\n%.400s", body)
+	}
+	resp2, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint status %d", resp2.StatusCode)
+	}
+}

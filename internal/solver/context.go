@@ -3,6 +3,9 @@ package solver
 import (
 	"context"
 	"errors"
+	"time"
+
+	"lrd/internal/obs"
 )
 
 // DegradeReason explains why a Result was returned before the convergence
@@ -65,6 +68,37 @@ func SolveModelContext(ctx context.Context, m Model, cfg Config) (Result, error)
 // degraded Result (Converged false, Degraded set, Lower <= Loss <= Upper)
 // with a nil error.
 func (it *Iterator) RunContext(ctx context.Context) (Result, error) {
+	r, err := it.runContext(ctx)
+	it.observeFinish(r, err)
+	return r, err
+}
+
+// observeFinish records the per-solve summary telemetry (outcome counters,
+// duration, iteration count, final resolution) and emits the final trace
+// point. It runs on every RunContext exit path; with no Recorder and no
+// Trace configured it is a pair of nil checks.
+func (it *Iterator) observeFinish(r Result, err error) {
+	if rec := it.cfg.Recorder; rec != nil {
+		rec.Add(obs.MetricSolverSolves, 1)
+		rec.Observe(obs.MetricSolverSolveSeconds, time.Since(it.start).Seconds())
+		rec.Observe(obs.MetricSolverSolveIterations, float64(it.iterations))
+		rec.Observe(obs.MetricSolverFinalBins, float64(it.bins))
+		// Numeric errors are counted at the offending Step, not here.
+		if err == nil && r.Converged {
+			rec.Add(obs.MetricSolverConverged, 1)
+		}
+		if r.Degraded != "" {
+			// Labeled allocates; degradation is a per-solve event, not
+			// per-step, so the cost is negligible.
+			rec.Add(obs.Labeled(obs.MetricSolverDegraded, "reason", string(r.Degraded)), 1)
+		}
+	}
+	if trace := it.cfg.Trace; trace != nil && err == nil {
+		trace(it.tracePoint(true))
+	}
+}
+
+func (it *Iterator) runContext(ctx context.Context) (Result, error) {
 	if it.cfg.MaxDuration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, it.cfg.MaxDuration)

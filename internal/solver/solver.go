@@ -46,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"lrd/internal/dist"
@@ -53,6 +54,7 @@ import (
 	"lrd/internal/fft"
 	"lrd/internal/fluid"
 	"lrd/internal/numerics"
+	"lrd/internal/obs"
 )
 
 // Model is the general system the procedure solves: a finite-buffer
@@ -174,7 +176,44 @@ type Config struct {
 	// beyond it returns a *NumericError instead of silently renormalizing
 	// corrupted mass. Default 1e-6 (roundoff drift is ~1e-15).
 	MassDriftTol float64
+	// Recorder receives solver telemetry (step counts and timings, bound
+	// gap, mass drift, convolution path, refinements, per-solve outcomes;
+	// see internal/obs for the metric names). A nil Recorder — the default
+	// — disables instrumentation entirely: the hot loop pays one nil check
+	// and allocates nothing, and results are bit-identical either way.
+	Recorder obs.Recorder
+	// Trace, when non-nil, is called once per committed Lindley iteration
+	// with the current convergence state (and once more when the solve
+	// finishes). The CLIs' -trace flag wires this to a JSONL writer. Like
+	// Recorder, a nil Trace changes nothing about the solve.
+	Trace func(TracePoint)
 }
+
+// TracePoint is one record of a solve's convergence trace: the bracketing
+// loss bounds after a committed Lindley iteration. By Proposition II.1 the
+// Lower series is non-decreasing and the Upper series non-increasing
+// within a solve; Bins jumps record the M-doubling warm restarts. Solve
+// disambiguates interleaved traces when a sweep solves cells concurrently
+// (ids are unique within the process, in creation order).
+type TracePoint struct {
+	// Solve identifies the solve (Iterator) this point belongs to.
+	Solve uint64 `json:"solve"`
+	// Iteration counts committed Lindley steps (1-based after the first).
+	Iteration int `json:"iter"`
+	// Bins is the resolution M at this iteration.
+	Bins int `json:"bins"`
+	// Lower and Upper are the loss-rate bounds after this iteration.
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
+	// Elapsed is the wall time in seconds since the Iterator was created.
+	Elapsed float64 `json:"elapsed_s"`
+	// Final marks the last point of a solve (emitted from RunContext).
+	Final bool `json:"final,omitempty"`
+}
+
+// solveSeq numbers Iterators process-wide so concurrent solves' trace
+// points can be told apart in one JSONL stream.
+var solveSeq atomic.Uint64
 
 func (c Config) withDefaults() Config {
 	if c.InitialBins <= 0 {
@@ -260,13 +299,11 @@ func (r Result) OccupancyQuantile(u float64) (lower, upper float64) {
 	return quantile(r.LowerOccupancy), quantile(r.UpperOccupancy)
 }
 
-// RelativeGap returns (Upper−Lower)/midpoint, or 0 when both bounds are zero.
+// RelativeGap returns (Upper−Lower)/midpoint. When both bounds are exactly
+// zero (a converged loss-floor result) the gap is 0, not NaN — callers can
+// always compare it against a threshold without a NaN guard.
 func (r Result) RelativeGap() float64 {
-	mid := (r.Upper + r.Lower) / 2
-	if mid == 0 {
-		return 0
-	}
-	return (r.Upper - r.Lower) / mid
+	return relativeGap(r.Lower, r.Upper)
 }
 
 // Solve computes the stationary loss rate of the paper's queue.
@@ -306,6 +343,17 @@ type Iterator struct {
 	iterations  int
 	lowerLoss   float64
 	upperLoss   float64
+
+	id    uint64    // process-unique solve id for trace disambiguation
+	start time.Time // Iterator creation time (trace/metrics wall clock)
+
+	// Trace envelope: the tightest bracket seen so far. Every iteration's
+	// bounds bracket the true loss (Prop. II.1), so their running
+	// intersection is a valid bracket that is exactly monotone — unlike
+	// the raw per-step values, whose sub-roundoff jitter the watchdog
+	// tolerates (monotoneRelTol) but a strict trace reader would not.
+	traceLo float64
+	traceHi float64
 }
 
 // NewIterator validates the queue and prepares the initial resolution.
@@ -327,6 +375,8 @@ func NewModelIterator(m Model, cfg Config) (*Iterator, error) {
 		model:       m,
 		cfg:         cfg,
 		arrivalWork: m.Marginal.Mean() * m.Interarrival.Mean(),
+		id:          solveSeq.Add(1),
+		start:       time.Now(),
 	}
 	it.setResolution(cfg.InitialBins)
 	if err := it.validatePMF("lower increment", it.wl, cfg.MassDriftTol); err != nil {
@@ -341,6 +391,11 @@ func NewModelIterator(m Model, cfg Config) (*Iterator, error) {
 	it.qh[it.bins] = 1 // Q_H(0) = B: start full
 	it.lowerLoss = it.lossOf(it.ql)
 	it.upperLoss = it.lossOf(it.qh)
+	it.traceLo = 0
+	it.traceHi = math.Inf(1)
+	if rec := cfg.Recorder; rec != nil {
+		rec.Set(obs.MetricSolverBins, float64(it.bins))
+	}
 	return it, nil
 }
 
@@ -382,6 +437,10 @@ func (it *Iterator) UpperOccupancy() []float64 {
 // is committed: on a violation Step returns a *NumericError and leaves the
 // iterator at its last healthy state.
 func (it *Iterator) Step() error {
+	var stepStart time.Time
+	if it.cfg.Recorder != nil {
+		stepStart = time.Now()
+	}
 	ql, driftL := lindleyStep(it.ql, it.wl, it.bins)
 	qh, driftH := lindleyStep(it.qh, it.wh, it.bins)
 	newLo, newHi := it.lossOf(ql), it.lossOf(qh)
@@ -391,12 +450,70 @@ func (it *Iterator) Step() error {
 		newLo, newHi = pair[0], pair[1]
 	}
 	if err := it.checkStepHealth(driftL, driftH, newLo, newHi); err != nil {
+		if rec := it.cfg.Recorder; rec != nil {
+			rec.Add(obs.MetricSolverNumericErrors, 1)
+		}
 		return err
 	}
 	it.ql, it.qh = ql, qh
 	it.lowerLoss, it.upperLoss = newLo, newHi
 	it.iterations++
+	if rec := it.cfg.Recorder; rec != nil {
+		rec.Add(obs.MetricSolverSteps, 1)
+		rec.Observe(obs.MetricSolverStepSeconds, time.Since(stepStart).Seconds())
+		rec.Observe(obs.MetricSolverMassDrift, math.Abs(driftL))
+		rec.Observe(obs.MetricSolverMassDrift, math.Abs(driftH))
+		rec.Set(obs.MetricSolverGap, relativeGap(newLo, newHi))
+		// One Lindley step convolves both bound processes.
+		if fft.DirectConvolutionSizes(it.bins+1, 2*it.bins+1) {
+			rec.Add(obs.MetricSolverConvolveDirect, 2)
+		} else {
+			rec.Add(obs.MetricSolverConvolveFFT, 2)
+		}
+	}
+	if it.cfg.Trace != nil {
+		it.cfg.Trace(it.tracePoint(false))
+	}
 	return nil
+}
+
+// tracePoint captures the iterator's current convergence state. The
+// emitted bounds are the running envelope (traceLo/traceHi): the tightest
+// bracket seen so far, which is exactly monotone per Prop. II.1 even in
+// the presence of sub-roundoff jitter on the raw per-step values. Bound
+// values far below the loss floor are additionally snapped to zero, the
+// way the stall detector treats them.
+func (it *Iterator) tracePoint(final bool) TracePoint {
+	snap := func(v float64) float64 {
+		if v < it.cfg.LossFloor/100 {
+			return 0
+		}
+		return v
+	}
+	if lo := snap(it.lowerLoss); lo > it.traceLo {
+		it.traceLo = lo
+	}
+	if hi := snap(it.upperLoss); hi < it.traceHi {
+		it.traceHi = hi
+	}
+	return TracePoint{
+		Solve:     it.id,
+		Iteration: it.iterations,
+		Bins:      it.bins,
+		Lower:     it.traceLo,
+		Upper:     it.traceHi,
+		Elapsed:   time.Since(it.start).Seconds(),
+		Final:     final,
+	}
+}
+
+// relativeGap is Result.RelativeGap over raw bound values.
+func relativeGap(lo, hi float64) float64 {
+	mid := (hi + lo) / 2
+	if mid == 0 {
+		return 0
+	}
+	return (hi - lo) / mid
 }
 
 // Refine doubles the resolution, re-projecting the occupancy vectors onto
@@ -418,6 +535,10 @@ func (it *Iterator) Refine() bool {
 	it.ql, it.qh = ql, qh
 	it.lowerLoss = it.lossOf(it.ql)
 	it.upperLoss = it.lossOf(it.qh)
+	if rec := it.cfg.Recorder; rec != nil {
+		rec.Add(obs.MetricSolverRefines, 1)
+		rec.Set(obs.MetricSolverBins, float64(it.bins))
+	}
 	return true
 }
 

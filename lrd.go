@@ -42,6 +42,7 @@
 //   - internal/markov   — Markovian (hyperexponential) equivalent models (§IV)
 //   - internal/core     — experiment orchestration for every figure
 //   - internal/errctl   — the ARQ-vs-FEC time-scale example (§V)
+//   - internal/obs      — telemetry: metrics, convergence traces, progress
 //
 // This package re-exports the types and functions a typical user needs;
 // advanced users can reach the internal packages through the re-exported
@@ -59,6 +60,7 @@ import (
 	"lrd/internal/lrdest"
 	"lrd/internal/markov"
 	"lrd/internal/mmfq"
+	"lrd/internal/obs"
 	"lrd/internal/onoff"
 	"lrd/internal/shuffle"
 	"lrd/internal/sim"
@@ -168,6 +170,47 @@ type (
 	// NumericError is the typed error for numeric invariant violations.
 	NumericError = solver.NumericError
 )
+
+// Observability: the telemetry surface of internal/obs re-exported for
+// library users. A Recorder attached to a SolverConfig receives counters,
+// gauges, and histograms from the solver hot path with no overhead when
+// absent; a TracePoint stream captures per-iteration bound convergence.
+type (
+	// Recorder receives telemetry from instrumented code paths. A nil
+	// Recorder keeps every instrumented path allocation-free.
+	Recorder = obs.Recorder
+	// MetricsRegistry is the standard in-memory Recorder: atomic counters,
+	// gauges, and log-bucketed histograms, exportable as a JSON Snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-marshalable registry export.
+	MetricsSnapshot = obs.Snapshot
+	// TracePoint is one per-iteration convergence observation (solve id,
+	// iteration, resolution, lower/upper bound, elapsed wall time).
+	TracePoint = solver.TracePoint
+)
+
+// Observability constructors and options.
+var (
+	// NewMetricsRegistry builds an empty MetricsRegistry.
+	NewMetricsRegistry = obs.NewRegistry
+)
+
+// WithRecorder returns a copy of cfg with the telemetry recorder attached.
+// Solver results are bit-identical with or without a recorder; with rec ==
+// nil the instrumented paths stay allocation-free.
+func WithRecorder(cfg SolverConfig, rec Recorder) SolverConfig {
+	cfg.Recorder = rec
+	return cfg
+}
+
+// WithTrace returns a copy of cfg that streams one TracePoint per solver
+// iteration (plus a final point) to fn. By Proposition II.1 the lower
+// bounds in the stream are non-decreasing and the upper bounds
+// non-increasing within each solve.
+func WithTrace(cfg SolverConfig, fn func(TracePoint)) SolverConfig {
+	cfg.Trace = fn
+	return cfg
+}
 
 // DegradeReason values.
 const (
