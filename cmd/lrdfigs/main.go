@@ -1,7 +1,15 @@
 // Command lrdfigs regenerates the data behind every figure of the paper's
 // evaluation (and the extension experiments), writing one TSV per
 // experiment into an output directory and printing a one-line summary per
-// experiment as it completes.
+// experiment as it completes. Every TSV is written atomically
+// (write-temp-then-rename), so a crash never leaves a torn result file.
+//
+// Crash safety: with -journal every completed sweep cell of every
+// experiment is checkpointed to one shared append-only journal (cell keys
+// are namespaced by experiment id, seed, and solver configuration), and
+// -resume replays it so an interrupted batch continues from its last
+// durable cell. -retries re-runs transiently failed or degraded cells
+// with exponential backoff (-retry-backoff).
 //
 // Observability flags: -metrics writes a JSON metrics snapshot on exit,
 // -trace streams per-iteration solver convergence points as JSONL,
@@ -13,7 +21,7 @@
 //	lrdfigs -out results -quick      # fast smoke run
 //	lrdfigs -out results             # full paper-scale grids
 //	lrdfigs -out results -only fig4,fig5
-//	lrdfigs -out results -quick -metrics m.json -progress
+//	lrdfigs -out results -journal figs.journal -resume
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -29,30 +38,44 @@ import (
 
 	"lrd/internal/core"
 	"lrd/internal/fft"
+	"lrd/internal/journal"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
 )
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-// run holds the real main so that deferred cleanup — in particular the
-// -metrics snapshot written by the obs CLI on Close — executes on every
-// exit path, including interrupted runs. os.Exit would skip defers.
-func run() int {
+// run is the testable body of main: it parses args with its own FlagSet,
+// writes summaries to stdout, diagnostics to stderr, and returns the exit
+// code instead of calling os.Exit — so deferred cleanup (the -metrics
+// snapshot, the journal close) executes on every exit path.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lrdfigs", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out         = flag.String("out", "results", "output directory for the TSV files")
-		seed        = flag.Int64("seed", 1, "random seed")
-		quick       = flag.Bool("quick", false, "use shrunken grids")
-		only        = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
-		metricsPath = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
-		tracePath   = flag.String("trace", "", "write per-iteration solver convergence points to this file as JSONL")
-		progress    = flag.Bool("progress", false, "print a periodic progress line to stderr")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
+		out          = fs.String("out", "results", "output directory for the TSV files")
+		seed         = fs.Int64("seed", 1, "random seed")
+		quick        = fs.Bool("quick", false, "use shrunken grids")
+		only         = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+		journalPath  = fs.String("journal", "", "checkpoint every completed cell to this append-only journal")
+		resume       = fs.Bool("resume", false, "replay the -journal and skip its completed cells")
+		retries      = fs.Int("retries", 1, "attempts per cell for transiently failed/degraded cells")
+		retryBackoff = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between per-cell retry attempts")
+		metricsPath  = fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		tracePath    = fs.String("trace", "", "write per-iteration solver convergence points to this file as JSONL")
+		progress     = fs.Bool("progress", false, "print a periodic progress line to stderr")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(stderr, "lrdfigs: -resume requires -journal")
+		return 1
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "lrdfigs: %v\n", err)
+		fmt.Fprintf(stderr, "lrdfigs: %v\n", err)
 		return 1
 	}
 	var selected map[string]bool
@@ -69,35 +92,56 @@ func run() int {
 		TracePath:   *tracePath,
 		PprofAddr:   *pprofAddr,
 		Progress:    *progress,
+		ProgressOut: stderr,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lrdfigs: %v\n", err)
+		fmt.Fprintf(stderr, "lrdfigs: %v\n", err)
 		return 1
 	}
 	defer cli.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	opts := core.RunOptions{Seed: *seed, Quick: *quick}
+	opts := core.RunOptions{
+		Seed: *seed, Quick: *quick,
+		Retry: core.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
+	}
 	opts.Solver.Recorder = cli.Recorder()
 	fft.SetRecorder(cli.Recorder())
 	if enc := cli.TraceEncoder(); enc != nil {
 		opts.Solver.Trace = func(p solver.TracePoint) { enc(p) }
 	}
+	if *journalPath != "" {
+		store, err := core.OpenJournalStore(*journalPath, core.JournalStoreOptions{
+			Resume:   *resume,
+			Recorder: cli.Recorder(),
+			Warn:     stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "lrdfigs: %v\n", err)
+			return 1
+		}
+		defer store.Close()
+		if *resume && store.Completed() > 0 {
+			fmt.Fprintf(stderr, "lrdfigs: resuming; %d journaled cell(s) will be skipped\n", store.Completed())
+		}
+		opts.Store = store
+	}
+
 	failures := 0
 	for _, e := range core.Experiments() {
 		if selected != nil && !selected[e.ID] {
 			continue
 		}
 		if ctx.Err() != nil {
-			fmt.Fprintln(os.Stderr, "lrdfigs: interrupted")
+			fmt.Fprintln(stderr, "lrdfigs: interrupted")
 			failures++
 			break
 		}
 		start := time.Now()
 		table, err := e.Run(ctx, opts)
 		if err != nil && !errors.Is(err, context.Canceled) {
-			fmt.Fprintf(os.Stderr, "lrdfigs: %s FAILED: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "lrdfigs: %s FAILED: %v\n", e.ID, err)
 			failures++
 			continue
 		}
@@ -108,11 +152,11 @@ func run() int {
 		}
 		path := filepath.Join(*out, e.ID+".tsv")
 		if err := writeTSV(path, e, table); err != nil {
-			fmt.Fprintf(os.Stderr, "lrdfigs: %s: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "lrdfigs: %s: %v\n", e.ID, err)
 			failures++
 			continue
 		}
-		fmt.Printf("%-8s %4d rows  %8s  %s\n", e.ID, len(table.Rows), time.Since(start).Round(time.Millisecond), path)
+		fmt.Fprintf(stdout, "%-8s %4d rows  %8s  %s\n", e.ID, len(table.Rows), time.Since(start).Round(time.Millisecond), path)
 	}
 	if failures > 0 {
 		return 1
@@ -120,22 +164,21 @@ func run() int {
 	return 0
 }
 
+// writeTSV persists one experiment table atomically: the file appears
+// complete or not at all, never torn.
 func writeTSV(path string, e core.Experiment, table core.Table) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := fmt.Fprintf(f, "# %s: %s\n", e.ID, e.Title); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(f, strings.Join(table.Header, "\t")); err != nil {
-		return err
-	}
-	for _, row := range table.Rows {
-		if _, err := fmt.Fprintln(f, strings.Join(row, "\t")); err != nil {
+	return journal.WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "# %s: %s\n", e.ID, e.Title); err != nil {
 			return err
 		}
-	}
-	return f.Close()
+		if _, err := fmt.Fprintln(w, strings.Join(table.Header, "\t")); err != nil {
+			return err
+		}
+		for _, row := range table.Rows {
+			if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }

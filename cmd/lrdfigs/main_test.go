@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run with captured stdout/stderr.
+func runCapture(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	code, _, stderr := runCapture("-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunResumeRequiresJournal(t *testing.T) {
+	code, _, stderr := runCapture("-resume")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-resume requires -journal") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunUnknownOnlyIDRunsNothing(t *testing.T) {
+	dir := t.TempDir()
+	code, stdout, _ := runCapture("-out", dir, "-only", "nosuch", "-quick")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if strings.TrimSpace(stdout) != "" {
+		t.Fatalf("expected no summaries, got:\n%s", stdout)
+	}
+}
+
+func TestRunWritesAtomicTSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (quick) experiment")
+	}
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "figs.journal")
+	code, stdout, stderr := runCapture("-out", dir, "-only", "fig3", "-quick", "-journal", jpath)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "fig3") {
+		t.Fatalf("summary missing fig3:\n%s", stdout)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "fig3.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("# fig3:")) {
+		t.Fatalf("fig3.tsv header:\n%s", raw)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("atomic write left temp file %q", e.Name())
+		}
+	}
+}
+
+// TestRunJournalResume: a journaled batch rerun with -resume serves every
+// cell from the journal and reproduces the same TSV.
+func TestRunJournalResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (quick) experiment")
+	}
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "figs.journal")
+	code, _, stderr := runCapture("-out", dir, "-only", "fig4", "-quick", "-seed", "3", "-journal", jpath)
+	if code != 0 {
+		t.Fatalf("first run: exit %d, stderr: %s", code, stderr)
+	}
+	first, err := os.ReadFile(filepath.Join(dir, "fig4.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, stderr = runCapture("-out", dir, "-only", "fig4", "-quick", "-seed", "3",
+		"-journal", jpath, "-resume")
+	if code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "resuming") {
+		t.Fatalf("resume note missing from stderr: %q", stderr)
+	}
+	second, err := os.ReadFile(filepath.Join(dir, "fig4.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("resumed TSV differs from the original run")
+	}
+}

@@ -165,7 +165,9 @@ func run() int {
 			res.Bins, res.Iterations, res.Converged, res.RelativeGap())
 	}
 	switch {
-	case res.Degraded == solver.DegradedCanceled || res.Degraded == solver.DegradedDeadline:
+	// Retryable reasons are exactly the wall-clock interruptions (SIGINT,
+	// -timeout): report them as such instead of string-matching reasons.
+	case res.Degraded.Retryable():
 		fmt.Fprintf(os.Stderr, "lrdloss: interrupted (%s); bounds above still bracket the true loss\n", res.Degraded)
 		return 1
 	case res.Degraded != "":

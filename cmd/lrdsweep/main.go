@@ -10,6 +10,15 @@
 // individual solver cell; cells that hit it are reported with their
 // best-so-far loss bounds and a nonempty "degraded" column.
 //
+// Crash safety: with -journal every completed sweep cell is checkpointed
+// to an append-only fsync'd JSONL journal, and -resume replays it so an
+// interrupted (or crashed) sweep continues from its last durable cell —
+// the resumed output is byte-identical to an uninterrupted run. -retries
+// re-runs cells that failed or degraded for transient reasons (deadline,
+// cancellation, numeric-watchdog trips) with exponential backoff
+// (-retry-backoff). -out writes the TSV atomically (write-temp-then-
+// rename), so a crash never leaves a torn result file.
+//
 // Observability flags: -metrics writes a JSON metrics snapshot on exit
 // (including interrupted exits), -trace streams per-iteration solver
 // convergence points as JSONL, -progress prints a periodic status line to
@@ -20,7 +29,8 @@
 //	lrdsweep -exp fig9 -quick                     # fast, shrunken grids
 //	lrdsweep -exp fig4 -seed 7 > fig4.tsv
 //	lrdsweep -exp fig5 -timeout 2m -point-timeout 5s
-//	lrdsweep -exp fig4 -quick -metrics m.json -trace t.jsonl -progress
+//	lrdsweep -exp fig4 -journal fig4.journal -out fig4.tsv
+//	lrdsweep -exp fig4 -journal fig4.journal -resume -out fig4.tsv
 package main
 
 import (
@@ -28,49 +38,66 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"lrd/internal/core"
 	"lrd/internal/fft"
+	"lrd/internal/journal"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
 )
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-// run holds the real main so that deferred cleanup — in particular the
-// -metrics snapshot written by the obs CLI on Close — executes on every
-// exit path, including interrupted sweeps. os.Exit would skip defers.
-func run() int {
+// run is the testable body of main: it parses args with its own FlagSet,
+// writes the table to stdout (or -out), diagnostics to stderr, and returns
+// the exit code instead of calling os.Exit — so deferred cleanup (the
+// -metrics snapshot, the journal close) executes on every exit path.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lrdsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp          = flag.String("exp", "", "experiment id (see -list)")
-		seed         = flag.Int64("seed", 1, "random seed for trace synthesis and shuffling")
-		quick        = flag.Bool("quick", false, "use shrunken grids for a fast run")
-		list         = flag.Bool("list", false, "list experiment ids and exit")
-		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
-		pointTimeout = flag.Duration("point-timeout", 0, "wall-clock budget per solver cell (0 = none)")
-		metricsPath  = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
-		tracePath    = flag.String("trace", "", "write per-iteration solver convergence points to this file as JSONL")
-		progress     = flag.Bool("progress", false, "print a periodic progress line to stderr")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+		exp          = fs.String("exp", "", "experiment id (see -list)")
+		seed         = fs.Int64("seed", 1, "random seed for trace synthesis and shuffling")
+		quick        = fs.Bool("quick", false, "use shrunken grids for a fast run")
+		list         = fs.Bool("list", false, "list experiment ids and exit")
+		timeout      = fs.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
+		pointTimeout = fs.Duration("point-timeout", 0, "wall-clock budget per solver cell (0 = none)")
+		out          = fs.String("out", "", "write the TSV atomically to this file instead of stdout")
+		journalPath  = fs.String("journal", "", "checkpoint every completed cell to this append-only journal")
+		resume       = fs.Bool("resume", false, "replay the -journal and skip its completed cells")
+		retries      = fs.Int("retries", 1, "attempts per cell for transiently failed/degraded cells")
+		retryBackoff = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between per-cell retry attempts")
+		metricsPath  = fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		tracePath    = fs.String("trace", "", "write per-iteration solver convergence points to this file as JSONL")
+		progress     = fs.Bool("progress", false, "print a periodic progress line to stderr")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range core.Experiments() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
 		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "lrdsweep: -exp is required (use -list to enumerate)")
+		fmt.Fprintln(stderr, "lrdsweep: -exp is required (use -list to enumerate)")
+		return 1
+	}
+	if *resume && *journalPath == "" {
+		fmt.Fprintln(stderr, "lrdsweep: -resume requires -journal")
 		return 1
 	}
 	e, err := core.ExperimentByID(*exp)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lrdsweep: %v\n", err)
+		fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
 		return 1
 	}
 
@@ -80,9 +107,10 @@ func run() int {
 		TracePath:   *tracePath,
 		PprofAddr:   *pprofAddr,
 		Progress:    *progress,
+		ProgressOut: stderr,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lrdsweep: %v\n", err)
+		fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
 		return 1
 	}
 	defer cli.Close()
@@ -95,30 +123,74 @@ func run() int {
 		defer cancel()
 	}
 
-	opts := core.RunOptions{Seed: *seed, Quick: *quick, PointTimeout: *pointTimeout}
+	opts := core.RunOptions{
+		Seed: *seed, Quick: *quick, PointTimeout: *pointTimeout,
+		Retry: core.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
+	}
 	opts.Solver.Recorder = cli.Recorder()
 	fft.SetRecorder(cli.Recorder())
 	if enc := cli.TraceEncoder(); enc != nil {
 		opts.Solver.Trace = func(p solver.TracePoint) { enc(p) }
 	}
+	if *journalPath != "" {
+		store, err := core.OpenJournalStore(*journalPath, core.JournalStoreOptions{
+			Resume:   *resume,
+			Recorder: cli.Recorder(),
+			Warn:     stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
+			return 1
+		}
+		defer store.Close()
+		if *resume && store.Completed() > 0 {
+			fmt.Fprintf(stderr, "lrdsweep: resuming; %d journaled cell(s) will be skipped\n", store.Completed())
+		}
+		opts.Store = store
+	}
+
 	table, runErr := e.Run(ctx, opts)
 	interrupted := runErr != nil &&
 		(errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
 	if runErr != nil && !interrupted {
-		fmt.Fprintf(os.Stderr, "lrdsweep: %s: %v\n", e.ID, runErr)
+		fmt.Fprintf(stderr, "lrdsweep: %s: %v\n", e.ID, runErr)
 		return 1
 	}
 
-	fmt.Printf("# %s: %s\n", e.ID, e.Title)
-	if len(table.Header) > 0 {
-		fmt.Println(strings.Join(table.Header, "\t"))
+	render := func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "# %s: %s\n", e.ID, e.Title); err != nil {
+			return err
+		}
+		if len(table.Header) > 0 {
+			if _, err := fmt.Fprintln(w, strings.Join(table.Header, "\t")); err != nil {
+				return err
+			}
+		}
+		for _, row := range table.Rows {
+			if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+				return err
+			}
+		}
+		if interrupted {
+			if _, err := fmt.Fprintf(w, "# interrupted: %v (%d completed rows flushed)\n", runErr, len(table.Rows)); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	for _, row := range table.Rows {
-		fmt.Println(strings.Join(row, "\t"))
+	if *out != "" {
+		// Atomic write: a crash (or an interrupted partial table) never
+		// replaces a previously complete result file with a torn one.
+		if err := journal.WriteFileAtomic(*out, render); err != nil {
+			fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
+			return 1
+		}
+	} else if err := render(stdout); err != nil {
+		fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
+		return 1
 	}
 	if interrupted {
-		fmt.Printf("# interrupted: %v (%d completed rows flushed)\n", runErr, len(table.Rows))
-		fmt.Fprintf(os.Stderr, "lrdsweep: %s interrupted: %v\n", e.ID, runErr)
+		fmt.Fprintf(stderr, "lrdsweep: %s interrupted: %v\n", e.ID, runErr)
 		return 1
 	}
 	return 0

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCapture invokes run with captured stdout/stderr.
+func runCapture(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	code, _, stderr := runCapture("-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunRequiresExperiment(t *testing.T) {
+	code, _, stderr := runCapture()
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-exp is required") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	code, _, stderr := runCapture("-exp", "nosuch")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown experiment "nosuch"`) {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunResumeRequiresJournal(t *testing.T) {
+	code, _, stderr := runCapture("-exp", "fig4", "-resume")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-resume requires -journal") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	code, stdout, _ := runCapture("-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, id := range []string{"fig2", "fig4", "fig14", "modelfit"} {
+		if !strings.Contains(stdout, id) {
+			t.Fatalf("-list output missing %q:\n%s", id, stdout)
+		}
+	}
+}
+
+func TestRunQuickExperimentToStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (quick) experiment")
+	}
+	code, stdout, stderr := runCapture("-exp", "fig3", "-quick")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "# fig3:") || !strings.Contains(stdout, "rate_mbps") {
+		t.Fatalf("unexpected output:\n%s", stdout)
+	}
+}
+
+// TestRunInterruptAndResume is the end-to-end crash-recovery check: a
+// journaled sweep interrupted by a tiny -timeout, resumed with -resume,
+// must write a TSV byte-identical to an uninterrupted run's.
+func TestRunInterruptAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (quick) sweeps")
+	}
+	dir := t.TempDir()
+	cleanPath := filepath.Join(dir, "clean.tsv")
+	code, _, stderr := runCapture("-exp", "fig4", "-quick", "-seed", "3", "-out", cleanPath)
+	if code != 0 {
+		t.Fatalf("clean run: exit %d, stderr: %s", code, stderr)
+	}
+	clean, err := os.ReadFile(cleanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jpath := filepath.Join(dir, "sweep.journal")
+	interruptedPath := filepath.Join(dir, "interrupted.tsv")
+	// A 1 ns budget cancels the sweep immediately; the journal still opens
+	// and whatever cells complete are checkpointed.
+	code, _, _ = runCapture("-exp", "fig4", "-quick", "-seed", "3",
+		"-timeout", "1ns", "-journal", jpath, "-out", interruptedPath)
+	if code == 0 {
+		t.Fatal("interrupted run should exit nonzero")
+	}
+	interrupted, err := os.ReadFile(interruptedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(interrupted, []byte("# interrupted")) {
+		t.Fatalf("interrupted TSV lacks the interruption trailer:\n%s", interrupted)
+	}
+
+	resumedPath := filepath.Join(dir, "resumed.tsv")
+	code, _, stderr = runCapture("-exp", "fig4", "-quick", "-seed", "3",
+		"-journal", jpath, "-resume", "-out", resumedPath)
+	if code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, stderr)
+	}
+	resumed, err := os.ReadFile(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, clean) {
+		t.Fatalf("resumed TSV differs from uninterrupted run:\n--- resumed ---\n%s\n--- clean ---\n%s", resumed, clean)
+	}
+	// No temp-file litter from the atomic writes.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("atomic write left temp file %q", e.Name())
+		}
+	}
+}

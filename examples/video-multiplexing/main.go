@@ -37,7 +37,9 @@ func main() {
 	fmt.Printf("fitted video model: marginal %v, mean epoch %.0f ms\n\n",
 		tm.Marginal, tm.MeanEpoch*1000)
 
-	cfg := lrd.SolverConfig{}
+	// Sweep wraps the solver configuration; a journal-backed store could be
+	// attached here to make these sweeps resumable (see lrd.OpenJournalStore).
+	cfg := lrd.Sweep(lrd.SolverConfig{})
 	const util = 0.8
 
 	// Control 1: buffering. Sweep the per-stream buffer with one stream.

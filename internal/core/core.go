@@ -8,11 +8,13 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -219,6 +221,92 @@ func completedPoints(pts []Point, done []bool) []Point {
 	return out
 }
 
+// gridSweep is the durable execution engine under every Point-valued
+// sweep: it runs compute over n cells on the parallelMap worker pool,
+// consulting cfg.Store to skip cells a previous (interrupted) run already
+// journaled and pushing every fresh result through the bounded retry
+// policy before journaling it. key(i) must identify cell i within
+// cfg.Prefix's namespace.
+func gridSweep(ctx context.Context, cfg SweepConfig, n int, key func(int) string, compute func(int) (Point, error)) ([]Point, error) {
+	out := make([]Point, n)
+	done, err := parallelMap(ctx, cfg.Solver.Recorder, n, func(i int) error {
+		p, err := runCell(ctx, cfg, key(i), func() (Point, error) { return compute(i) })
+		if err != nil {
+			return err
+		}
+		out[i] = p
+		return nil
+	})
+	return completedPoints(out, done), err
+}
+
+// runCell executes one sweep cell durably:
+//
+//  1. a cell already in the store (journaled by a previous run under the
+//     same key) is returned without recomputation;
+//  2. a computed cell that is final — clean, or degraded for a terminal
+//     reason that a re-run would deterministically reproduce — is
+//     journaled and returned;
+//  3. a transient outcome — a retryable degradation (deadline,
+//     cancellation) or a retryable error (numeric-watchdog trip) — is
+//     re-attempted under cfg.Retry with exponential backoff, and is never
+//     journaled as complete, so a resumed sweep recomputes it.
+//
+// Store write failures are returned as errors: losing durability silently
+// would defeat the journal.
+func runCell(ctx context.Context, cfg SweepConfig, key string, compute func() (Point, error)) (Point, error) {
+	rec := cfg.Solver.Recorder
+	if cfg.Store != nil {
+		if raw, ok := cfg.Store.Lookup(cfg.Prefix + key); ok {
+			var p Point
+			if err := json.Unmarshal(raw, &p); err == nil {
+				if rec != nil {
+					rec.Add(obs.MetricCoreCellsResumed, 1)
+				}
+				return p, nil
+			}
+			// Undecodable cached value (journal written by an incompatible
+			// schema): recompute rather than fail the sweep.
+		}
+	}
+	for attempt := 1; ; attempt++ {
+		p, err := compute()
+		if err == nil && !p.Degraded.Retryable() {
+			// Final: clean, or a terminal degradation a re-run would
+			// deterministically reproduce.
+			if cfg.Store != nil {
+				if serr := cfg.Store.Store(cfg.Prefix+key, p); serr != nil {
+					return Point{}, serr
+				}
+			}
+			return p, nil
+		}
+		if err != nil && cfg.Store != nil {
+			if serr := cfg.Store.Fail(cfg.Prefix+key, attempt, err); serr != nil {
+				return Point{}, serr
+			}
+		}
+		retryable := err == nil || solver.RetryableError(err)
+		if !retryable || attempt >= cfg.Retry.attempts() || ctx.Err() != nil {
+			if err != nil {
+				return Point{}, err
+			}
+			// A transiently degraded cell keeps its best-so-far bracket in
+			// the partial table but is not journaled as complete.
+			return p, nil
+		}
+		if rec != nil {
+			rec.Add(obs.MetricCoreCellsRetried, 1)
+		}
+		if serr := sleepCtx(ctx, cfg.Retry.backoff(attempt)); serr != nil {
+			if err != nil {
+				return Point{}, err
+			}
+			return p, nil
+		}
+	}
+}
+
 // solveCell runs the solver on one parameter cell. Cancellation or budget
 // expiry never errors: the cell comes back with its best-so-far bracket and
 // a nonempty Degraded reason.
@@ -252,84 +340,79 @@ func solveCell(ctx context.Context, src fluid.Source, util, nbuf float64, cfg so
 // loss rate over a (normalized buffer, cutoff lag) grid at fixed
 // utilization. On context cancellation it returns the completed cells
 // alongside the context error, so a sweep always yields its partial rows.
-func LossVsBufferAndCutoff(ctx context.Context, tm TraceModel, util float64, buffers, cutoffs []float64, cfg solver.Config) ([]Point, error) {
+func LossVsBufferAndCutoff(ctx context.Context, tm TraceModel, util float64, buffers, cutoffs []float64, cfg SweepConfig) ([]Point, error) {
 	if len(buffers) == 0 || len(cutoffs) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
-	out := make([]Point, len(buffers)*len(cutoffs))
-	done, err := parallelMap(ctx, cfg.Recorder, len(out), func(i int) error {
-		b := buffers[i/len(cutoffs)]
-		tc := cutoffs[i%len(cutoffs)]
-		src, err := tm.Source(tc)
-		if err != nil {
-			return err
-		}
-		p, err := solveCell(ctx, src, util, b, cfg)
-		if err != nil {
-			return err
-		}
-		out[i] = p
-		return nil
-	})
-	return completedPoints(out, done), err
+	return gridSweep(ctx, cfg, len(buffers)*len(cutoffs),
+		func(i int) string {
+			return "bufcut|u=" + fkey(util) + "|b=" + fkey(buffers[i/len(cutoffs)]) + "|tc=" + fkey(cutoffs[i%len(cutoffs)])
+		},
+		func(i int) (Point, error) {
+			b := buffers[i/len(cutoffs)]
+			tc := cutoffs[i%len(cutoffs)]
+			src, err := tm.Source(tc)
+			if err != nil {
+				return Point{}, err
+			}
+			return solveCell(ctx, src, util, b, cfg.Solver)
+		})
 }
 
 // LossVsCutoffFixedTheta reproduces Fig. 9: loss rate versus cutoff lag
 // with *all* other parameters fixed across marginals (normalized buffer,
 // utilization, θ, and H), isolating the marginal's influence.
-func LossVsCutoffFixedTheta(ctx context.Context, marginal dist.Marginal, util, nbuf, theta, hurst float64, cutoffs []float64, cfg solver.Config) ([]Point, error) {
+func LossVsCutoffFixedTheta(ctx context.Context, marginal dist.Marginal, util, nbuf, theta, hurst float64, cutoffs []float64, cfg SweepConfig) ([]Point, error) {
 	if len(cutoffs) == 0 {
 		return nil, errors.New("core: empty cutoff grid")
 	}
 	alpha := dist.AlphaFromHurst(hurst)
-	out := make([]Point, len(cutoffs))
-	done, err := parallelMap(ctx, cfg.Recorder, len(out), func(i int) error {
-		src, err := fluid.New(marginal, dist.TruncatedPareto{Theta: theta, Alpha: alpha, Cutoff: cutoffs[i]})
-		if err != nil {
-			return err
-		}
-		p, err := solveCell(ctx, src, util, nbuf, cfg)
-		if err != nil {
-			return err
-		}
-		out[i] = p
-		return nil
-	})
-	return completedPoints(out, done), err
+	keyBase := "cutfix|u=" + fkey(util) + "|b=" + fkey(nbuf) + "|th=" + fkey(theta) + "|h=" + fkey(hurst)
+	return gridSweep(ctx, cfg, len(cutoffs),
+		func(i int) string { return keyBase + "|tc=" + fkey(cutoffs[i]) },
+		func(i int) (Point, error) {
+			src, err := fluid.New(marginal, dist.TruncatedPareto{Theta: theta, Alpha: alpha, Cutoff: cutoffs[i]})
+			if err != nil {
+				return Point{}, err
+			}
+			return solveCell(ctx, src, util, nbuf, cfg.Solver)
+		})
 }
 
 // LossVsHurstAndScale reproduces Fig. 10: loss over a (Hurst, marginal
 // scaling factor) grid at fixed normalized buffer, utilization, and an
 // infinite cutoff; θ is matched at the trace model's nominal H.
-func LossVsHurstAndScale(ctx context.Context, tm TraceModel, util, nbuf float64, hursts, scales []float64, cfg solver.Config) ([]Point, error) {
+func LossVsHurstAndScale(ctx context.Context, tm TraceModel, util, nbuf float64, hursts, scales []float64, cfg SweepConfig) ([]Point, error) {
 	if len(hursts) == 0 || len(scales) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
-	out := make([]Point, len(hursts)*len(scales))
-	done, err := parallelMap(ctx, cfg.Recorder, len(out), func(i int) error {
-		h := hursts[i/len(scales)]
-		a := scales[i%len(scales)]
-		src, err := tm.SourceWithHurst(h, math.Inf(1))
-		if err != nil {
-			return err
-		}
-		src = src.WithMarginal(tm.Marginal.Scale(a))
-		p, err := solveCell(ctx, src, util, nbuf, cfg)
-		if err != nil {
-			return err
-		}
-		p.Hurst, p.Scale = h, a
-		out[i] = p
-		return nil
-	})
-	return completedPoints(out, done), err
+	keyBase := "hscale|u=" + fkey(util) + "|b=" + fkey(nbuf)
+	return gridSweep(ctx, cfg, len(hursts)*len(scales),
+		func(i int) string {
+			return keyBase + "|h=" + fkey(hursts[i/len(scales)]) + "|a=" + fkey(scales[i%len(scales)])
+		},
+		func(i int) (Point, error) {
+			h := hursts[i/len(scales)]
+			a := scales[i%len(scales)]
+			src, err := tm.SourceWithHurst(h, math.Inf(1))
+			if err != nil {
+				return Point{}, err
+			}
+			src = src.WithMarginal(tm.Marginal.Scale(a))
+			p, err := solveCell(ctx, src, util, nbuf, cfg.Solver)
+			if err != nil {
+				return Point{}, err
+			}
+			p.Hurst, p.Scale = h, a
+			return p, nil
+		})
 }
 
 // LossVsHurstAndStreams reproduces Fig. 11: loss over a (Hurst, number of
 // superposed streams) grid; the marginal is the n-fold convolution
 // renormalized to the original mean, with buffer and service rate per
 // stream kept constant.
-func LossVsHurstAndStreams(ctx context.Context, tm TraceModel, util, nbuf float64, hursts []float64, streams []int, cfg solver.Config) ([]Point, error) {
+func LossVsHurstAndStreams(ctx context.Context, tm TraceModel, util, nbuf float64, hursts []float64, streams []int, cfg SweepConfig) ([]Point, error) {
 	if len(hursts) == 0 || len(streams) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
@@ -345,50 +428,53 @@ func LossVsHurstAndStreams(ctx context.Context, tm TraceModel, util, nbuf float6
 		}
 		margs[j] = sm
 	}
-	out := make([]Point, len(hursts)*len(streams))
-	done, err := parallelMap(ctx, cfg.Recorder, len(out), func(i int) error {
-		h := hursts[i/len(streams)]
-		j := i % len(streams)
-		src, err := tm.SourceWithHurst(h, math.Inf(1))
-		if err != nil {
-			return err
-		}
-		src = src.WithMarginal(margs[j])
-		p, err := solveCell(ctx, src, util, nbuf, cfg)
-		if err != nil {
-			return err
-		}
-		p.Hurst, p.Streams = h, streams[j]
-		out[i] = p
-		return nil
-	})
-	return completedPoints(out, done), err
+	keyBase := "hstreams|u=" + fkey(util) + "|b=" + fkey(nbuf)
+	return gridSweep(ctx, cfg, len(hursts)*len(streams),
+		func(i int) string {
+			return keyBase + "|h=" + fkey(hursts[i/len(streams)]) + "|n=" + strconv.Itoa(streams[i%len(streams)])
+		},
+		func(i int) (Point, error) {
+			h := hursts[i/len(streams)]
+			j := i % len(streams)
+			src, err := tm.SourceWithHurst(h, math.Inf(1))
+			if err != nil {
+				return Point{}, err
+			}
+			src = src.WithMarginal(margs[j])
+			p, err := solveCell(ctx, src, util, nbuf, cfg.Solver)
+			if err != nil {
+				return Point{}, err
+			}
+			p.Hurst, p.Streams = h, streams[j]
+			return p, nil
+		})
 }
 
 // LossVsBufferAndScale reproduces Figs. 12 and 13: loss over a (normalized
 // buffer, marginal scaling factor) grid with an infinite cutoff.
-func LossVsBufferAndScale(ctx context.Context, tm TraceModel, util float64, buffers, scales []float64, cfg solver.Config) ([]Point, error) {
+func LossVsBufferAndScale(ctx context.Context, tm TraceModel, util float64, buffers, scales []float64, cfg SweepConfig) ([]Point, error) {
 	if len(buffers) == 0 || len(scales) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
-	out := make([]Point, len(buffers)*len(scales))
-	done, err := parallelMap(ctx, cfg.Recorder, len(out), func(i int) error {
-		b := buffers[i/len(scales)]
-		a := scales[i%len(scales)]
-		src, err := tm.Source(math.Inf(1))
-		if err != nil {
-			return err
-		}
-		src = src.WithMarginal(tm.Marginal.Scale(a))
-		p, err := solveCell(ctx, src, util, b, cfg)
-		if err != nil {
-			return err
-		}
-		p.Scale = a
-		out[i] = p
-		return nil
-	})
-	return completedPoints(out, done), err
+	return gridSweep(ctx, cfg, len(buffers)*len(scales),
+		func(i int) string {
+			return "bscale|u=" + fkey(util) + "|b=" + fkey(buffers[i/len(scales)]) + "|a=" + fkey(scales[i%len(scales)])
+		},
+		func(i int) (Point, error) {
+			b := buffers[i/len(scales)]
+			a := scales[i%len(scales)]
+			src, err := tm.Source(math.Inf(1))
+			if err != nil {
+				return Point{}, err
+			}
+			src = src.WithMarginal(tm.Marginal.Scale(a))
+			p, err := solveCell(ctx, src, util, b, cfg.Solver)
+			if err != nil {
+				return Point{}, err
+			}
+			p.Scale = a
+			return p, nil
+		})
 }
 
 // BoundSnapshot is the occupancy-bound state after a given iteration count

@@ -113,7 +113,7 @@ func TestLossVsBufferAndCutoffShape(t *testing.T) {
 	tm := quickModel(t)
 	buffers := []float64{0.05, 0.5}
 	cutoffs := []float64{0.1, 2, math.Inf(1)}
-	pts, err := LossVsBufferAndCutoff(context.Background(), tm, 0.85, buffers, cutoffs, fastCfg())
+	pts, err := LossVsBufferAndCutoff(context.Background(), tm, 0.85, buffers, cutoffs, Sweep(fastCfg()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +141,7 @@ func TestLossVsBufferAndCutoffShape(t *testing.T) {
 			t.Fatalf("loss not decreasing in buffer at Tc=%v", tc)
 		}
 	}
-	if _, err := LossVsBufferAndCutoff(context.Background(), tm, 0.85, nil, cutoffs, fastCfg()); err == nil {
+	if _, err := LossVsBufferAndCutoff(context.Background(), tm, 0.85, nil, cutoffs, Sweep(fastCfg())); err == nil {
 		t.Fatal("want error on empty grid")
 	}
 }
@@ -153,11 +153,11 @@ func TestLossVsCutoffFixedThetaSeparatesMarginals(t *testing.T) {
 	wide := dist.MustMarginal([]float64{0, 2}, []float64{0.5, 0.5})
 	narrow := dist.MustMarginal([]float64{0.8, 1.2}, []float64{0.5, 0.5})
 	cutoffs := []float64{0.5, 5}
-	wpts, err := LossVsCutoffFixedTheta(context.Background(), wide, 2.0/3.0, 0.5, 0.02, 0.9, cutoffs, fastCfg())
+	wpts, err := LossVsCutoffFixedTheta(context.Background(), wide, 2.0/3.0, 0.5, 0.02, 0.9, cutoffs, Sweep(fastCfg()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	npts, err := LossVsCutoffFixedTheta(context.Background(), narrow, 2.0/3.0, 0.5, 0.02, 0.9, cutoffs, fastCfg())
+	npts, err := LossVsCutoffFixedTheta(context.Background(), narrow, 2.0/3.0, 0.5, 0.02, 0.9, cutoffs, Sweep(fastCfg()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestLossVsHurstAndScaleShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The paper's ranges: H ∈ (0.55, 0.95), a ∈ (0.5, 1.5), Tc = ∞, B/c = 1 s.
-	pts, err := LossVsHurstAndScale(context.Background(), tm, 0.8, 1.0, []float64{0.55, 0.75, 0.95}, []float64{0.5, 1.0, 1.5}, fastCfg())
+	pts, err := LossVsHurstAndScale(context.Background(), tm, 0.8, 1.0, []float64{0.55, 0.75, 0.95}, []float64{0.5, 1.0, 1.5}, Sweep(fastCfg()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestLossVsHurstAndScaleShape(t *testing.T) {
 
 func TestLossVsHurstAndStreamsShape(t *testing.T) {
 	tm := quickModel(t)
-	pts, err := LossVsHurstAndStreams(context.Background(), tm, 0.85, 0.3, []float64{0.85}, []int{1, 4}, fastCfg())
+	pts, err := LossVsHurstAndStreams(context.Background(), tm, 0.85, 0.3, []float64{0.85}, []int{1, 4}, Sweep(fastCfg()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestLossVsHurstAndStreamsShape(t *testing.T) {
 
 func TestLossVsBufferAndScaleShape(t *testing.T) {
 	tm := quickModel(t)
-	pts, err := LossVsBufferAndScale(context.Background(), tm, 0.85, []float64{0.1, 1.0}, []float64{0.5, 1.0}, fastCfg())
+	pts, err := LossVsBufferAndScale(context.Background(), tm, 0.85, []float64{0.1, 1.0}, []float64{0.5, 1.0}, Sweep(fastCfg()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestShuffleLossSurface(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	buffers := []float64{0.05, 0.5}
 	blocks := []float64{0.1, 5, math.Inf(1)}
-	pts, err := ShuffleLossSurface(context.Background(), tr, 0.85, buffers, blocks, rng)
+	pts, err := ShuffleLossSurface(context.Background(), tr, 0.85, buffers, blocks, rng, SweepConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,13 +343,13 @@ func TestShuffleLossSurface(t *testing.T) {
 		}
 	}
 	// Validation errors.
-	if _, err := ShuffleLossSurface(context.Background(), traces.Trace{}, 0.8, buffers, blocks, rng); err == nil {
+	if _, err := ShuffleLossSurface(context.Background(), traces.Trace{}, 0.8, buffers, blocks, rng, SweepConfig{}); err == nil {
 		t.Fatal("want error on empty trace")
 	}
-	if _, err := ShuffleLossSurface(context.Background(), tr, 1.5, buffers, blocks, rng); err == nil {
+	if _, err := ShuffleLossSurface(context.Background(), tr, 1.5, buffers, blocks, rng, SweepConfig{}); err == nil {
 		t.Fatal("want error on bad utilization")
 	}
-	if _, err := ShuffleLossSurface(context.Background(), tr, 0.8, nil, blocks, rng); err == nil {
+	if _, err := ShuffleLossSurface(context.Background(), tr, 0.8, nil, blocks, rng, SweepConfig{}); err == nil {
 		t.Fatal("want error on empty grid")
 	}
 }

@@ -71,6 +71,11 @@ type RunOptions struct {
 	// (α→1, ρ→1, huge B) then yields a degraded bracketed row instead of
 	// wedging the whole sweep. Zero means no per-point budget.
 	PointTimeout time.Duration
+	// Store, when non-nil, journals every completed sweep cell and replays
+	// journaled cells on resume (see JournalStore).
+	Store CellStore
+	// Retry re-runs transiently failed or degraded cells (see RetryPolicy).
+	Retry RetryPolicy
 }
 
 // solverConfig returns the effective per-point solver configuration with
@@ -81,6 +86,21 @@ func (o RunOptions) solverConfig() solver.Config {
 		cfg.MaxDuration = o.PointTimeout
 	}
 	return cfg
+}
+
+// sweepConfig bundles the solver configuration with the durability layer
+// for one experiment's sweeps. The key prefix carries everything outside
+// the per-cell grid coordinates that determines cell results — experiment
+// id, seed, and solver-config hash — so a journal is only ever replayed
+// into the run it belongs to.
+func (o RunOptions) sweepConfig(id string) SweepConfig {
+	cfg := o.solverConfig()
+	return SweepConfig{
+		Solver: cfg,
+		Store:  o.Store,
+		Retry:  o.Retry,
+		Prefix: fmt.Sprintf("%s|seed=%d|quick=%t|cfg=%s|", id, o.Seed, o.Quick, ConfigHash(cfg)),
+	}
 }
 
 func (o RunOptions) rng(offset int64) *rand.Rand {
@@ -233,13 +253,13 @@ func runFig3(_ context.Context, o RunOptions) (Table, error) {
 	return t, nil
 }
 
-func surfaceRun(ctx context.Context, o RunOptions, get func() (TraceModel, error), util float64) (Table, error) {
+func surfaceRun(ctx context.Context, o RunOptions, id string, get func() (TraceModel, error), util float64) (Table, error) {
 	tm, err := get()
 	if err != nil {
 		return Table{}, err
 	}
 	buffers, cutoffs := o.surfaceGrids()
-	pts, err := LossVsBufferAndCutoff(ctx, tm, util, buffers, cutoffs, o.solverConfig())
+	pts, err := LossVsBufferAndCutoff(ctx, tm, util, buffers, cutoffs, o.sweepConfig(id))
 	if err != nil && len(pts) == 0 {
 		return Table{}, err
 	}
@@ -252,10 +272,10 @@ func surfaceRun(ctx context.Context, o RunOptions, get func() (TraceModel, error
 }
 
 func runFig4(ctx context.Context, o RunOptions) (Table, error) {
-	return surfaceRun(ctx, o, o.mtv, 0.8)
+	return surfaceRun(ctx, o, "fig4", o.mtv, 0.8)
 }
 func runFig5(ctx context.Context, o RunOptions) (Table, error) {
-	return surfaceRun(ctx, o, o.bellcore, 0.4)
+	return surfaceRun(ctx, o, "fig5", o.bellcore, 0.4)
 }
 
 func runFig6(_ context.Context, o RunOptions) (Table, error) {
@@ -286,7 +306,7 @@ func runFig6(_ context.Context, o RunOptions) (Table, error) {
 	return t, nil
 }
 
-func shuffleRun(ctx context.Context, o RunOptions, get func() (TraceModel, error), util float64, seedOff int64) (Table, []ShufflePoint, error) {
+func shuffleRun(ctx context.Context, o RunOptions, id string, get func() (TraceModel, error), util float64, seedOff int64) (Table, []ShufflePoint, error) {
 	tm, err := get()
 	if err != nil {
 		return Table{}, nil, err
@@ -296,7 +316,7 @@ func shuffleRun(ctx context.Context, o RunOptions, get func() (TraceModel, error
 	for _, tc := range cutoffs {
 		blocks = append(blocks, tc) // block length in seconds == cutoff lag
 	}
-	pts, err := ShuffleLossSurface(ctx, tm.Trace, util, buffers, blocks, o.rng(seedOff))
+	pts, err := ShuffleLossSurface(ctx, tm.Trace, util, buffers, blocks, o.rng(seedOff), o.sweepConfig(id))
 	if err != nil && len(pts) == 0 {
 		return Table{}, nil, err
 	}
@@ -308,12 +328,12 @@ func shuffleRun(ctx context.Context, o RunOptions, get func() (TraceModel, error
 }
 
 func runFig7(ctx context.Context, o RunOptions) (Table, error) {
-	t, _, err := shuffleRun(ctx, o, o.mtv, 0.8, 7)
+	t, _, err := shuffleRun(ctx, o, "fig7", o.mtv, 0.8, 7)
 	return t, err
 }
 
 func runFig8(ctx context.Context, o RunOptions) (Table, error) {
-	t, _, err := shuffleRun(ctx, o, o.bellcore, 0.4, 8)
+	t, _, err := shuffleRun(ctx, o, "fig8", o.bellcore, 0.4, 8)
 	return t, err
 }
 
@@ -340,7 +360,7 @@ func runFig9(ctx context.Context, o RunOptions) (Table, error) {
 	}{{"mtv", mtv}, {"bellcore", bc}} {
 		// Fig. 9 normalizes the comparison: B/c = 1 s, util = 2/3,
 		// θ = 20 ms, H = 0.9 for both marginals.
-		pts, err := LossVsCutoffFixedTheta(ctx, tc.tm.Marginal, 2.0/3.0, 1.0, 0.02, 0.9, cutoffs, o.solverConfig())
+		pts, err := LossVsCutoffFixedTheta(ctx, tc.tm.Marginal, 2.0/3.0, 1.0, 0.02, 0.9, cutoffs, o.sweepConfig("fig9").Sub(tc.name))
 		if err != nil && len(pts) == 0 && sweepErr == nil {
 			return Table{}, err
 		}
@@ -357,7 +377,7 @@ func runFig10(ctx context.Context, o RunOptions) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	pts, err := LossVsHurstAndScale(ctx, tm, 0.8, 1.0, o.hurstGrid(), o.scaleGrid(), o.solverConfig())
+	pts, err := LossVsHurstAndScale(ctx, tm, 0.8, 1.0, o.hurstGrid(), o.scaleGrid(), o.sweepConfig("fig10"))
 	if err != nil && len(pts) == 0 {
 		return Table{}, err
 	}
@@ -374,7 +394,7 @@ func runFig11(ctx context.Context, o RunOptions) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
-	pts, err := LossVsHurstAndStreams(ctx, tm, 0.8, 1.0, o.hurstGrid(), o.streamsGrid(), o.solverConfig())
+	pts, err := LossVsHurstAndStreams(ctx, tm, 0.8, 1.0, o.hurstGrid(), o.streamsGrid(), o.sweepConfig("fig11"))
 	if err != nil && len(pts) == 0 {
 		return Table{}, err
 	}
@@ -386,7 +406,7 @@ func runFig11(ctx context.Context, o RunOptions) (Table, error) {
 		}), err
 }
 
-func bufferScaleRun(ctx context.Context, o RunOptions, get func() (TraceModel, error), util float64) (Table, error) {
+func bufferScaleRun(ctx context.Context, o RunOptions, id string, get func() (TraceModel, error), util float64) (Table, error) {
 	tm, err := get()
 	if err != nil {
 		return Table{}, err
@@ -397,7 +417,7 @@ func bufferScaleRun(ctx context.Context, o RunOptions, get func() (TraceModel, e
 	} else {
 		buffers = numerics.Logspace(0.1, 5, 7)
 	}
-	pts, err := LossVsBufferAndScale(ctx, tm, util, buffers, o.scaleGrid(), o.solverConfig())
+	pts, err := LossVsBufferAndScale(ctx, tm, util, buffers, o.scaleGrid(), o.sweepConfig(id))
 	if err != nil && len(pts) == 0 {
 		return Table{}, err
 	}
@@ -410,17 +430,17 @@ func bufferScaleRun(ctx context.Context, o RunOptions, get func() (TraceModel, e
 }
 
 func runFig12(ctx context.Context, o RunOptions) (Table, error) {
-	return bufferScaleRun(ctx, o, o.mtv, 0.8)
+	return bufferScaleRun(ctx, o, "fig12", o.mtv, 0.8)
 }
 func runFig13(ctx context.Context, o RunOptions) (Table, error) {
-	return bufferScaleRun(ctx, o, o.bellcore, 0.4)
+	return bufferScaleRun(ctx, o, "fig13", o.bellcore, 0.4)
 }
 
 func runFig14(ctx context.Context, o RunOptions) (Table, error) {
 	var pts []ShufflePoint
 	if o.Quick {
 		var err error
-		_, pts, err = shuffleRun(ctx, o, o.mtv, 0.8, 14)
+		_, pts, err = shuffleRun(ctx, o, "fig14", o.mtv, 0.8, 14)
 		if err != nil {
 			return Table{}, err
 		}
@@ -435,7 +455,7 @@ func runFig14(ctx context.Context, o RunOptions) (Table, error) {
 		}
 		buffers := numerics.Logspace(0.02, 1, 7)
 		blocks := append(numerics.Logspace(0.05, 2000, 14), math.Inf(1))
-		pts, err = ShuffleLossSurface(ctx, tm.Trace, 0.8, buffers, blocks, o.rng(14))
+		pts, err = ShuffleLossSurface(ctx, tm.Trace, 0.8, buffers, blocks, o.rng(14), o.sweepConfig("fig14"))
 		if err != nil {
 			return Table{}, err
 		}
@@ -622,11 +642,11 @@ func runModelFit(ctx context.Context, o RunOptions) (Table, error) {
 		return Table{}, err
 	}
 	buffers, cutoffs := o.surfaceGrids()
-	model, err := LossVsBufferAndCutoff(ctx, tm, 0.8, buffers, cutoffs, o.solverConfig())
+	model, err := LossVsBufferAndCutoff(ctx, tm, 0.8, buffers, cutoffs, o.sweepConfig("modelfit"))
 	if err != nil {
 		return Table{}, err
 	}
-	shufflePts, err := ShuffleLossSurface(ctx, tm.Trace, 0.8, buffers, cutoffs, o.rng(99))
+	shufflePts, err := ShuffleLossSurface(ctx, tm.Trace, 0.8, buffers, cutoffs, o.rng(99), o.sweepConfig("modelfit").Sub("sim"))
 	if err != nil {
 		return Table{}, err
 	}

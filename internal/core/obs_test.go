@@ -28,7 +28,7 @@ func TestSweepTelemetryConcurrent(t *testing.T) {
 	}
 	buffers := []float64{0.05, 0.2}
 	cutoffs := []float64{0.5, math.Inf(1)}
-	pts, err := LossVsBufferAndCutoff(context.Background(), tm, 0.85, buffers, cutoffs, cfg)
+	pts, err := LossVsBufferAndCutoff(context.Background(), tm, 0.85, buffers, cutoffs, Sweep(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}

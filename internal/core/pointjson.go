@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"lrd/internal/solver"
+)
+
+// encoding/json rejects non-finite floats, but sweep cells legitimately
+// carry them — Point.Cutoff and ShufflePoint.BlockLen are math.Inf(1) for
+// the fully correlated case. The journal must round-trip every cell
+// exactly, so Point and ShufflePoint marshal their floats through
+// jsonFloat, which spells the non-finite values as quoted strings.
+
+// jsonFloat is a float64 whose JSON form round-trips ±Inf and NaN.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"nan"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *jsonFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"inf"`:
+		*f = jsonFloat(math.Inf(1))
+		return nil
+	case `"-inf"`:
+		*f = jsonFloat(math.Inf(-1))
+		return nil
+	case `"nan"`:
+		*f = jsonFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return fmt.Errorf("core: bad float %s: %w", b, err)
+	}
+	*f = jsonFloat(v)
+	return nil
+}
+
+// pointJSON mirrors Point field for field with journal-safe floats.
+type pointJSON struct {
+	NormalizedBuffer jsonFloat            `json:"buffer"`
+	Cutoff           jsonFloat            `json:"cutoff"`
+	Hurst            jsonFloat            `json:"hurst"`
+	Scale            jsonFloat            `json:"scale"`
+	Streams          int                  `json:"streams"`
+	Loss             jsonFloat            `json:"loss"`
+	Lower            jsonFloat            `json:"lower"`
+	Upper            jsonFloat            `json:"upper"`
+	Converged        bool                 `json:"converged"`
+	Degraded         solver.DegradeReason `json:"degraded,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with non-finite floats preserved.
+func (p Point) MarshalJSON() ([]byte, error) {
+	return json.Marshal(pointJSON{
+		NormalizedBuffer: jsonFloat(p.NormalizedBuffer),
+		Cutoff:           jsonFloat(p.Cutoff),
+		Hurst:            jsonFloat(p.Hurst),
+		Scale:            jsonFloat(p.Scale),
+		Streams:          p.Streams,
+		Loss:             jsonFloat(p.Loss),
+		Lower:            jsonFloat(p.Lower),
+		Upper:            jsonFloat(p.Upper),
+		Converged:        p.Converged,
+		Degraded:         p.Degraded,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, the inverse of MarshalJSON.
+func (p *Point) UnmarshalJSON(b []byte) error {
+	var m pointJSON
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	*p = Point{
+		NormalizedBuffer: float64(m.NormalizedBuffer),
+		Cutoff:           float64(m.Cutoff),
+		Hurst:            float64(m.Hurst),
+		Scale:            float64(m.Scale),
+		Streams:          m.Streams,
+		Loss:             float64(m.Loss),
+		Lower:            float64(m.Lower),
+		Upper:            float64(m.Upper),
+		Converged:        m.Converged,
+		Degraded:         m.Degraded,
+	}
+	return nil
+}
+
+// shufflePointJSON mirrors ShufflePoint with journal-safe floats.
+type shufflePointJSON struct {
+	NormalizedBuffer jsonFloat `json:"buffer"`
+	BlockLen         jsonFloat `json:"block"`
+	Loss             jsonFloat `json:"loss"`
+}
+
+// MarshalJSON implements json.Marshaler with non-finite floats preserved.
+func (p ShufflePoint) MarshalJSON() ([]byte, error) {
+	return json.Marshal(shufflePointJSON{
+		NormalizedBuffer: jsonFloat(p.NormalizedBuffer),
+		BlockLen:         jsonFloat(p.BlockLen),
+		Loss:             jsonFloat(p.Loss),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, the inverse of MarshalJSON.
+func (p *ShufflePoint) UnmarshalJSON(b []byte) error {
+	var m shufflePointJSON
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	*p = ShufflePoint{
+		NormalizedBuffer: float64(m.NormalizedBuffer),
+		BlockLen:         float64(m.BlockLen),
+		Loss:             float64(m.Loss),
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -9,6 +10,7 @@ import (
 	"sort"
 
 	"lrd/internal/horizon"
+	"lrd/internal/obs"
 	"lrd/internal/shuffle"
 	"lrd/internal/sim"
 	"lrd/internal/traces"
@@ -32,7 +34,13 @@ type ShufflePoint struct {
 // The context is observed between cells: on cancellation the completed
 // points are returned together with the context's error, so an interrupted
 // sweep still yields its partial surface.
-func ShuffleLossSurface(ctx context.Context, tr traces.Trace, util float64, buffers, blocks []float64, rng *rand.Rand) ([]ShufflePoint, error) {
+//
+// With a cfg.Store the surface is resumable: each simulated cell is
+// journaled, and journaled cells skip the queue simulation on resume. The
+// shuffle itself always runs — it consumes the rng, and skipping it would
+// desynchronize later blocks' shuffles between an interrupted run and its
+// resume.
+func ShuffleLossSurface(ctx context.Context, tr traces.Trace, util float64, buffers, blocks []float64, rng *rand.Rand, cfg SweepConfig) ([]ShufflePoint, error) {
 	if len(tr.Rates) == 0 {
 		return nil, errors.New("core: empty trace")
 	}
@@ -45,10 +53,11 @@ func ShuffleLossSurface(ctx context.Context, tr traces.Trace, util float64, buff
 	c := tr.MeanRate() / util
 	out := make([]ShufflePoint, 0, len(buffers)*len(blocks))
 	for _, blk := range blocks {
-		// The shuffle must run even on a canceled context so the rng
-		// consumption (and hence later blocks' shuffles) stays deterministic
-		// regardless of where the interruption lands; the cheap check below
-		// still stops the expensive queue simulations promptly.
+		// The shuffle must run even on a canceled context (and on cached
+		// cells) so the rng consumption — and hence later blocks' shuffles —
+		// stays deterministic regardless of where the interruption lands;
+		// the cheap check below still stops the expensive queue simulations
+		// promptly.
 		var series []float64
 		switch {
 		case math.IsInf(blk, 1):
@@ -68,11 +77,30 @@ func ShuffleLossSurface(ctx context.Context, tr traces.Trace, util float64, buff
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
+			key := cfg.Prefix + "shuffle|u=" + fkey(util) + "|b=" + fkey(b) + "|blk=" + fkey(blk)
+			if cfg.Store != nil {
+				if raw, ok := cfg.Store.Lookup(key); ok {
+					var p ShufflePoint
+					if err := json.Unmarshal(raw, &p); err == nil {
+						if rec := cfg.Solver.Recorder; rec != nil {
+							rec.Add(obs.MetricCoreCellsResumed, 1)
+						}
+						out = append(out, p)
+						continue
+					}
+				}
+			}
 			st, err := sim.RunBinnedTrace(series, tr.BinWidth, c, b*c)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, ShufflePoint{NormalizedBuffer: b, BlockLen: blk, Loss: st.LossRate()})
+			p := ShufflePoint{NormalizedBuffer: b, BlockLen: blk, Loss: st.LossRate()}
+			if cfg.Store != nil {
+				if err := cfg.Store.Store(key, p); err != nil {
+					return out, err
+				}
+			}
+			out = append(out, p)
 		}
 	}
 	return out, nil

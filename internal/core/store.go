@@ -1,0 +1,264 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"lrd/internal/journal"
+	"lrd/internal/obs"
+	"lrd/internal/solver"
+)
+
+// CellStore persists per-cell sweep outcomes and replays them on resume.
+// Keys are opaque strings composed by the sweep layer from everything that
+// determines a cell's result (experiment id, seed, solver-config hash, and
+// grid coordinates); values are the cell's JSON-serialized result.
+//
+// Implementations must be safe for concurrent use: sweep workers store and
+// look up cells in parallel.
+type CellStore interface {
+	// Lookup returns the serialized result of a previously completed cell.
+	Lookup(key string) (json.RawMessage, bool)
+	// Store durably records a completed cell. An error fails the sweep —
+	// silently losing durability would defeat the journal's purpose.
+	Store(key string, value any) error
+	// Fail records a failed attempt at a cell (informational: a resumed
+	// sweep recomputes failed cells).
+	Fail(key string, attempt int, err error) error
+}
+
+// JournalStore is the CellStore backed by an append-only JSONL journal
+// (internal/journal): every Store fsyncs one line, and opening with resume
+// replays the journal so completed cells are served from memory.
+type JournalStore struct {
+	w   *journal.Writer
+	rec obs.Recorder
+
+	mu     sync.RWMutex
+	cached map[string]json.RawMessage
+}
+
+// JournalStoreOptions configures OpenJournalStore.
+type JournalStoreOptions struct {
+	// Resume replays the existing journal (completed cells will be skipped)
+	// instead of truncating it.
+	Resume bool
+	// Recorder receives journal telemetry: cells resumed, bytes appended,
+	// corrupt lines skipped. Nil disables it.
+	Recorder obs.Recorder
+	// Warn receives human-readable warnings (corrupt journal lines). Nil
+	// silences them.
+	Warn io.Writer
+}
+
+// OpenJournalStore opens (or creates) the cell journal at path. With
+// opts.Resume the journal's intact records are loaded — corrupt lines,
+// e.g. a trailing line truncated by a crash, are skipped with a warning
+// and their cells recomputed — and new records append; otherwise the
+// journal starts fresh.
+func OpenJournalStore(path string, opts JournalStoreOptions) (*JournalStore, error) {
+	s := &JournalStore{rec: opts.Recorder, cached: map[string]json.RawMessage{}}
+	if opts.Resume {
+		recs, skipped, err := journal.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if skipped > 0 {
+			if opts.Warn != nil {
+				fmt.Fprintf(opts.Warn, "journal: skipped %d corrupt line(s) in %s; their cells will be recomputed\n", skipped, path)
+			}
+			if s.rec != nil {
+				s.rec.Add(obs.MetricCoreJournalCorrupt, float64(skipped))
+			}
+		}
+		s.cached = journal.Completed(recs)
+	}
+	w, err := journal.Open(path, opts.Resume)
+	if err != nil {
+		return nil, err
+	}
+	s.w = w
+	return s, nil
+}
+
+// Lookup implements CellStore from the replayed journal.
+func (s *JournalStore) Lookup(key string) (json.RawMessage, bool) {
+	s.mu.RLock()
+	v, ok := s.cached[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// Completed returns the number of cells the journal replay recovered.
+func (s *JournalStore) Completed() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.cached)
+}
+
+// Store implements CellStore: one fsync'd journal append per cell.
+func (s *JournalStore) Store(key string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("core: encoding cell %q: %w", key, err)
+	}
+	n, err := s.w.Append(journal.Record{Key: key, Status: journal.StatusOK, Value: raw})
+	if err != nil {
+		return err
+	}
+	if s.rec != nil {
+		s.rec.Add(obs.MetricCoreJournalBytes, float64(n))
+	}
+	s.mu.Lock()
+	s.cached[key] = raw
+	s.mu.Unlock()
+	return nil
+}
+
+// Fail implements CellStore.
+func (s *JournalStore) Fail(key string, attempt int, err error) error {
+	n, aerr := s.w.Append(journal.Record{Key: key, Status: journal.StatusFail, Attempt: attempt, Error: err.Error()})
+	if aerr != nil {
+		return aerr
+	}
+	if s.rec != nil {
+		s.rec.Add(obs.MetricCoreJournalBytes, float64(n))
+	}
+	return nil
+}
+
+// Close closes the underlying journal.
+func (s *JournalStore) Close() error { return s.w.Close() }
+
+// RetryPolicy bounds the re-execution of transiently failed or degraded
+// sweep cells: a cell whose solve tripped the numeric watchdog
+// (solver.RetryableError) or degraded for a retryable reason
+// (DegradeReason.Retryable — deadline, cancellation) is re-run up to
+// MaxAttempts times with exponential backoff and jitter between attempts.
+// Terminal outcomes — iteration-budget exhaustion, numeric stalls,
+// malformed inputs — are never retried. The zero value disables retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per cell (first try
+	// included). Values below 1 mean a single attempt, i.e. no retry.
+	MaxAttempts int
+	// Backoff is the base delay before the second attempt; attempt k waits
+	// Backoff·2^(k-2), jittered uniformly over [0.5×, 1.5×]. Default 100 ms.
+	Backoff time.Duration
+	// MaxBackoff caps the jittered delay. Default 5 s.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the jittered delay to wait after a failed attempt
+// (attempt counts from 1). Jitter decorrelates the retries of cells that
+// failed together — e.g. a whole worker pool degraded by one slow machine
+// moment — so they do not re-land in lockstep.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	base := p.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	limit := p.MaxBackoff
+	if limit <= 0 {
+		limit = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= limit || d <= 0 { // overflow guard
+			d = limit
+			break
+		}
+	}
+	if d > limit {
+		d = limit
+	}
+	// Uniform jitter in [0.5·d, 1.5·d]. Timing-only randomness: results are
+	// unaffected, so sweep determinism is preserved.
+	j := d/2 + time.Duration(rand.Int63n(int64(d)+1))
+	if j > limit {
+		j = limit
+	}
+	return j
+}
+
+// sleepCtx waits d or until ctx is done, returning the context error when
+// interrupted.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// SweepConfig bundles what every sweep needs beyond its grid: the solver
+// configuration, and the optional durability layer (cell store, retry
+// policy, key namespace).
+type SweepConfig struct {
+	// Solver is the per-cell solver configuration.
+	Solver solver.Config
+	// Store, when non-nil, is consulted before each cell is solved (cells
+	// already journaled are skipped) and receives each completed cell.
+	Store CellStore
+	// Retry re-runs transiently failed or degraded cells (see RetryPolicy).
+	Retry RetryPolicy
+	// Prefix namespaces this sweep's journal keys. It must capture every
+	// input that determines cell results but is not part of the per-cell
+	// key — experiment id, trace/seed identity, and solver-config hash
+	// (see RunOptions.sweepConfig). Irrelevant when Store is nil.
+	Prefix string
+}
+
+// Sweep wraps a bare solver configuration into a SweepConfig with no
+// durability layer — the zero-migration path for direct library callers.
+func Sweep(cfg solver.Config) SweepConfig { return SweepConfig{Solver: cfg} }
+
+// Sub returns a copy whose journal keys are further namespaced by extra,
+// for experiments that run the same sweep function more than once (e.g.
+// fig9's per-marginal cutoff scans).
+func (c SweepConfig) Sub(extra string) SweepConfig {
+	c.Prefix += extra + "|"
+	return c
+}
+
+// ConfigHash returns a short stable hash of the solver-configuration
+// fields that influence cell results. Sweep key prefixes include it so a
+// journal written under one configuration is never replayed into a run
+// with another (the cells would not be comparable).
+func ConfigHash(cfg solver.Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%g|%g|%d|%g|%s|%g",
+		cfg.InitialBins, cfg.MaxBins, cfg.RelGap, cfg.LossFloor,
+		cfg.MaxIterations, cfg.StallTol, cfg.MaxDuration, cfg.MassDriftTol)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// fkey formats a float for use in a journal key: shortest round-trippable
+// form, so the same grid value always produces the same key.
+func fkey(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

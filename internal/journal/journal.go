@@ -1,0 +1,238 @@
+// Package journal is the durability layer under the repository's long
+// sweeps: an append-only JSONL work journal that records one line per
+// finished (or failed) sweep cell, fsync'd on every append, plus a loader
+// that replays a journal to reconstruct the completed cells after a crash
+// or interruption.
+//
+// The format is deliberately dumb — one self-contained JSON object per
+// line — so a journal survives partial writes: a crash can at worst leave
+// one truncated trailing line, which Load skips (and counts) instead of
+// failing, and every preceding record remains usable. Records are keyed by
+// an opaque string the caller derives from the experiment identity, grid
+// coordinates, seed, and solver configuration; on conflicting keys the
+// last record wins, so re-running a cell simply supersedes its history.
+//
+// The package also provides WriteFileAtomic, the write-temp-then-rename
+// helper the CLIs use so a result table on disk is always either the old
+// complete file or the new complete file, never a truncated hybrid.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Status classifies a journal record.
+type Status string
+
+const (
+	// StatusOK: the cell finished and Value holds its result. A cell whose
+	// solve degraded for a terminal (non-retryable) reason is also recorded
+	// as ok — re-running it would deterministically reproduce the same
+	// degradation.
+	StatusOK Status = "ok"
+	// StatusFail: an attempt at the cell failed; Error holds the message.
+	// Failed cells are informational — a resumed run recomputes them.
+	StatusFail Status = "fail"
+)
+
+// Record is one journal line: the outcome of one attempt at one sweep
+// cell. Key identifies the cell (experiment id, grid coordinates, seed,
+// and solver-config hash, composed by the caller); Value carries the
+// cell's serialized result for ok records; Error and Attempt describe
+// failures.
+type Record struct {
+	Key     string          `json:"key"`
+	Status  Status          `json:"status"`
+	Attempt int             `json:"attempt,omitempty"`
+	Value   json.RawMessage `json:"value,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// Writer appends records to a journal file, fsync'ing after every append
+// so a record, once Append returns, survives a crash of the process or
+// the machine. Writers are safe for concurrent use.
+type Writer struct {
+	mu    sync.Mutex
+	f     *os.File
+	bytes int64
+	err   error
+}
+
+// Open opens (creating if needed) the journal at path. With resume true
+// existing records are preserved and new appends extend the file; with
+// resume false the journal is truncated and starts fresh.
+func Open(path string, resume bool) (*Writer, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	return &Writer{f: f}, nil
+}
+
+// Append marshals rec onto one JSONL line, writes it, and fsyncs the
+// file. It returns the number of bytes appended. After any write or sync
+// error the writer is poisoned: every later Append returns the same error
+// rather than silently losing durability.
+func (w *Writer) Append(rec Record) (int, error) {
+	if rec.Key == "" {
+		return 0, errors.New("journal: record key must be non-empty")
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("journal: encoding record %q: %w", rec.Key, err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.f == nil {
+		return 0, errors.New("journal: writer is closed")
+	}
+	if _, err := w.f.Write(line); err != nil {
+		w.err = fmt.Errorf("journal: appending record %q: %w", rec.Key, err)
+		return 0, w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("journal: syncing after record %q: %w", rec.Key, err)
+		return 0, w.err
+	}
+	w.bytes += int64(len(line))
+	return len(line), nil
+}
+
+// Bytes returns the number of journal bytes appended through this writer
+// (not counting pre-existing records of a resumed journal).
+func (w *Writer) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes
+}
+
+// Close closes the underlying file. Further Appends fail.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// Load replays the journal at path and returns its records in file order,
+// together with the number of lines that could not be decoded. A missing
+// file is an empty journal, not an error — resuming a sweep that never
+// started is a fresh start.
+//
+// Corrupt lines — a trailing line truncated by a crash, or garbage from a
+// concurrent writer — are skipped and counted, never fatal: the caller
+// recomputes those cells, which is always safe. Only I/O errors are
+// returned.
+func Load(path string) (records []Record, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.Key == "" || rec.Status == "" {
+			skipped++
+			continue
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		// A final line longer than the scanner budget counts as corrupt
+		// rather than failing the whole replay.
+		if errors.Is(err, bufio.ErrTooLong) {
+			return records, skipped + 1, nil
+		}
+		return nil, 0, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	return records, skipped, nil
+}
+
+// Completed folds records into the per-key outcome a resumed sweep should
+// trust: the value of each key's last ok record. A later fail record for
+// the same key (defensive — the orchestration layer never re-runs an ok
+// cell) invalidates the cached value.
+func Completed(records []Record) map[string]json.RawMessage {
+	done := make(map[string]json.RawMessage)
+	for _, rec := range records {
+		switch rec.Status {
+		case StatusOK:
+			done[rec.Key] = rec.Value
+		case StatusFail:
+			delete(done, rec.Key)
+		}
+	}
+	return done
+}
+
+// WriteFileAtomic writes the output of write to path atomically: the
+// content lands in a temporary file in the same directory, is fsync'd,
+// and is renamed over path only on success. Readers therefore never
+// observe a truncated or partially written file, and a crash mid-write
+// leaves any previous version of path intact. On error the temporary file
+// is removed.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Dir(path), filepath.Base(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("journal: creating temp file for %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("journal: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("journal: closing temp file for %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("journal: renaming into %s: %w", path, err)
+	}
+	// Persist the rename itself. Directory fsync is best-effort: some
+	// filesystems refuse it, and the data file is already durable.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

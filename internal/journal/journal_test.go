@@ -1,0 +1,273 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "sweep.journal")
+}
+
+func mustAppend(t *testing.T, w *Writer, rec Record) int {
+	t.Helper()
+	n, err := w.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val1, _ := json.Marshal(map[string]float64{"loss": 0.25})
+	val2, _ := json.Marshal(map[string]float64{"loss": 0.5})
+	n1 := mustAppend(t, w, Record{Key: "a", Status: StatusOK, Value: val1})
+	n2 := mustAppend(t, w, Record{Key: "b", Status: StatusFail, Attempt: 2, Error: "boom"})
+	n3 := mustAppend(t, w, Record{Key: "b", Status: StatusOK, Value: val2})
+	if got := w.Bytes(); got != int64(n1+n2+n3) {
+		t.Fatalf("Bytes() = %d, want %d", got, n1+n2+n3)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, skipped, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped = %d, want 0", skipped)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	if recs[0].Key != "a" || recs[0].Status != StatusOK {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Attempt != 2 || recs[1].Error != "boom" {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	done := Completed(recs)
+	if len(done) != 2 {
+		t.Fatalf("completed = %d keys, want 2", len(done))
+	}
+	if string(done["b"]) != string(val2) {
+		t.Fatalf("completed[b] = %s", done["b"])
+	}
+}
+
+func TestOpenResumeAppendsVsTruncates(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, Record{Key: "a", Status: StatusOK})
+	w.Close()
+
+	// Resume: the existing record survives and new ones extend it.
+	w, err = Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, Record{Key: "b", Status: StatusOK})
+	w.Close()
+	recs, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("resumed journal has %d records, want 2", len(recs))
+	}
+
+	// Fresh open: the journal is truncated.
+	w, err = Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, Record{Key: "c", Status: StatusOK})
+	w.Close()
+	recs, _, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Key != "c" {
+		t.Fatalf("truncated journal = %+v", recs)
+	}
+}
+
+func TestLoadMissingFileIsEmpty(t *testing.T) {
+	recs, skipped, err := Load(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil || len(recs) != 0 || skipped != 0 {
+		t.Fatalf("missing journal: recs=%v skipped=%d err=%v", recs, skipped, err)
+	}
+}
+
+// TestLoadSkipsCorruptLines: truncated trailing lines (the crash case) and
+// garbage interior lines are skipped and counted, never fatal, and every
+// intact record is preserved.
+func TestLoadSkipsCorruptLines(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt string // appended raw after two good records
+		skipped int
+	}{
+		{"truncated-tail", `{"key":"c","status":"ok","val`, 1},
+		{"garbage-line", "\x00\xff not json at all\n", 1},
+		{"non-record-json", `{"loss":1}` + "\n", 1},
+		{"empty-lines", "\n\n\n", 0},
+		{"two-bad-lines", "garbage\n{\"key\":\"d\",\"status\":\"ok\"}\ntrunc", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := tmpPath(t)
+			w, err := Open(path, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustAppend(t, w, Record{Key: "a", Status: StatusOK})
+			mustAppend(t, w, Record{Key: "b", Status: StatusOK})
+			w.Close()
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(tc.corrupt); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			recs, skipped, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if skipped != tc.skipped {
+				t.Fatalf("skipped = %d, want %d", skipped, tc.skipped)
+			}
+			keys := map[string]bool{}
+			for _, r := range recs {
+				keys[r.Key] = true
+			}
+			if !keys["a"] || !keys["b"] {
+				t.Fatalf("intact records lost: %+v", recs)
+			}
+		})
+	}
+}
+
+func TestAppendRejectsEmptyKey(t *testing.T) {
+	w, err := Open(tmpPath(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Append(Record{Status: StatusOK}); err == nil {
+		t.Fatal("want error for empty key")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	w, err := Open(tmpPath(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := w.Append(Record{Key: "a", Status: StatusOK}); err == nil {
+		t.Fatal("want error appending to a closed writer")
+	}
+}
+
+// TestConcurrentAppends: appends from many goroutines interleave without
+// tearing lines (each record stays a valid JSONL line).
+func TestConcurrentAppends(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := w.Append(Record{Key: fmt.Sprintf("k%d", i), Status: StatusOK}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	w.Close()
+	recs, skipped, err := Load(path)
+	if err != nil || skipped != 0 {
+		t.Fatalf("load: skipped=%d err=%v", skipped, err)
+	}
+	if len(recs) != n {
+		t.Fatalf("records = %d, want %d", len(recs), n)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.tsv")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello\nworld\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello\nworld\n" {
+		t.Fatalf("content = %q", got)
+	}
+
+	// Overwrite succeeds and fully replaces.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v2\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2\n" {
+		t.Fatalf("overwritten content = %q", got)
+	}
+
+	// A failing write callback leaves the previous version intact and no
+	// temp litter behind.
+	wantErr := fmt.Errorf("sink broke")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return wantErr
+	}); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2\n" {
+		t.Fatalf("failed write clobbered file: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}

@@ -210,6 +210,9 @@ func (c *CLI) ProgressLine() string {
 		if deg := r.CounterValue(MetricCoreCellsDegraded); deg > 0 {
 			line += fmt.Sprintf(" (%.0f degraded)", deg)
 		}
+		if res := r.CounterValue(MetricCoreCellsResumed); res > 0 {
+			line += fmt.Sprintf(" (%.0f resumed)", res)
+		}
 		if completed > 0 && completed < planned {
 			eta := time.Duration(float64(elapsed) / completed * (planned - completed))
 			line += fmt.Sprintf(", eta %s", eta.Round(time.Second))

@@ -64,6 +64,13 @@ const (
 	MetricCoreWorkers          = "core_workers" // gauge: pool size
 	MetricCoreWorkerBusySecond = "core_worker_busy_seconds_total"
 
+	// Sweep durability (internal/core + internal/journal): resume/retry
+	// bookkeeping.
+	MetricCoreCellsResumed   = "core_cells_resumed_total" // skipped via journal replay
+	MetricCoreCellsRetried   = "core_cell_retries_total"  // extra attempts beyond the first
+	MetricCoreJournalBytes   = "core_journal_bytes_total"
+	MetricCoreJournalCorrupt = "core_journal_corrupt_lines_total"
+
 	// FFT (internal/fft): plan cache and transform telemetry.
 	MetricFFTPlanHits       = "fft_plan_cache_hits_total"
 	MetricFFTPlanMisses     = "fft_plan_cache_misses_total"

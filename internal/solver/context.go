@@ -25,6 +25,37 @@ const (
 	DegradedStalled DegradeReason = "bounds stalled at maximum resolution"
 )
 
+// Retryable classifies a degradation as transient or terminal for retry
+// policies (and any caller deciding whether re-running a cell could help):
+//
+//   - canceled / deadline exceeded — retryable: the solve was cut short by
+//     wall-clock circumstances, not by the problem; a fresh attempt with a
+//     fresh budget may converge.
+//   - iteration budget exhausted / bounds stalled — terminal: the solve is
+//     deterministic, so re-running it reproduces the same degradation and
+//     burns the same budget.
+//
+// The empty reason (no degradation) is terminal: there is nothing to retry.
+func (r DegradeReason) Retryable() bool {
+	switch r {
+	case DegradedCanceled, DegradedDeadline:
+		return true
+	default:
+		return false
+	}
+}
+
+// RetryableError reports whether a solve error could plausibly vanish on a
+// retry. Numeric-watchdog trips (ErrNumeric) qualify: the watchdog exists
+// to catch transient corruption (an injected fault, a flipped bit), and the
+// iterator state it aborted from is discarded, so a fresh solve starts
+// clean. A deterministic numeric bug will simply re-trip the watchdog and
+// surface after the bounded attempts run out. Everything else — malformed
+// inputs, validation failures — is terminal.
+func RetryableError(err error) bool {
+	return errors.Is(err, ErrNumeric)
+}
+
 func degradeReasonFromContext(err error) DegradeReason {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):

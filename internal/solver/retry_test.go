@@ -1,0 +1,55 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestDegradeReasonRetryable pins the transient-vs-terminal classification
+// the sweep retry policy depends on: wall-clock interruptions are worth a
+// fresh attempt, deterministic budget/stall outcomes are not.
+func TestDegradeReasonRetryable(t *testing.T) {
+	cases := []struct {
+		reason DegradeReason
+		want   bool
+	}{
+		{DegradedCanceled, true},
+		{DegradedDeadline, true},
+		{DegradedIterations, false},
+		{DegradedStalled, false},
+		{DegradeReason(""), false},
+		{DegradeReason("some future reason"), false},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.reason), func(t *testing.T) {
+			if got := tc.reason.Retryable(); got != tc.want {
+				t.Fatalf("DegradeReason(%q).Retryable() = %v, want %v", tc.reason, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRetryableError(t *testing.T) {
+	numeric := &NumericError{Kind: HealthNotFinite, Iteration: 3, Bins: 128, Detail: "NaN"}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"numeric-sentinel", ErrNumeric, true},
+		{"numeric-typed", numeric, true},
+		{"numeric-wrapped", fmt.Errorf("cell (0.5, inf): %w", numeric), true},
+		{"context-canceled", context.Canceled, false},
+		{"plain", errors.New("bad marginal"), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := RetryableError(tc.err); got != tc.want {
+				t.Fatalf("RetryableError(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}

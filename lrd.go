@@ -272,6 +272,42 @@ var (
 	MarkovEquivalentModel = markov.EquivalentModel
 )
 
+// Crash-safe sweeps: the durability layer every parameter sweep accepts.
+// A sweep configured with a journal-backed CellStore checkpoints each cell
+// as it completes and, reopened with resume, skips the journaled cells —
+// an interrupted sweep finishes from where it stopped with a result
+// byte-identical to an uninterrupted run. The RetryPolicy re-runs cells
+// that failed or degraded for transient reasons (deadline, cancellation,
+// numeric-watchdog trips) with exponential backoff.
+type (
+	// SweepConfig bundles a SolverConfig with the optional durability
+	// layer (cell store, retry policy, key namespace) for one sweep.
+	SweepConfig = core.SweepConfig
+	// CellStore persists per-cell sweep outcomes and replays them on
+	// resume.
+	CellStore = core.CellStore
+	// JournalStore is the CellStore backed by an append-only fsync'd
+	// JSONL journal.
+	JournalStore = core.JournalStore
+	// JournalStoreOptions configures OpenJournalStore.
+	JournalStoreOptions = core.JournalStoreOptions
+	// RetryPolicy bounds the re-execution of transiently failed or
+	// degraded sweep cells.
+	RetryPolicy = core.RetryPolicy
+)
+
+// Crash-safe sweep constructors.
+var (
+	// Sweep wraps a bare SolverConfig into a SweepConfig with no
+	// durability layer — the zero-migration path for direct callers.
+	Sweep = core.Sweep
+	// OpenJournalStore opens (or, with resume, replays) a cell journal.
+	OpenJournalStore = core.OpenJournalStore
+	// SweepConfigHash hashes the result-affecting solver-configuration
+	// fields for use in journal key prefixes.
+	SweepConfigHash = core.ConfigHash
+)
+
 // Experiment orchestration (the figures of the paper's §III).
 var (
 	// BuildTraceModel fits model ingredients to a trace.
