@@ -11,6 +11,11 @@
 // durable cell. -retries re-runs transiently failed or degraded cells
 // with exponential backoff (-retry-backoff).
 //
+// Traffic models: -model realizes every experiment's sources as one
+// registered model (fluid, onoff, markov, mmfq — see internal/source) and
+// -model-params passes key=value model parameters; the default fluid model
+// reproduces the paper's figures bit-identically.
+//
 // Observability flags: -metrics writes a JSON metrics snapshot on exit,
 // -trace streams per-iteration solver convergence points as JSONL,
 // -progress prints a periodic status line to stderr, and -pprof serves
@@ -41,6 +46,7 @@ import (
 	"lrd/internal/journal"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
+	"lrd/internal/source"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -66,10 +72,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress     = fs.Bool("progress", false, "print a periodic progress line to stderr")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
 	)
+	modelSpecs := source.ModelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	specs, err := modelSpecs()
+	if err != nil {
+		fmt.Fprintf(stderr, "lrdfigs: %v\n", err)
+		return 1
+	}
+	if len(specs) != 1 {
+		fmt.Fprintln(stderr, "lrdfigs: -model takes a single model; use lrdsweep for side-by-side model comparisons")
+		return 1
+	}
 	if *resume && *journalPath == "" {
 		fmt.Fprintln(stderr, "lrdfigs: -resume requires -journal")
 		return 1
@@ -103,8 +119,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opts := core.RunOptions{
-		Seed: *seed, Quick: *quick,
+		Seed: *seed, Quick: *quick, Model: specs[0],
 		Retry: core.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
+	}
+	if specs[0].Name == "markov" {
+		// The markov experiment's correlation fit takes the same registry
+		// parameters; -model markov -model-params horizon=… configures it.
+		opts.MarkovFit = specs[0].Params
 	}
 	opts.Solver.Recorder = cli.Recorder()
 	fft.SetRecorder(cli.Recorder())

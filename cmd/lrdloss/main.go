@@ -11,9 +11,16 @@
 //	lrdloss -marginal 0:0.5,2:0.5 -hurst 0.8 -epoch 0.05 -cutoff 10 \
 //	        -util 0.8 -buffer 0.5
 //
+// Traffic models: -model realizes the source as one registered model
+// (fluid, onoff, markov, mmfq — see internal/source) before solving, and
+// -model-params passes key=value model parameters. The flags above always
+// describe the reference cutoff-Pareto source that the chosen model is
+// fitted to; the default fluid model solves it directly.
+//
 // The solve is interruptible: on SIGINT or when the -timeout budget
 // expires the best-so-far loss bounds are printed (they bracket the true
-// loss at every iteration) and the command exits nonzero.
+// loss at every iteration) and the command exits nonzero. -out writes the
+// result atomically (write-temp-then-rename) instead of stdout.
 //
 // Observability flags: -metrics writes a JSON metrics snapshot on exit,
 // -trace streams per-iteration convergence points as JSONL, and -pprof
@@ -24,47 +31,56 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 
 	"lrd/internal/dist"
 	"lrd/internal/fluid"
+	"lrd/internal/journal"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
+	"lrd/internal/source"
 )
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-// run holds the real main so that deferred cleanup — in particular the
-// -metrics snapshot written by the obs CLI on Close — executes on every
-// exit path, including interrupted solves. os.Exit would skip defers.
-func run() int {
+// run is the testable body of main: it parses args with its own FlagSet,
+// writes the result to stdout (or -out), diagnostics to stderr, and
+// returns the exit code instead of calling os.Exit — so deferred cleanup
+// (the -metrics snapshot) executes on every exit path, including
+// interrupted solves.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lrdloss", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		marginalFlag = flag.String("marginal", "", "marginal as rate:prob pairs, e.g. 0:0.5,2:0.5 (required)")
-		hurst        = flag.Float64("hurst", 0, "Hurst parameter in (0.5, 1); sets alpha = 3-2H")
-		alpha        = flag.Float64("alpha", 0, "Pareto tail index in (1, 2); alternative to -hurst")
-		theta        = flag.Float64("theta", 0, "Pareto scale θ in seconds")
-		epoch        = flag.Float64("epoch", 0, "mean epoch duration in seconds; calibrates θ when -theta is absent")
-		cutoff       = flag.Float64("cutoff", math.Inf(1), "correlation cutoff lag Tc in seconds (default: infinite)")
-		util         = flag.Float64("util", 0, "target utilization in (0, 1); sets the service rate from the marginal mean")
-		service      = flag.Float64("service", 0, "service rate c in work units/s; alternative to -util")
-		buffer       = flag.Float64("buffer", 0, "normalized buffer size B/c in seconds (required)")
-		relGap       = flag.Float64("relgap", 0.2, "bound convergence target (paper: 0.2)")
-		maxBins      = flag.Int("maxbins", 0, "resolution cap (default 32768)")
-		timeout      = flag.Duration("timeout", 0, "wall-clock budget for the solve (0 = none)")
-		verbose      = flag.Bool("v", false, "print solver diagnostics")
-		metricsPath  = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
-		tracePath    = flag.String("trace", "", "write per-iteration convergence points to this file as JSONL")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
+		marginalFlag = fs.String("marginal", "", "marginal as rate:prob pairs, e.g. 0:0.5,2:0.5 (required)")
+		hurst        = fs.Float64("hurst", 0, "Hurst parameter in (0.5, 1); sets alpha = 3-2H")
+		alpha        = fs.Float64("alpha", 0, "Pareto tail index in (1, 2); alternative to -hurst")
+		theta        = fs.Float64("theta", 0, "Pareto scale θ in seconds")
+		epoch        = fs.Float64("epoch", 0, "mean epoch duration in seconds; calibrates θ when -theta is absent")
+		cutoff       = fs.Float64("cutoff", math.Inf(1), "correlation cutoff lag Tc in seconds (default: infinite)")
+		util         = fs.Float64("util", 0, "target utilization in (0, 1); sets the service rate from the marginal mean")
+		service      = fs.Float64("service", 0, "service rate c in work units/s; alternative to -util")
+		buffer       = fs.Float64("buffer", 0, "normalized buffer size B/c in seconds (required)")
+		relGap       = fs.Float64("relgap", 0.2, "bound convergence target (paper: 0.2)")
+		maxBins      = fs.Int("maxbins", 0, "resolution cap (default 32768)")
+		timeout      = fs.Duration("timeout", 0, "wall-clock budget for the solve (0 = none)")
+		out          = fs.String("out", "", "write the result atomically to this file instead of stdout")
+		verbose      = fs.Bool("v", false, "print solver diagnostics")
+		metricsPath  = fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		tracePath    = fs.String("trace", "", "write per-iteration convergence points to this file as JSONL")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
 	)
-	flag.Parse()
+	modelSpecs := source.ModelFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	bad := false
 	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "lrdloss: "+format+"\n", args...)
+		fmt.Fprintf(stderr, "lrdloss: "+format+"\n", args...)
 		bad = true
 	}
 
@@ -101,7 +117,21 @@ func run() int {
 			return 1
 		}
 	}
-	src, err := fluid.New(m, dist.TruncatedPareto{Theta: th, Alpha: a, Cutoff: *cutoff})
+	ref, err := fluid.New(m, dist.TruncatedPareto{Theta: th, Alpha: a, Cutoff: *cutoff})
+	if err != nil {
+		fail("%v", err)
+		return 1
+	}
+	specs, err := modelSpecs()
+	if err != nil {
+		fail("%v", err)
+		return 1
+	}
+	if len(specs) != 1 {
+		fail("-model takes a single model; use lrdsweep for side-by-side model comparisons")
+		return 1
+	}
+	src, err := specs[0].Realize(ref)
 	if err != nil {
 		fail("%v", err)
 		return 1
@@ -110,14 +140,14 @@ func run() int {
 		fail("-buffer is required (seconds)")
 		return 1
 	}
-	var q solver.Queue
+	var mdl solver.Model
 	switch {
 	case *util != 0 && *service != 0:
 		fail("give either -util or -service, not both")
 	case *util != 0:
-		q, err = solver.NewQueueNormalized(src, *util, *buffer)
+		mdl, err = solver.NewModelNormalized(src, *util, *buffer)
 	case *service != 0:
-		q, err = solver.NewQueue(src, *service, *buffer**service)
+		mdl, err = solver.NewModelFromSource(src, *service, *buffer**service)
 	default:
 		fail("one of -util or -service is required")
 	}
@@ -150,52 +180,60 @@ func run() int {
 	if enc := cli.TraceEncoder(); enc != nil {
 		cfg.Trace = func(p solver.TracePoint) { enc(p) }
 	}
-	res, err := solver.SolveContext(ctx, q, cfg)
+	res, err := solver.SolveModelContext(ctx, mdl, cfg)
 	if err != nil {
 		fail("%v", err)
 		return 1
 	}
-	fmt.Printf("loss %.6g\n", res.Loss)
-	fmt.Printf("bounds [%.6g, %.6g]\n", res.Lower, res.Upper)
-	if *verbose {
-		fmt.Printf("source %v\n", src)
-		fmt.Printf("service %.6g work/s, buffer %.6g work units (%.4g s), utilization %.4g\n",
-			q.ServiceRate, q.Buffer, q.NormalizedBuffer(), q.Utilization())
-		fmt.Printf("solver bins %d, iterations %d, converged %v, relative gap %.3g\n",
+	render := func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "loss %.6g\n", res.Loss); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "bounds [%.6g, %.6g]\n", res.Lower, res.Upper); err != nil {
+			return err
+		}
+		if !*verbose {
+			return nil
+		}
+		fmt.Fprintf(w, "source %v\n", src)
+		fmt.Fprintf(w, "service %.6g work/s, buffer %.6g work units (%.4g s), utilization %.4g\n",
+			mdl.ServiceRate, mdl.Buffer, mdl.NormalizedBuffer(), mdl.Utilization())
+		fmt.Fprintf(w, "solver bins %d, iterations %d, converged %v, relative gap %.3g\n",
 			res.Bins, res.Iterations, res.Converged, res.RelativeGap())
+		if fq, ok := src.(source.FitQuality); ok {
+			fmt.Fprintf(w, "model fit sup-norm error %.3g\n", fq.FitMaxError())
+		}
+		if oracle, ok := src.(source.OverflowOracle); ok {
+			if p, oerr := oracle.ExactOverflow(mdl.ServiceRate, mdl.Buffer); oerr == nil {
+				fmt.Fprintf(w, "exact overflow Pr{Q > B} %.6g (infinite-buffer upper bound on loss)\n", p)
+			}
+		}
+		return nil
+	}
+	if *out != "" {
+		// Atomic write: a crash never leaves a torn result file.
+		if err := journal.WriteFileAtomic(*out, render); err != nil {
+			fail("%v", err)
+			return 1
+		}
+	} else if err := render(stdout); err != nil {
+		fail("%v", err)
+		return 1
 	}
 	switch {
 	// Retryable reasons are exactly the wall-clock interruptions (SIGINT,
 	// -timeout): report them as such instead of string-matching reasons.
 	case res.Degraded.Retryable():
-		fmt.Fprintf(os.Stderr, "lrdloss: interrupted (%s); bounds above still bracket the true loss\n", res.Degraded)
+		fmt.Fprintf(stderr, "lrdloss: interrupted (%s); bounds above still bracket the true loss\n", res.Degraded)
 		return 1
 	case res.Degraded != "":
-		fmt.Fprintf(os.Stderr, "lrdloss: degraded result (%s); bounds above still bracket the true loss\n", res.Degraded)
+		fmt.Fprintf(stderr, "lrdloss: degraded result (%s); bounds above still bracket the true loss\n", res.Degraded)
 	case !res.Converged:
-		fmt.Fprintln(os.Stderr, "lrdloss: warning: bounds did not reach the requested gap; result is the bracket midpoint")
+		fmt.Fprintln(stderr, "lrdloss: warning: bounds did not reach the requested gap; result is the bracket midpoint")
 	}
 	return 0
 }
 
-// parseMarginal parses "rate:prob,rate:prob,…".
-func parseMarginal(s string) (dist.Marginal, error) {
-	var rates, probs []float64
-	for _, pair := range strings.Split(s, ",") {
-		rp := strings.Split(pair, ":")
-		if len(rp) != 2 {
-			return dist.Marginal{}, fmt.Errorf("bad marginal atom %q (want rate:prob)", pair)
-		}
-		r, err := strconv.ParseFloat(rp[0], 64)
-		if err != nil {
-			return dist.Marginal{}, fmt.Errorf("bad rate %q: %v", rp[0], err)
-		}
-		p, err := strconv.ParseFloat(rp[1], 64)
-		if err != nil {
-			return dist.Marginal{}, fmt.Errorf("bad probability %q: %v", rp[1], err)
-		}
-		rates = append(rates, r)
-		probs = append(probs, p)
-	}
-	return dist.NewMarginal(rates, probs)
-}
+// parseMarginal parses "rate:prob,rate:prob,…" (kept as a thin wrapper so
+// the flag layer has a single marginal syntax shared with internal/source).
+func parseMarginal(s string) (dist.Marginal, error) { return source.ParseMarginal(s) }

@@ -19,6 +19,13 @@
 // (-retry-backoff). -out writes the TSV atomically (write-temp-then-
 // rename), so a crash never leaves a torn result file.
 //
+// Traffic models: -model selects the registered source model the sweep's
+// cells are realized as (fluid, onoff, markov, mmfq — see internal/source);
+// -model-params passes key=value model parameters. A comma-separated
+// -model list runs the experiment once per model and stacks the tables
+// under a leading "model" column for side-by-side comparison. Journal keys
+// are namespaced by model, so journals never replay across models.
+//
 // Observability flags: -metrics writes a JSON metrics snapshot on exit
 // (including interrupted exits), -trace streams per-iteration solver
 // convergence points as JSONL, -progress prints a periodic status line to
@@ -31,6 +38,7 @@
 //	lrdsweep -exp fig5 -timeout 2m -point-timeout 5s
 //	lrdsweep -exp fig4 -journal fig4.journal -out fig4.tsv
 //	lrdsweep -exp fig4 -journal fig4.journal -resume -out fig4.tsv
+//	lrdsweep -exp fig4 -quick -model fluid,markov,mmfq -out compare.tsv
 package main
 
 import (
@@ -49,6 +57,7 @@ import (
 	"lrd/internal/journal"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
+	"lrd/internal/source"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -77,6 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		progress     = fs.Bool("progress", false, "print a periodic progress line to stderr")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	)
+	modelSpecs := source.ModelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -96,6 +106,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	e, err := core.ExperimentByID(*exp)
+	if err != nil {
+		fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
+		return 1
+	}
+	specs, err := modelSpecs()
 	if err != nil {
 		fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
 		return 1
@@ -149,7 +164,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Store = store
 	}
 
-	table, runErr := e.Run(ctx, opts)
+	// With one model the table is the experiment's own (bit-identical for
+	// the default fluid model); with several, the runs are stacked under a
+	// leading "model" column so the TSV compares models side by side.
+	var table core.Table
+	var runErr error
+	for _, spec := range specs {
+		o := opts
+		o.Model = spec
+		if spec.Name == "markov" {
+			// The markov experiment's correlation fit takes the same registry
+			// parameters; -model markov -model-params horizon=… configures it.
+			o.MarkovFit = spec.Params
+		}
+		t, err := e.Run(ctx, o)
+		if len(specs) == 1 {
+			table = t
+		} else {
+			if len(table.Header) == 0 && len(t.Header) > 0 {
+				table.Header = append([]string{"model"}, t.Header...)
+			}
+			for _, row := range t.Rows {
+				table.Rows = append(table.Rows, append([]string{spec.Key()}, row...))
+			}
+		}
+		if err != nil {
+			runErr = err
+			break
+		}
+	}
 	interrupted := runErr != nil &&
 		(errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
 	if runErr != nil && !interrupted {

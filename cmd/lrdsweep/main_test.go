@@ -139,3 +139,174 @@ func TestRunInterruptAndResume(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenFluidBitIdentity pins the refactor's core compatibility
+// guarantee: the default model — and the explicit -model=fluid — reproduce
+// the pre-registry sweep output byte for byte against goldens captured
+// before the source abstraction was introduced.
+func TestGoldenFluidBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (quick) sweeps")
+	}
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"golden-fig4-quick-seed3.tsv", []string{"-exp", "fig4", "-quick", "-seed", "3"}},
+		{"golden-fig9-quick-seed2.tsv", []string{"-exp", "fig9", "-quick", "-seed", "2"}},
+		{"golden-fig10-quick-seed1.tsv", []string{"-exp", "fig10", "-quick", "-seed", "1"}},
+	}
+	for _, c := range cases {
+		want, err := os.ReadFile(filepath.Join("testdata", c.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, extra := range [][]string{nil, {"-model", "fluid"}} {
+			out := filepath.Join(t.TempDir(), "out.tsv")
+			args := append(append([]string{}, c.args...), "-out", out)
+			args = append(args, extra...)
+			code, _, stderr := runCapture(args...)
+			if code != 0 {
+				t.Fatalf("%v: exit %d, stderr: %s", args, code, stderr)
+			}
+			got, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%v: output differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					args, c.golden, got, want)
+			}
+		}
+	}
+}
+
+// TestRunNonFluidInterruptAndResume runs the crash-recovery path end to end
+// on a non-fluid model: an interrupted journaled mmfq sweep, resumed, must
+// write a TSV byte-identical to an uninterrupted mmfq run's.
+func TestRunNonFluidInterruptAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (quick) sweeps")
+	}
+	dir := t.TempDir()
+	cleanPath := filepath.Join(dir, "clean.tsv")
+	code, _, stderr := runCapture("-exp", "fig4", "-quick", "-seed", "3",
+		"-model", "mmfq", "-out", cleanPath)
+	if code != 0 {
+		t.Fatalf("clean run: exit %d, stderr: %s", code, stderr)
+	}
+	clean, err := os.ReadFile(cleanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jpath := filepath.Join(dir, "sweep.journal")
+	code, _, _ = runCapture("-exp", "fig4", "-quick", "-seed", "3",
+		"-model", "mmfq", "-timeout", "1ns", "-journal", jpath,
+		"-out", filepath.Join(dir, "interrupted.tsv"))
+	if code == 0 {
+		t.Fatal("interrupted run should exit nonzero")
+	}
+
+	resumedPath := filepath.Join(dir, "resumed.tsv")
+	code, _, stderr = runCapture("-exp", "fig4", "-quick", "-seed", "3",
+		"-model", "mmfq", "-journal", jpath, "-resume", "-out", resumedPath)
+	if code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr: %s", code, stderr)
+	}
+	resumed, err := os.ReadFile(resumedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumed, clean) {
+		t.Fatalf("resumed mmfq TSV differs from uninterrupted run:\n--- resumed ---\n%s\n--- clean ---\n%s", resumed, clean)
+	}
+}
+
+// TestRunModelJournalNamespacing: a journal written under one model must
+// not be replayed into a run with another — the model spec is part of the
+// cell-key namespace.
+func TestRunModelJournalNamespacing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (quick) sweeps")
+	}
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "sweep.journal")
+	fluidPath := filepath.Join(dir, "fluid.tsv")
+	code, _, stderr := runCapture("-exp", "fig4", "-quick", "-seed", "3",
+		"-journal", jpath, "-out", fluidPath)
+	if code != 0 {
+		t.Fatalf("fluid run: exit %d, stderr: %s", code, stderr)
+	}
+
+	// Resuming under mmfq must recompute every cell (no cross-model replay):
+	// its output equals a journal-free mmfq run, not the fluid table.
+	mmfqPath := filepath.Join(dir, "mmfq.tsv")
+	code, _, stderr = runCapture("-exp", "fig4", "-quick", "-seed", "3",
+		"-model", "mmfq", "-journal", jpath, "-resume", "-out", mmfqPath)
+	if code != 0 {
+		t.Fatalf("mmfq resumed run: exit %d, stderr: %s", code, stderr)
+	}
+	freshPath := filepath.Join(dir, "fresh.tsv")
+	code, _, stderr = runCapture("-exp", "fig4", "-quick", "-seed", "3",
+		"-model", "mmfq", "-out", freshPath)
+	if code != 0 {
+		t.Fatalf("mmfq fresh run: exit %d, stderr: %s", code, stderr)
+	}
+	mmfqOut, err := os.ReadFile(mmfqPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := os.ReadFile(freshPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluidOut, err := os.ReadFile(fluidPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mmfqOut, fresh) {
+		t.Fatal("mmfq run resumed from a fluid journal differs from a fresh mmfq run")
+	}
+	if bytes.Equal(mmfqOut, fluidOut) {
+		t.Fatal("mmfq output identical to fluid output — journal replayed across models")
+	}
+}
+
+// TestRunMultiModelColumns: a comma-separated -model list stacks the runs
+// under a leading "model" column.
+func TestRunMultiModelColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real (quick) sweeps")
+	}
+	code, stdout, stderr := runCapture("-exp", "fig4", "-quick", "-seed", "3",
+		"-model", "fluid,mmfq")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few output lines:\n%s", stdout)
+	}
+	if !strings.HasPrefix(lines[1], "model\t") {
+		t.Fatalf("header lacks leading model column: %q", lines[1])
+	}
+	var sawFluid, sawMMFQ bool
+	for _, l := range lines[2:] {
+		sawFluid = sawFluid || strings.HasPrefix(l, "fluid\t")
+		sawMMFQ = sawMMFQ || strings.HasPrefix(l, "mmfq\t")
+	}
+	if !sawFluid || !sawMMFQ {
+		t.Fatalf("rows missing a model (fluid=%v, mmfq=%v):\n%s", sawFluid, sawMMFQ, stdout)
+	}
+}
+
+func TestRunRejectsUnknownModel(t *testing.T) {
+	code, _, stderr := runCapture("-exp", "fig4", "-model", "nosuch")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown model") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}

@@ -6,6 +6,9 @@
 //	bellcore  — the Bellcore Ethernet stand-in (10 ms bins, H = 0.9)
 //	lognormal — custom copula-FGN trace (-mean, -cov, -hurst, -bins, -binwidth)
 //	onoff     — superposition of heavy-tailed on/off sources (-sources, ...)
+//	model     — any registered traffic model (-model, -model-params) fitted
+//	            to the reference source built from -marginal, -hurst,
+//	            -epoch, -cutoff; sampled into -bins × -binwidth bins
 //
 // Analysis (-analyze FILE or -gen X without -out) prints the trace's mean
 // rate, 50-bin marginal summary, mean epoch duration, and all four Hurst
@@ -16,6 +19,7 @@
 //	lrdtrace -gen mtv -out mtv.csv
 //	lrdtrace -analyze mtv.csv
 //	lrdtrace -gen onoff -sources 64 -hurst 0.8
+//	lrdtrace -gen model -model markov -marginal 0:0.5,2:0.5 -epoch 0.05
 package main
 
 import (
@@ -25,8 +29,11 @@ import (
 	"math/rand"
 	"os"
 
+	"lrd/internal/dist"
+	"lrd/internal/fluid"
 	"lrd/internal/lrdest"
 	"lrd/internal/onoff"
+	"lrd/internal/source"
 	"lrd/internal/traces"
 )
 
@@ -39,7 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lrdtrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		gen      = fs.String("gen", "", "trace to generate: mtv, bellcore, lognormal, onoff")
+		gen      = fs.String("gen", "", "trace to generate: mtv, bellcore, lognormal, onoff, model")
 		analyze  = fs.String("analyze", "", "CSV trace file to analyze")
 		out      = fs.String("out", "", "write the generated trace to this CSV file")
 		seed     = fs.Int64("seed", 1, "random seed")
@@ -49,7 +56,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		bins     = fs.Int("bins", 1<<15, "lognormal: number of samples")
 		binWidth = fs.Float64("binwidth", 0.01, "lognormal/onoff: seconds per bin")
 		sources  = fs.Int("sources", 32, "onoff: number of superposed sources")
+		marginal = fs.String("marginal", "0:0.5,2:0.5", "model: reference marginal as rate:prob pairs")
+		epoch    = fs.Float64("epoch", 0.05, "model: mean epoch duration in seconds (calibrates θ)")
+		cutoff   = fs.Float64("cutoff", 10, "model: correlation cutoff lag Tc in seconds")
 	)
+	modelSpecs := source.ModelFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -97,6 +108,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				PeakRate: 1, MeanOn: 10 * *binWidth, MeanOff: 30 * *binWidth,
 				AlphaOn: alpha, AlphaOff: alpha,
 			}, *sources, *bins, *binWidth, rng)
+		case "model":
+			tr, err = generateModel(modelSpecs, *marginal, *hurst, *epoch, *cutoff, *bins, *binWidth, rng)
 		default:
 			fail("unknown generator %q", *gen)
 		}
@@ -146,4 +159,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "Hurst      aggvar %.3f | R/S %.3f | Whittle %.3f | wavelet %.3f | GPH %.3f\n",
 		est.AggregatedVariance, est.RescaledRange, est.LocalWhittle, est.AbryVeitch, est.GPH)
 	return 0
+}
+
+// generateModel samples a binned rate trace from a registered traffic model
+// fitted to the reference cutoff-Pareto source described by the flags. The
+// fluid model reproduces the reference's own generator; Markovian models
+// sample their fitted interarrival law from a stationary start.
+func generateModel(specsFn func() ([]source.Spec, error), marginal string, hurst, epoch, cutoff float64, bins int, binWidth float64, rng *rand.Rand) (traces.Trace, error) {
+	specs, err := specsFn()
+	if err != nil {
+		return traces.Trace{}, err
+	}
+	if len(specs) != 1 {
+		return traces.Trace{}, fmt.Errorf("-gen model takes a single -model entry")
+	}
+	m, err := source.ParseMarginal(marginal)
+	if err != nil {
+		return traces.Trace{}, err
+	}
+	alpha := dist.AlphaFromHurst(hurst)
+	theta, err := dist.CalibrateTheta(alpha, epoch)
+	if err != nil {
+		return traces.Trace{}, err
+	}
+	ref, err := fluid.New(m, dist.TruncatedPareto{Theta: theta, Alpha: alpha, Cutoff: cutoff})
+	if err != nil {
+		return traces.Trace{}, err
+	}
+	src, err := specs[0].Realize(ref)
+	if err != nil {
+		return traces.Trace{}, err
+	}
+	rates, err := source.GenerateBinned(src, float64(bins)*binWidth, binWidth, rng)
+	if err != nil {
+		return traces.Trace{}, err
+	}
+	return traces.Trace{Name: specs[0].Key(), Rates: rates, BinWidth: binWidth}, nil
 }

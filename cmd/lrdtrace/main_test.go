@@ -101,6 +101,29 @@ func TestRunGenerateAnalyzeRoundtrip(t *testing.T) {
 	}
 }
 
+// TestRunGenerateModelTrace samples a registered traffic model into a
+// binned trace and checks the inline analysis of it.
+func TestRunGenerateModelTrace(t *testing.T) {
+	code, stdout, stderr := runCapture("-gen", "model", "-model", "mmfq",
+		"-bins", "2048", "-binwidth", "0.05", "-seed", "5")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "trace      mmfq") || !strings.Contains(stdout, "samples    2048 ") {
+		t.Fatalf("model trace report = %q", stdout)
+	}
+}
+
+func TestRunGenerateModelRejectsUnknown(t *testing.T) {
+	code, _, stderr := runCapture("-gen", "model", "-model", "nosuch")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown model") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
 func TestRunGenerateWithoutOutAnalyzesInline(t *testing.T) {
 	code, stdout, stderr := runCapture("-gen", "onoff", "-sources", "4", "-bins", "2048", "-seed", "3")
 	if code != 0 {

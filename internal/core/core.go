@@ -23,6 +23,7 @@ import (
 	"lrd/internal/lrdest"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
+	"lrd/internal/source"
 	"lrd/internal/traces"
 )
 
@@ -307,15 +308,17 @@ func runCell(ctx context.Context, cfg SweepConfig, key string, compute func() (P
 	}
 }
 
-// solveCell runs the solver on one parameter cell. Cancellation or budget
-// expiry never errors: the cell comes back with its best-so-far bracket and
-// a nonempty Degraded reason.
-func solveCell(ctx context.Context, src fluid.Source, util, nbuf float64, cfg solver.Config) (Point, error) {
-	q, err := solver.NewQueueNormalized(src, util, nbuf)
+// solveCell runs the solver on one parameter cell for any traffic model.
+// Cancellation or budget expiry never errors: the cell comes back with its
+// best-so-far bracket and a nonempty Degraded reason. The reported Cutoff
+// and Hurst are the source's *reference* coordinates (the grid cell it
+// models), so non-fluid cells land in the same table rows as fluid ones.
+func solveCell(ctx context.Context, src source.Source, util, nbuf float64, cfg solver.Config) (Point, error) {
+	m, err := solver.NewModelNormalized(src, util, nbuf)
 	if err != nil {
 		return Point{}, err
 	}
-	res, err := solver.SolveContext(ctx, q, cfg)
+	res, err := solver.SolveModelContext(ctx, m, cfg)
 	if err != nil {
 		return Point{}, err
 	}
@@ -324,7 +327,7 @@ func solveCell(ctx context.Context, src fluid.Source, util, nbuf float64, cfg so
 	}
 	return Point{
 		NormalizedBuffer: nbuf,
-		Cutoff:           src.Interarrival.Cutoff,
+		Cutoff:           src.Cutoff(),
 		Hurst:            src.Hurst(),
 		Scale:            1,
 		Streams:          1,
@@ -334,6 +337,22 @@ func solveCell(ctx context.Context, src fluid.Source, util, nbuf float64, cfg so
 		Converged:        res.Converged,
 		Degraded:         res.Degraded,
 	}, nil
+}
+
+// realizeCell transforms one cell's reference fluid source into the
+// sweep's configured traffic model (SweepConfig.Model; the zero spec is
+// the fluid identity) and solves it. Models fitted by approximation (e.g.
+// markov) surface their correlation-fit error through the
+// MetricSourceFitMaxError gauge.
+func realizeCell(ctx context.Context, cfg SweepConfig, ref fluid.Source, util, nbuf float64) (Point, error) {
+	s, err := cfg.Model.Realize(ref)
+	if err != nil {
+		return Point{}, err
+	}
+	if fq, ok := s.(source.FitQuality); ok && cfg.Solver.Recorder != nil {
+		cfg.Solver.Recorder.Set(obs.MetricSourceFitMaxError, fq.FitMaxError())
+	}
+	return solveCell(ctx, s, util, nbuf, cfg.Solver)
 }
 
 // LossVsBufferAndCutoff computes the model loss surface of Figs. 4 and 5:
@@ -355,7 +374,7 @@ func LossVsBufferAndCutoff(ctx context.Context, tm TraceModel, util float64, buf
 			if err != nil {
 				return Point{}, err
 			}
-			return solveCell(ctx, src, util, b, cfg.Solver)
+			return realizeCell(ctx, cfg, src, util, b)
 		})
 }
 
@@ -375,7 +394,7 @@ func LossVsCutoffFixedTheta(ctx context.Context, marginal dist.Marginal, util, n
 			if err != nil {
 				return Point{}, err
 			}
-			return solveCell(ctx, src, util, nbuf, cfg.Solver)
+			return realizeCell(ctx, cfg, src, util, nbuf)
 		})
 }
 
@@ -399,7 +418,7 @@ func LossVsHurstAndScale(ctx context.Context, tm TraceModel, util, nbuf float64,
 				return Point{}, err
 			}
 			src = src.WithMarginal(tm.Marginal.Scale(a))
-			p, err := solveCell(ctx, src, util, nbuf, cfg.Solver)
+			p, err := realizeCell(ctx, cfg, src, util, nbuf)
 			if err != nil {
 				return Point{}, err
 			}
@@ -441,7 +460,7 @@ func LossVsHurstAndStreams(ctx context.Context, tm TraceModel, util, nbuf float6
 				return Point{}, err
 			}
 			src = src.WithMarginal(margs[j])
-			p, err := solveCell(ctx, src, util, nbuf, cfg.Solver)
+			p, err := realizeCell(ctx, cfg, src, util, nbuf)
 			if err != nil {
 				return Point{}, err
 			}
@@ -468,7 +487,7 @@ func LossVsBufferAndScale(ctx context.Context, tm TraceModel, util float64, buff
 				return Point{}, err
 			}
 			src = src.WithMarginal(tm.Marginal.Scale(a))
-			p, err := solveCell(ctx, src, util, b, cfg.Solver)
+			p, err := realizeCell(ctx, cfg, src, util, b)
 			if err != nil {
 				return Point{}, err
 			}

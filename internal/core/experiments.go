@@ -14,10 +14,11 @@ import (
 	"lrd/internal/fluid"
 	"lrd/internal/horizon"
 	"lrd/internal/lrdest"
-	"lrd/internal/markov"
 	"lrd/internal/numerics"
+	"lrd/internal/obs"
 	"lrd/internal/shuffle"
 	"lrd/internal/solver"
+	"lrd/internal/source"
 	"lrd/internal/traces"
 )
 
@@ -76,6 +77,15 @@ type RunOptions struct {
 	Store CellStore
 	// Retry re-runs transiently failed or degraded cells (see RetryPolicy).
 	Retry RetryPolicy
+	// Model selects the registered traffic model (internal/source) every
+	// sweep cell is realized as. The zero spec is the fluid identity — the
+	// paper's model, bit-identical to the pre-registry code path.
+	Model source.Spec
+	// MarkovFit parameterizes the "markov" experiment's correlation fit
+	// (the registry's markov-model parameters: horizon, components, samples,
+	// iterations). Nil uses the registry defaults — the fit horizon falls
+	// back to the reference source's correlated range.
+	MarkovFit source.Params
 }
 
 // solverConfig returns the effective per-point solver configuration with
@@ -88,18 +98,20 @@ func (o RunOptions) solverConfig() solver.Config {
 	return cfg
 }
 
-// sweepConfig bundles the solver configuration with the durability layer
-// for one experiment's sweeps. The key prefix carries everything outside
-// the per-cell grid coordinates that determines cell results — experiment
-// id, seed, and solver-config hash — so a journal is only ever replayed
-// into the run it belongs to.
+// sweepConfig bundles the solver configuration with the traffic model and
+// the durability layer for one experiment's sweeps. The key prefix carries
+// everything outside the per-cell grid coordinates that determines cell
+// results — experiment id, seed, solver-config hash, and the canonical
+// model spec (name plus sorted parameters) — so a journal is only ever
+// replayed into the run it belongs to and never across models.
 func (o RunOptions) sweepConfig(id string) SweepConfig {
 	cfg := o.solverConfig()
 	return SweepConfig{
 		Solver: cfg,
+		Model:  o.Model,
 		Store:  o.Store,
 		Retry:  o.Retry,
-		Prefix: fmt.Sprintf("%s|seed=%d|quick=%t|cfg=%s|", id, o.Seed, o.Quick, ConfigHash(cfg)),
+		Prefix: fmt.Sprintf("%s|seed=%d|quick=%t|cfg=%s|model=%s|", id, o.Seed, o.Quick, ConfigHash(cfg), o.Model.Key()),
 	}
 }
 
@@ -500,6 +512,21 @@ func runMarkov(ctx context.Context, o RunOptions) (Table, error) {
 	if err != nil {
 		return Table{}, err
 	}
+	// The Markovian source comes from the model registry, parameterized by
+	// RunOptions.MarkovFit instead of a hardcoded fit call. With no
+	// parameters the fit horizon defaults to the source's full correlated
+	// range (10 s here, ≥ any correlation horizon of these queues).
+	ms, err := source.Build("markov", src, o.MarkovFit)
+	if err != nil {
+		return Table{}, err
+	}
+	horizon := math.NaN()
+	if fh, ok := ms.(interface{ FitHorizon() float64 }); ok {
+		horizon = fh.FitHorizon()
+	}
+	if fq, ok := ms.(source.FitQuality); ok && o.Solver.Recorder != nil {
+		o.Solver.Recorder.Set(obs.MetricSourceFitMaxError, fq.FitMaxError())
+	}
 	t := Table{Header: []string{"buffer_s", "loss_pareto", "loss_markov", "ratio", "fit_horizon_s"}}
 	buffers := []float64{0.1, 0.5, 2}
 	if o.Quick {
@@ -517,9 +544,8 @@ func runMarkov(ctx context.Context, o RunOptions) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		// Fit the Markovian model to the correlation over the source's
-		// full correlated range (≥ any correlation horizon of this queue).
-		mk, _, err := markov.EquivalentModel(q.Model(), 10, markov.FitOptions{})
+		// Same service rate and buffer, Markovian epoch law.
+		mk, err := solver.NewModelFromSource(ms, q.ServiceRate, q.Buffer)
 		if err != nil {
 			return Table{}, err
 		}
@@ -531,7 +557,7 @@ func runMarkov(ctx context.Context, o RunOptions) (Table, error) {
 		if orig.Loss > 0 {
 			ratio = alt.Loss / orig.Loss
 		}
-		t.Add(f(b), f(orig.Loss), f(alt.Loss), f(ratio), f(10))
+		t.Add(f(b), f(orig.Loss), f(alt.Loss), f(ratio), f(horizon))
 	}
 	return t, nil
 }

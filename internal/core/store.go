@@ -15,6 +15,7 @@ import (
 	"lrd/internal/journal"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
+	"lrd/internal/source"
 )
 
 // CellStore persists per-cell sweep outcomes and replays them on resume.
@@ -213,11 +214,16 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // SweepConfig bundles what every sweep needs beyond its grid: the solver
-// configuration, and the optional durability layer (cell store, retry
-// policy, key namespace).
+// configuration, the traffic model the sweep's cells are realized as, and
+// the optional durability layer (cell store, retry policy, key namespace).
 type SweepConfig struct {
 	// Solver is the per-cell solver configuration.
 	Solver solver.Config
+	// Model selects the registered traffic model every cell's reference
+	// fluid source is transformed into before solving (see internal/source).
+	// The zero spec is the fluid identity: the paper's model, bit-identical
+	// to the pre-registry code path.
+	Model source.Spec
 	// Store, when non-nil, is consulted before each cell is solved (cells
 	// already journaled are skipped) and receives each completed cell.
 	Store CellStore
@@ -225,8 +231,10 @@ type SweepConfig struct {
 	Retry RetryPolicy
 	// Prefix namespaces this sweep's journal keys. It must capture every
 	// input that determines cell results but is not part of the per-cell
-	// key — experiment id, trace/seed identity, and solver-config hash
-	// (see RunOptions.sweepConfig). Irrelevant when Store is nil.
+	// key — experiment id, trace/seed identity, solver-config hash, and
+	// model spec (see RunOptions.sweepConfig), so a journal written under
+	// one model is never replayed into a run with another. Irrelevant when
+	// Store is nil.
 	Prefix string
 }
 

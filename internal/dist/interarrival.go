@@ -202,6 +202,24 @@ func (h Hyperexponential) Sample(rng *rand.Rand) float64 {
 	return rng.ExpFloat64() * h.Scales[len(h.Scales)-1]
 }
 
+// SampleResidual draws from the stationary residual-life distribution of
+// the mixture: the residual density CCDF(t)/Mean() is itself a mixture of
+// the component exponentials (each memoryless) reweighted by w_k·τ_k —
+// longer components are overrepresented at a stationary instant
+// (length-biased sampling), but within a component the residual is again
+// Exp(τ_k).
+func (h Hyperexponential) SampleResidual(rng *rand.Rand) float64 {
+	u := rng.Float64() * h.Mean()
+	var acc float64
+	for i := range h.Weights {
+		acc += h.Weights[i] * h.Scales[i]
+		if u <= acc {
+			return rng.ExpFloat64() * h.Scales[i]
+		}
+	}
+	return rng.ExpFloat64() * h.Scales[len(h.Scales)-1]
+}
+
 // ResidualCCDF returns Pr{τ_res >= t} = IntegralCCDF(t)/Mean() — by Eq. (3)
 // of the paper this is the autocorrelation of the fluid rate process
 // modulated by this law: a convex sum of exponentials with weights

@@ -71,6 +71,10 @@ const (
 	MetricCoreJournalBytes   = "core_journal_bytes_total"
 	MetricCoreJournalCorrupt = "core_journal_corrupt_lines_total"
 
+	// Traffic-model registry (internal/source realized through sweeps):
+	// fit quality of approximating models.
+	MetricSourceFitMaxError = "source_fit_max_error" // gauge: sup-norm correlation-fit error
+
 	// FFT (internal/fft): plan cache and transform telemetry.
 	MetricFFTPlanHits       = "fft_plan_cache_hits_total"
 	MetricFFTPlanMisses     = "fft_plan_cache_misses_total"

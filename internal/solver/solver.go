@@ -89,6 +89,44 @@ func NewModel(marginal dist.Marginal, inter dist.Interarrival, serviceRate, buff
 	return Model{Marginal: marginal, Interarrival: inter, ServiceRate: serviceRate, Buffer: buffer}, nil
 }
 
+// Source is the structural contract the solver needs from any traffic
+// model: the stationary rate marginal, the epoch-length law, and the mean
+// rate (for utilization normalization). The internal/source package's
+// model registry produces values satisfying it; the interface lives here
+// (rather than importing internal/source, which depends on packages built
+// on this one) so the dependency points outward only.
+type Source interface {
+	Marginal() dist.Marginal
+	Interarrival() dist.Interarrival
+	MeanRate() float64
+}
+
+// NewModelFromSource builds a validated Model from any traffic source in
+// absolute units (service rate, buffer).
+func NewModelFromSource(src Source, serviceRate, buffer float64) (Model, error) {
+	if src == nil {
+		return Model{}, errors.New("solver: nil source")
+	}
+	return NewModel(src.Marginal(), src.Interarrival(), serviceRate, buffer)
+}
+
+// NewModelNormalized builds a Model from a utilization target and a
+// normalized buffer size in seconds — the parameterization used throughout
+// the paper's experiments, generalized from Queue to any Source. The
+// arithmetic (c = mean rate / utilization, B = normalized buffer · c) is
+// identical to NewQueueNormalized, so a fluid-backed Source yields a
+// bit-identical model.
+func NewModelNormalized(src Source, utilization, normalizedBuffer float64) (Model, error) {
+	if src == nil {
+		return Model{}, errors.New("solver: nil source")
+	}
+	if !(utilization > 0 && utilization < 1) {
+		return Model{}, fmt.Errorf("solver: utilization %v outside (0, 1)", utilization)
+	}
+	c := src.MeanRate() / utilization
+	return NewModelFromSource(src, c, normalizedBuffer*c)
+}
+
 // Utilization returns ρ = λ̄/c.
 func (m Model) Utilization() float64 { return m.Marginal.Mean() / m.ServiceRate }
 

@@ -1,0 +1,69 @@
+package source
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lrd/internal/dist"
+)
+
+// ModelFlags registers the shared -model/-model-params flag pair on fs and
+// returns a closure that parses them (after fs.Parse) into model specs.
+// -model accepts a comma-separated list of registry names; -model-params a
+// "key=value,…" list applied to every listed model. The default is the
+// single fluid spec, whose results are bit-identical to the pre-registry
+// code paths.
+func ModelFlags(fs *flag.FlagSet) func() ([]Spec, error) {
+	model := fs.String("model", "fluid",
+		"traffic model(s), comma-separated: "+strings.Join(Names(), ", "))
+	params := fs.String("model-params", "",
+		"model parameters as key=value,… applied to every -model entry")
+	return func() ([]Spec, error) {
+		return ParseSpecs(*model, *params)
+	}
+}
+
+// ModelHelp returns a multi-line description of every registered model and
+// its parameters, for CLI usage text and docs.
+func ModelHelp() string {
+	var b strings.Builder
+	for _, name := range Names() {
+		m, _ := Lookup(name)
+		fmt.Fprintf(&b, "  %-8s %s\n", name, m.Doc)
+		keys := make([]string, 0, len(m.ParamDoc))
+		for k := range m.ParamDoc {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "           %s: %s\n", k, m.ParamDoc[k])
+		}
+	}
+	return b.String()
+}
+
+// ParseMarginal parses an inline "rate:prob,rate:prob,…" marginal (the
+// lrdloss/lrdtrace flag syntax).
+func ParseMarginal(s string) (dist.Marginal, error) {
+	var rates, probs []float64
+	for _, pair := range strings.Split(s, ",") {
+		rp := strings.Split(pair, ":")
+		if len(rp) != 2 {
+			return dist.Marginal{}, fmt.Errorf("bad marginal atom %q (want rate:prob)", pair)
+		}
+		r, err := strconv.ParseFloat(rp[0], 64)
+		if err != nil {
+			return dist.Marginal{}, fmt.Errorf("bad rate %q: %v", rp[0], err)
+		}
+		p, err := strconv.ParseFloat(rp[1], 64)
+		if err != nil {
+			return dist.Marginal{}, fmt.Errorf("bad probability %q: %v", rp[1], err)
+		}
+		rates = append(rates, r)
+		probs = append(probs, p)
+	}
+	return dist.NewMarginal(rates, probs)
+}

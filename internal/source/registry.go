@@ -1,0 +1,223 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"lrd/internal/fluid"
+)
+
+// Params carries a model builder's numeric parameters by name (e.g.
+// {"horizon": 5} for the markov model). A nil map means "all defaults".
+type Params map[string]float64
+
+// clone returns a copy so builders can take defaults without mutating the
+// caller's map.
+func (p Params) clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Builder constructs a Source from the fitted reference model (the paper's
+// cutoff-correlated fluid source) and the model's parameters. Builders must
+// reject unknown parameter names rather than ignore them.
+type Builder func(ref fluid.Source, p Params) (Source, error)
+
+// Model is one registry entry: a named transformation of the reference
+// fluid source into a concrete traffic model.
+type Model struct {
+	// Name is the registry key (e.g. "fluid", "markov").
+	Name string
+	// Doc is a one-line description for -model listings and docs.
+	Doc string
+	// ParamDoc documents the accepted parameter names; Build rejects any
+	// parameter outside this set.
+	ParamDoc map[string]string
+	// Build realizes the model against a reference source.
+	Build Builder
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Model{}
+)
+
+// Register adds a model to the registry. Names must be non-empty, free of
+// the spec-syntax separator characters, and unique.
+func Register(m Model) error {
+	if m.Name == "" || strings.ContainsAny(m.Name, ",={} ") {
+		return fmt.Errorf("source: invalid model name %q", m.Name)
+	}
+	if m.Build == nil {
+		return fmt.Errorf("source: model %q has no builder", m.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[m.Name]; dup {
+		return fmt.Errorf("source: model %q already registered", m.Name)
+	}
+	registry[m.Name] = m
+	return nil
+}
+
+// MustRegister is Register panicking on error (for package init blocks).
+func MustRegister(m Model) {
+	if err := Register(m); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the registered model with the given name.
+func Lookup(name string) (Model, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := registry[name]
+	return m, ok
+}
+
+// Names returns the registered model names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build realizes the named model against the reference source, validating
+// the parameter names against the model's ParamDoc allowlist.
+func Build(name string, ref fluid.Source, p Params) (Source, error) {
+	m, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("source: unknown model %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	for k := range p {
+		if _, allowed := m.ParamDoc[k]; !allowed {
+			return nil, fmt.Errorf("source: model %q does not take parameter %q", name, k)
+		}
+	}
+	return m.Build(ref, p)
+}
+
+// Spec names a model plus its parameters — the value of a -model flag, a
+// RunOptions field, or a journal-key component. The zero Spec means the
+// default model, "fluid" with no parameters, so existing callers that never
+// set a model keep their exact pre-registry behavior.
+type Spec struct {
+	Name   string
+	Params Params
+}
+
+// Realize builds the spec's model against the reference source.
+func (s Spec) Realize(ref fluid.Source) (Source, error) {
+	name := s.Name
+	if name == "" {
+		name = "fluid"
+	}
+	return Build(name, ref, s.Params)
+}
+
+// Key returns the canonical string form of the spec — "fluid",
+// "markov{horizon=5}" — with parameters sorted by name, so equal specs
+// always produce equal journal-key components.
+func (s Spec) Key() string {
+	name := s.Name
+	if name == "" {
+		name = "fluid"
+	}
+	if len(s.Params) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(s.Params[k], 'g', -1, 64))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseParams parses a "key=value,key=value" parameter list (values are
+// floats). The empty string yields nil.
+func ParseParams(s string) (Params, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	p := Params{}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("source: bad model parameter %q (want key=value)", kv)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("source: bad value for model parameter %q: %v", k, err)
+		}
+		p[k] = f
+	}
+	return p, nil
+}
+
+// ParseSpec builds a Spec from a model name and a "key=value,…" parameter
+// string, validating the name against the registry.
+func ParseSpec(name, params string) (Spec, error) {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		name = "fluid"
+	}
+	if _, ok := Lookup(name); !ok {
+		return Spec{}, fmt.Errorf("source: unknown model %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	p, err := ParseParams(params)
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{Name: name, Params: p}, nil
+}
+
+// ParseSpecs parses a comma-separated model-name list with one shared
+// parameter string (the -model/-model-params flag pair). The empty name
+// list yields the single default fluid spec.
+func ParseSpecs(names, params string) ([]Spec, error) {
+	if strings.TrimSpace(names) == "" {
+		names = "fluid"
+	}
+	var out []Spec
+	seen := map[string]bool{}
+	for _, name := range strings.Split(names, ",") {
+		s, err := ParseSpec(name, params)
+		if err != nil {
+			return nil, err
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("source: model %q listed twice", s.Name)
+		}
+		seen[s.Name] = true
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("source: empty model list")
+	}
+	return out, nil
+}

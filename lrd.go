@@ -40,6 +40,7 @@
 //   - internal/traces   — synthetic MTV/Bellcore stand-in traces
 //   - internal/horizon  — correlation-horizon estimation (Eq. 26, Fig. 14)
 //   - internal/markov   — Markovian (hyperexponential) equivalent models (§IV)
+//   - internal/source   — the model-agnostic traffic-source registry
 //   - internal/core     — experiment orchestration for every figure
 //   - internal/errctl   — the ARQ-vs-FEC time-scale example (§V)
 //   - internal/obs      — telemetry: metrics, convergence traces, progress
@@ -65,6 +66,7 @@ import (
 	"lrd/internal/shuffle"
 	"lrd/internal/sim"
 	"lrd/internal/solver"
+	"lrd/internal/source"
 	"lrd/internal/traces"
 )
 
@@ -260,6 +262,55 @@ var (
 	CorrelationHorizon = horizon.Analytic
 	// HorizonFromCurve detects the horizon on a loss-vs-cutoff curve.
 	HorizonFromCurve = horizon.FromCurve
+)
+
+// Model-agnostic traffic sources: the registry that realizes a reference
+// cutoff-Pareto source as any named traffic model (fluid, onoff, markov,
+// mmfq, or a user-registered one) behind one Source interface. The solver
+// accepts any TrafficSource via NewModelFromSource/NewModelNormalized; the
+// sweep layer accepts a ModelSpec via SweepConfig.Model and namespaces its
+// journal keys by it.
+type (
+	// TrafficSource is the model-agnostic stationary source contract.
+	TrafficSource = source.Source
+	// TrafficModel is one registry entry: a named, documented builder.
+	TrafficModel = source.Model
+	// ModelSpec names a registered model plus its parameters; the zero
+	// value is the fluid identity (bit-identical to the paper's model).
+	ModelSpec = source.Spec
+	// ModelParams is the free-form numeric parameter map a builder takes.
+	ModelParams = source.Params
+	// ModelFitQuality is implemented by fitted sources that can report
+	// their sup-norm correlation-fit error.
+	ModelFitQuality = source.FitQuality
+	// ModelOverflowOracle is implemented by sources with an analytic
+	// overflow probability (the mmfq cross-check oracle).
+	ModelOverflowOracle = source.OverflowOracle
+)
+
+// Traffic-model registry operations and source-generic constructors.
+var (
+	// RegisterModel adds a model to the registry (e.g. from user code).
+	RegisterModel = source.Register
+	// BuildModel realizes a registered model against a reference source.
+	BuildModel = source.Build
+	// ModelNames lists the registered model names, sorted.
+	ModelNames = source.Names
+	// ParseModelSpec parses a single "-model"/"-model-params" flag pair.
+	ParseModelSpec = source.ParseSpec
+	// ParseModelSpecs parses a comma-separated model list.
+	ParseModelSpecs = source.ParseSpecs
+	// NewFluidSource wraps the paper's fluid source as a TrafficSource.
+	NewFluidSource = source.NewFluid
+	// NewModelFromSource builds a solver Model from any TrafficSource in
+	// absolute units (service rate, buffer).
+	NewModelFromSource = solver.NewModelFromSource
+	// NewModelNormalized builds a solver Model from any TrafficSource from
+	// utilization and a normalized buffer size in seconds.
+	NewModelNormalized = solver.NewModelNormalized
+	// GenerateBinnedFromSource samples a binned rate trace from any
+	// TrafficSource (stationary start).
+	GenerateBinnedFromSource = source.GenerateBinned
 )
 
 // Markovian equivalent modeling (§IV).
