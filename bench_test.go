@@ -155,8 +155,8 @@ func BenchmarkSolveOnOff(b *testing.B) {
 // registry and a trace sink attached; comparing it against SolveOnOff in
 // BENCH_solver.json gives the observed telemetry overhead.
 func BenchmarkSolveInstrumented(b *testing.B) {
-	cfg := lrd.WithRecorder(lrd.SolverConfig{}, lrd.NewMetricsRegistry())
-	cfg = lrd.WithTrace(cfg, func(lrd.TracePoint) {})
+	cfg := lrd.RecorderConfig(lrd.SolverConfig{}, lrd.NewMetricsRegistry())
+	cfg = lrd.TracedConfig(cfg, func(lrd.TracePoint) {})
 	benchSolve(b, "SolveInstrumented", cfg)
 }
 

@@ -9,7 +9,9 @@
 // are namespaced by experiment id, seed, and solver configuration), and
 // -resume replays it so an interrupted batch continues from its last
 // durable cell. -retries re-runs transiently failed or degraded cells
-// with exponential backoff (-retry-backoff).
+// with exponential backoff (-retry-backoff). -timeout budgets the whole
+// batch and -point-timeout each individual solver cell; both degrade
+// gracefully (completed rows are kept, the run exits nonzero).
 //
 // Traffic models: -model realizes every experiment's sources as one
 // registered model (fluid, onoff, markov, mmfq — see internal/source) and
@@ -41,12 +43,12 @@ import (
 	"strings"
 	"time"
 
+	"lrd/internal/cliflags"
 	"lrd/internal/core"
 	"lrd/internal/fft"
 	"lrd/internal/journal"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
-	"lrd/internal/source"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -59,20 +61,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lrdfigs", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out          = fs.String("out", "results", "output directory for the TSV files")
-		seed         = fs.Int64("seed", 1, "random seed")
-		quick        = fs.Bool("quick", false, "use shrunken grids")
-		only         = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
-		journalPath  = fs.String("journal", "", "checkpoint every completed cell to this append-only journal")
-		resume       = fs.Bool("resume", false, "replay the -journal and skip its completed cells")
-		retries      = fs.Int("retries", 1, "attempts per cell for transiently failed/degraded cells")
-		retryBackoff = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between per-cell retry attempts")
-		metricsPath  = fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
-		tracePath    = fs.String("trace", "", "write per-iteration solver convergence points to this file as JSONL")
-		progress     = fs.Bool("progress", false, "print a periodic progress line to stderr")
-		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
+		out   = fs.String("out", "results", "output directory for the TSV files")
+		seed  = fs.Int64("seed", 1, "random seed")
+		quick = fs.Bool("quick", false, "use shrunken grids")
+		only  = fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 	)
-	modelSpecs := source.ModelFlags(fs)
+	budget := cliflags.BudgetGroup(fs)
+	pointBudget := cliflags.PointBudgetGroup(fs)
+	jflags := cliflags.JournalGroup(fs)
+	retry := cliflags.RetryGroup(fs)
+	oflags := cliflags.ObsGroup(fs)
+	modelSpecs := cliflags.ModelGroup(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,10 +83,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(specs) != 1 {
 		fmt.Fprintln(stderr, "lrdfigs: -model takes a single model; use lrdsweep for side-by-side model comparisons")
-		return 1
-	}
-	if *resume && *journalPath == "" {
-		fmt.Fprintln(stderr, "lrdfigs: -resume requires -journal")
 		return 1
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -102,25 +97,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	cli, err := obs.StartCLI(obs.CLIOptions{
-		Name:        "lrdfigs",
-		MetricsPath: *metricsPath,
-		TracePath:   *tracePath,
-		PprofAddr:   *pprofAddr,
-		Progress:    *progress,
-		ProgressOut: stderr,
-	})
+	cli, err := obs.StartCLI(oflags.CLIOptions("lrdfigs", stderr))
 	if err != nil {
 		fmt.Fprintf(stderr, "lrdfigs: %v\n", err)
 		return 1
 	}
 	defer cli.Close()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	ctx, cancel := budget.Context(sigCtx)
+	defer cancel()
 	opts := core.RunOptions{
 		Seed: *seed, Quick: *quick, Model: specs[0],
-		Retry: core.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
+		PointTimeout: *pointBudget.PointTimeout,
+		Retry:        retry.Policy(),
 	}
 	if specs[0].Name == "markov" {
 		// The markov experiment's correlation fit takes the same registry
@@ -132,20 +123,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if enc := cli.TraceEncoder(); enc != nil {
 		opts.Solver.Trace = func(p solver.TracePoint) { enc(p) }
 	}
-	if *journalPath != "" {
-		store, err := core.OpenJournalStore(*journalPath, core.JournalStoreOptions{
-			Resume:   *resume,
-			Recorder: cli.Recorder(),
-			Warn:     stderr,
-		})
-		if err != nil {
-			fmt.Fprintf(stderr, "lrdfigs: %v\n", err)
-			return 1
-		}
+	store, err := jflags.Open("lrdfigs", cli.Recorder(), stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if store != nil {
 		defer store.Close()
-		if *resume && store.Completed() > 0 {
-			fmt.Fprintf(stderr, "lrdfigs: resuming; %d journaled cell(s) will be skipped\n", store.Completed())
-		}
 		opts.Store = store
 	}
 

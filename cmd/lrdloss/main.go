@@ -23,8 +23,9 @@
 // result atomically (write-temp-then-rename) instead of stdout.
 //
 // Observability flags: -metrics writes a JSON metrics snapshot on exit,
-// -trace streams per-iteration convergence points as JSONL, and -pprof
-// serves net/http/pprof plus an expvar metrics export.
+// -trace streams per-iteration convergence points as JSONL, -progress
+// prints a periodic status line to stderr, and -pprof serves
+// net/http/pprof plus an expvar metrics export.
 package main
 
 import (
@@ -36,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 
+	"lrd/internal/cliflags"
 	"lrd/internal/dist"
 	"lrd/internal/fluid"
 	"lrd/internal/journal"
@@ -66,14 +68,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		buffer       = fs.Float64("buffer", 0, "normalized buffer size B/c in seconds (required)")
 		relGap       = fs.Float64("relgap", 0.2, "bound convergence target (paper: 0.2)")
 		maxBins      = fs.Int("maxbins", 0, "resolution cap (default 32768)")
-		timeout      = fs.Duration("timeout", 0, "wall-clock budget for the solve (0 = none)")
 		out          = fs.String("out", "", "write the result atomically to this file instead of stdout")
 		verbose      = fs.Bool("v", false, "print solver diagnostics")
-		metricsPath  = fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
-		tracePath    = fs.String("trace", "", "write per-iteration convergence points to this file as JSONL")
-		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address")
 	)
-	modelSpecs := source.ModelFlags(fs)
+	budget := cliflags.BudgetGroup(fs)
+	oflags := cliflags.ObsGroup(fs)
+	modelSpecs := cliflags.ModelGroup(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -159,12 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	cli, err := obs.StartCLI(obs.CLIOptions{
-		Name:        "lrdloss",
-		MetricsPath: *metricsPath,
-		TracePath:   *tracePath,
-		PprofAddr:   *pprofAddr,
-	})
+	cli, err := obs.StartCLI(oflags.CLIOptions("lrdloss", stderr))
 	if err != nil {
 		fail("%v", err)
 		return 1
@@ -174,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	cfg := solver.Config{
-		RelGap: *relGap, MaxBins: *maxBins, MaxDuration: *timeout,
+		RelGap: *relGap, MaxBins: *maxBins, MaxDuration: *budget.Timeout,
 		Recorder: cli.Recorder(),
 	}
 	if enc := cli.TraceEncoder(); enc != nil {

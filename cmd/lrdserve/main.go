@@ -1,0 +1,148 @@
+// Command lrdserve serves the bounded loss-rate solver over HTTP: the
+// paper's workstation computation as a cached, backpressured service.
+//
+// Endpoints:
+//
+//	POST /v1/solve  — solve one queue; the body is the lrdloss parameter
+//	                  set as JSON (see internal/serve.SolveRequest)
+//	GET  /metrics   — JSON snapshot of the serve and solver metrics
+//	GET  /healthz   — liveness probe
+//
+// Identical concurrent requests coalesce onto one solve; repeated requests
+// are answered from an LRU cache with bit-identical bytes (the X-Lrd-Cache
+// header says hit, miss, or coalesced). At most -max-inflight solves run
+// concurrently and at most -max-queue requests wait for a slot; beyond
+// that, requests are shed fast with 429 and a Retry-After hint so overload
+// never starves the solves already running.
+//
+// Durability: -journal appends every cache fill to an fsync'd journal and
+// -resume warm-loads it on startup, so a restarted server answers its
+// known queries from cache immediately.
+//
+// On SIGINT/SIGTERM (or when the -timeout budget expires) the server stops
+// accepting connections, drains in-flight solves for up to -drain, and
+// exits 0.
+//
+// Example:
+//
+//	lrdserve -addr localhost:8080 -journal serve.journal -resume &
+//	curl -s localhost:8080/v1/solve -d \
+//	  '{"marginal":"0:0.5,2:0.5","hurst":0.8,"epoch":0.05,"cutoff":10,"util":0.8,"buffer":0.5}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lrd/internal/cliflags"
+	"lrd/internal/fft"
+	"lrd/internal/obs"
+	"lrd/internal/serve"
+	"lrd/internal/solver"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses args with its own FlagSet,
+// serves until ctx is canceled (main wires SIGINT/SIGTERM), and returns the
+// exit code instead of calling os.Exit — so deferred cleanup (the -metrics
+// snapshot, the journal close) executes on every exit path. The actual
+// listen address is announced on stderr, so -addr 127.0.0.1:0 is usable.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lrdserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "localhost:8080", "listen address (host:port; port 0 picks a free port)")
+		maxInflight = fs.Int("max-inflight", 4, "maximum concurrent solves")
+		maxQueue    = fs.Int("max-queue", 16, "maximum requests waiting for a solve slot before shedding with 429")
+		cacheSize   = fs.Int("cache", 1024, "solve cache capacity in entries (negative disables)")
+		reqTimeout  = fs.Duration("request-timeout", 30*time.Second, "per-request solve budget cap (0 = none)")
+		relGap      = fs.Float64("relgap", 0.2, "default bound convergence target (paper: 0.2)")
+		maxBins     = fs.Int("maxbins", 0, "default resolution cap (default 32768)")
+		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight solves")
+	)
+	budget := cliflags.BudgetGroup(fs)
+	jflags := cliflags.JournalGroup(fs)
+	oflags := cliflags.ObsGroup(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cli, err := obs.StartCLI(oflags.CLIOptions("lrdserve", stderr))
+	if err != nil {
+		fmt.Fprintf(stderr, "lrdserve: %v\n", err)
+		return 1
+	}
+	defer cli.Close()
+	fft.SetRecorder(cli.Recorder())
+
+	store, err := jflags.Open("lrdserve", cli.Recorder(), stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if store != nil {
+		defer store.Close()
+	}
+
+	srv := serve.New(serve.Config{
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *reqTimeout,
+		Solver:         solver.Config{RelGap: *relGap, MaxBins: *maxBins},
+		Journal:        store,
+		Registry:       cli.Registry(), // /metrics and the -metrics snapshot share one registry
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "lrdserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "lrdserve: listening on http://%s\n", ln.Addr())
+
+	// -timeout bounds the server's lifetime on top of the signal context —
+	// handy for smoke tests and batch warm-ups.
+	ctx, cancel := budget.Context(ctx)
+	defer cancel()
+
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "lrdserve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, finish what's running. A solve
+	// that outlives the -drain budget is abandoned and the exit is dirty.
+	fmt.Fprintln(stderr, "lrdserve: shutting down; draining in-flight solves")
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drain)
+	defer drainCancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "lrdserve: drain: %v\n", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "lrdserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "lrdserve: drained cleanly")
+	return 0
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter is a concurrency-safe buffer: run writes from the serving
+// goroutine while the test polls.
+type syncWriter struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// runCapture invokes run with captured stdout/stderr (for the flag tests,
+// which never reach the serving loop).
+func runCapture(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(context.Background(), args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	code, _, stderr := runCapture("-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunRejectsResumeWithoutJournal(t *testing.T) {
+	code, _, stderr := runCapture("-resume")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "lrdserve: -resume requires -journal") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+var listenRE = regexp.MustCompile(`listening on http://(\S+)`)
+
+// startServer runs the command on an ephemeral port and returns its base
+// URL plus a channel delivering the exit code after cancel.
+func startServer(t *testing.T, ctx context.Context, out, errw *syncWriter, extra ...string) (string, chan int) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, args, out, errw) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(errw.String()); m != nil {
+			return "http://" + m[1], done
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; stderr:\n%s", errw.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func postSolve(t *testing.T, base, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+const smallSolve = `{"marginal":"0:0.5,2:0.5","hurst":0.8,"epoch":0.05,"cutoff":1,"util":0.8,"buffer":0.1}`
+
+// TestServeSolveCacheJournalAndGracefulShutdown is the command-level e2e:
+// solve, cache-hit with identical bytes, metrics, then a clean drain on
+// context cancellation (exit 0) — and a second boot that warm-loads the
+// journal and answers from cache immediately.
+func TestServeSolveCacheJournalAndGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a real server and solves")
+	}
+	jpath := filepath.Join(t.TempDir(), "serve.journal")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errw syncWriter
+	base, done := startServer(t, ctx, &out, &errw, "-journal", jpath)
+
+	resp, fresh := postSolve(t, base, smallSolve)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: %d %s", resp.StatusCode, fresh)
+	}
+	if got := resp.Header.Get("X-Lrd-Cache"); got != "miss" {
+		t.Fatalf("first solve X-Lrd-Cache = %q, want miss", got)
+	}
+	resp2, cached := postSolve(t, base, smallSolve)
+	if got := resp2.Header.Get("X-Lrd-Cache"); got != "hit" {
+		t.Fatalf("second solve X-Lrd-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(fresh, cached) {
+		t.Fatalf("cached body differs from fresh:\n%s\n%s", fresh, cached)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	var snap struct {
+		Counters map[string]float64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mdata, &snap); err != nil {
+		t.Fatalf("metrics: %v\n%s", err, mdata)
+	}
+	if snap.Counters["serve_cache_hits_total"] != 1 || snap.Counters["solver_solves_total"] != 1 {
+		t.Fatalf("metrics = %v, want one cache hit and one solve", snap.Counters)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("graceful shutdown exit code = %d; stderr:\n%s", code, errw.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server did not drain; stderr:\n%s", errw.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("stdout = %q, want the drain notice", out.String())
+	}
+
+	// Restart against the same journal: warm cache, zero solves.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var out2, errw2 syncWriter
+	base2, done2 := startServer(t, ctx2, &out2, &errw2, "-journal", jpath, "-resume")
+	resp3, warm := postSolve(t, base2, smallSolve)
+	if got := resp3.Header.Get("X-Lrd-Cache"); got != "hit" {
+		t.Fatalf("post-restart X-Lrd-Cache = %q, want hit (journal did not warm the cache)", got)
+	}
+	if !bytes.Equal(fresh, warm) {
+		t.Fatal("post-restart cached body differs from the original response")
+	}
+	cancel2()
+	select {
+	case code := <-done2:
+		if code != 0 {
+			t.Fatalf("second shutdown exit code = %d; stderr:\n%s", code, errw2.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("second server did not drain")
+	}
+}
+
+// TestServeLifetimeBudget: -timeout bounds the server's lifetime and still
+// exits through the graceful drain path.
+func TestServeLifetimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a real server")
+	}
+	var out, errw syncWriter
+	_, done := startServer(t, context.Background(), &out, &errw, "-timeout", "250ms")
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("-timeout shutdown exit code = %d; stderr:\n%s", code, errw.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("-timeout did not stop the server")
+	}
+}

@@ -50,14 +50,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
-	"time"
 
+	"lrd/internal/cliflags"
 	"lrd/internal/core"
 	"lrd/internal/fft"
 	"lrd/internal/journal"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
-	"lrd/internal/source"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -70,23 +69,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lrdsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp          = fs.String("exp", "", "experiment id (see -list)")
-		seed         = fs.Int64("seed", 1, "random seed for trace synthesis and shuffling")
-		quick        = fs.Bool("quick", false, "use shrunken grids for a fast run")
-		list         = fs.Bool("list", false, "list experiment ids and exit")
-		timeout      = fs.Duration("timeout", 0, "wall-clock budget for the whole sweep (0 = none)")
-		pointTimeout = fs.Duration("point-timeout", 0, "wall-clock budget per solver cell (0 = none)")
-		out          = fs.String("out", "", "write the TSV atomically to this file instead of stdout")
-		journalPath  = fs.String("journal", "", "checkpoint every completed cell to this append-only journal")
-		resume       = fs.Bool("resume", false, "replay the -journal and skip its completed cells")
-		retries      = fs.Int("retries", 1, "attempts per cell for transiently failed/degraded cells")
-		retryBackoff = fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between per-cell retry attempts")
-		metricsPath  = fs.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
-		tracePath    = fs.String("trace", "", "write per-iteration solver convergence points to this file as JSONL")
-		progress     = fs.Bool("progress", false, "print a periodic progress line to stderr")
-		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+		exp   = fs.String("exp", "", "experiment id (see -list)")
+		seed  = fs.Int64("seed", 1, "random seed for trace synthesis and shuffling")
+		quick = fs.Bool("quick", false, "use shrunken grids for a fast run")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
+		out   = fs.String("out", "", "write the TSV atomically to this file instead of stdout")
 	)
-	modelSpecs := source.ModelFlags(fs)
+	budget := cliflags.BudgetGroup(fs)
+	pointBudget := cliflags.PointBudgetGroup(fs)
+	jflags := cliflags.JournalGroup(fs)
+	retry := cliflags.RetryGroup(fs)
+	oflags := cliflags.ObsGroup(fs)
+	modelSpecs := cliflags.ModelGroup(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -101,10 +95,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "lrdsweep: -exp is required (use -list to enumerate)")
 		return 1
 	}
-	if *resume && *journalPath == "" {
-		fmt.Fprintln(stderr, "lrdsweep: -resume requires -journal")
-		return 1
-	}
 	e, err := core.ExperimentByID(*exp)
 	if err != nil {
 		fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
@@ -116,51 +106,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	cli, err := obs.StartCLI(obs.CLIOptions{
-		Name:        "lrdsweep",
-		MetricsPath: *metricsPath,
-		TracePath:   *tracePath,
-		PprofAddr:   *pprofAddr,
-		Progress:    *progress,
-		ProgressOut: stderr,
-	})
+	cli, err := obs.StartCLI(oflags.CLIOptions("lrdsweep", stderr))
 	if err != nil {
 		fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
 		return 1
 	}
 	defer cli.Close()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := budget.Context(sigCtx)
+	defer cancel()
 
 	opts := core.RunOptions{
-		Seed: *seed, Quick: *quick, PointTimeout: *pointTimeout,
-		Retry: core.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff},
+		Seed: *seed, Quick: *quick, PointTimeout: *pointBudget.PointTimeout,
+		Retry: retry.Policy(),
 	}
 	opts.Solver.Recorder = cli.Recorder()
 	fft.SetRecorder(cli.Recorder())
 	if enc := cli.TraceEncoder(); enc != nil {
 		opts.Solver.Trace = func(p solver.TracePoint) { enc(p) }
 	}
-	if *journalPath != "" {
-		store, err := core.OpenJournalStore(*journalPath, core.JournalStoreOptions{
-			Resume:   *resume,
-			Recorder: cli.Recorder(),
-			Warn:     stderr,
-		})
-		if err != nil {
-			fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
-			return 1
-		}
+	store, err := jflags.Open("lrdsweep", cli.Recorder(), stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if store != nil {
 		defer store.Close()
-		if *resume && store.Completed() > 0 {
-			fmt.Fprintf(stderr, "lrdsweep: resuming; %d journaled cell(s) will be skipped\n", store.Completed())
-		}
 		opts.Store = store
 	}
 

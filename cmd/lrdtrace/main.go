@@ -14,6 +14,12 @@
 // rate, 50-bin marginal summary, mean epoch duration, and all four Hurst
 // estimates — the statistics the paper's §III extracts from its traces.
 //
+// Observability flags (shared with the other lrd commands): -metrics writes
+// a JSON metrics snapshot on exit (FFT and synthesis counters), -trace
+// streams solver convergence points as JSONL (empty here — lrdtrace runs no
+// solver), -progress prints a periodic status line, and -pprof serves
+// net/http/pprof plus an expvar metrics export.
+//
 // Examples:
 //
 //	lrdtrace -gen mtv -out mtv.csv
@@ -29,9 +35,12 @@ import (
 	"math/rand"
 	"os"
 
+	"lrd/internal/cliflags"
 	"lrd/internal/dist"
+	"lrd/internal/fft"
 	"lrd/internal/fluid"
 	"lrd/internal/lrdest"
+	"lrd/internal/obs"
 	"lrd/internal/onoff"
 	"lrd/internal/source"
 	"lrd/internal/traces"
@@ -60,7 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		epoch    = fs.Float64("epoch", 0.05, "model: mean epoch duration in seconds (calibrates θ)")
 		cutoff   = fs.Float64("cutoff", 10, "model: correlation cutoff lag Tc in seconds")
 	)
-	modelSpecs := source.ModelFlags(fs)
+	oflags := cliflags.ObsGroup(fs)
+	modelSpecs := cliflags.ModelGroup(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -70,6 +80,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "lrdtrace: "+format+"\n", args...)
 		bad = true
 	}
+
+	cli, err := obs.StartCLI(oflags.CLIOptions("lrdtrace", stderr))
+	if err != nil {
+		fail("%v", err)
+		return 1
+	}
+	defer cli.Close()
+	// Trace synthesis and Hurst estimation run on the FFT layer; the shared
+	// observability group surfaces its counters the same way the solver
+	// commands do.
+	fft.SetRecorder(cli.Recorder())
 
 	var tr traces.Trace
 	switch {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"math"
 	"math/rand"
@@ -122,6 +121,21 @@ func (s *JournalStore) Store(key string, value any) error {
 	s.cached[key] = raw
 	s.mu.Unlock()
 	return nil
+}
+
+// Range calls fn for every completed cell the store currently holds
+// (journal-replayed and stored this run alike), stopping early when fn
+// returns false. Iteration order is unspecified. The serving layer uses it
+// to warm its in-memory solve cache from a persisted journal on restart.
+// fn must not call back into the store.
+func (s *JournalStore) Range(fn func(key string, value json.RawMessage) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for k, v := range s.cached {
+		if !fn(k, v) {
+			return
+		}
+	}
 }
 
 // Fail implements CellStore.
@@ -253,14 +267,11 @@ func (c SweepConfig) Sub(extra string) SweepConfig {
 // ConfigHash returns a short stable hash of the solver-configuration
 // fields that influence cell results. Sweep key prefixes include it so a
 // journal written under one configuration is never replayed into a run
-// with another (the cells would not be comparable).
-func ConfigHash(cfg solver.Config) string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%d|%g|%g|%d|%g|%s|%g",
-		cfg.InitialBins, cfg.MaxBins, cfg.RelGap, cfg.LossFloor,
-		cfg.MaxIterations, cfg.StallTol, cfg.MaxDuration, cfg.MassDriftTol)
-	return strconv.FormatUint(h.Sum64(), 16)
-}
+// with another (the cells would not be comparable). It is solver.ConfigHash
+// (the canonical implementation, shared with the serving layer's solve
+// cache) re-exported under its historical name; the hash bytes are
+// unchanged, so pre-existing journals keep replaying.
+func ConfigHash(cfg solver.Config) string { return solver.ConfigHash(cfg) }
 
 // fkey formats a float for use in a journal key: shortest round-trippable
 // form, so the same grid value always produces the same key.

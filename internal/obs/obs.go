@@ -75,6 +75,26 @@ const (
 	// fit quality of approximating models.
 	MetricSourceFitMaxError = "source_fit_max_error" // gauge: sup-norm correlation-fit error
 
+	// Serving layer (internal/serve): per-stage request accounting for the
+	// lrdserve HTTP service. Every request increments Requests and then
+	// exactly one of Shed (429), CacheHits, Coalesced, or Admitted (a fresh
+	// solve); Queued additionally counts admissions that waited for a slot.
+	MetricServeRequests       = "serve_requests_total"
+	MetricServeAdmitted       = "serve_admitted_total"
+	MetricServeQueued         = "serve_queued_total"
+	MetricServeShed           = "serve_shed_total"
+	MetricServeCoalesced      = "serve_coalesced_total"
+	MetricServeCacheHits      = "serve_cache_hits_total"
+	MetricServeCacheMisses    = "serve_cache_misses_total"
+	MetricServeCacheEvicted   = "serve_cache_evictions_total"
+	MetricServeCacheEntries   = "serve_cache_entries" // gauge
+	MetricServeCacheWarmed    = "serve_cache_warmed_total"
+	MetricServeErrors         = "serve_errors_total" // labeled by kind
+	MetricServeInflight       = "serve_inflight"     // gauge
+	MetricServeQueueDepth     = "serve_queue_depth"  // gauge
+	MetricServeSolveSeconds   = "serve_solve_seconds"
+	MetricServeRequestSeconds = "serve_request_seconds"
+
 	// FFT (internal/fft): plan cache and transform telemetry.
 	MetricFFTPlanHits       = "fft_plan_cache_hits_total"
 	MetricFFTPlanMisses     = "fft_plan_cache_misses_total"

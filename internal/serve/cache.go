@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a fixed-capacity least-recently-used cache of marshaled response
+// bodies. Values are the exact bytes written to fresh responses, so a cache
+// hit replays a bit-identical body.
+type lru struct {
+	cap int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached body and promotes the entry.
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// add inserts (or refreshes) an entry and returns how many entries were
+// evicted to make room.
+func (c *lru) add(key string, body []byte) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"lrd/internal/dist"
+	"lrd/internal/fluid"
+	"lrd/internal/solver"
+	"lrd/internal/source"
+)
+
+// Duration is a time.Duration that unmarshals from either a Go duration
+// string ("2s", "500ms") or a number of seconds, so curl-friendly request
+// bodies can write whichever is natural.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, perr := time.ParseDuration(s)
+		if perr != nil {
+			return fmt.Errorf("invalid duration %q: %w", s, perr)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(data, &secs); err != nil {
+		return fmt.Errorf("duration must be a string like \"2s\" or a number of seconds")
+	}
+	*d = Duration(secs * float64(time.Second))
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// SolverParams is the per-request subset of the solver configuration a
+// client may override. Everything else comes from the server's -relgap and
+// -maxbins style defaults; resource-protection knobs (iteration caps, the
+// numeric watchdog) stay server-side.
+type SolverParams struct {
+	// RelGap is the bound convergence target (paper: 0.2).
+	RelGap float64 `json:"relgap,omitempty"`
+	// MaxBins caps the resolution ladder (default 32768).
+	MaxBins int `json:"maxbins,omitempty"`
+	// Timeout is the per-request wall-clock solve budget. It is clamped to
+	// the server's request timeout and mapped onto the solver's MaxDuration
+	// budget machinery, so an expired budget degrades gracefully to the
+	// best-so-far bracket instead of failing.
+	Timeout Duration `json:"timeout,omitempty"`
+}
+
+// SolveRequest is the POST /v1/solve body: the same queue description the
+// lrdloss command takes, as JSON. The marginal uses the CLI's inline
+// rate:prob syntax; the correlation structure is given by -hurst-or-alpha,
+// -theta-or-epoch, and the cutoff lag; the queue by -util-or-service and
+// the normalized buffer; and the optional model is a registered traffic
+// model spec ({"name": ..., "params": {...}}).
+type SolveRequest struct {
+	// Marginal is the rate marginal as rate:prob pairs, e.g. "0:0.5,2:0.5".
+	Marginal string `json:"marginal"`
+	// Hurst in (0.5, 1) sets the tail index alpha = 3−2H; Alpha in (1, 2) is
+	// the alternative. Exactly one must be set.
+	Hurst float64 `json:"hurst,omitempty"`
+	Alpha float64 `json:"alpha,omitempty"`
+	// Theta is the Pareto scale in seconds; Epoch is the mean epoch duration
+	// that calibrates it. Exactly one must be set.
+	Theta float64 `json:"theta,omitempty"`
+	Epoch float64 `json:"epoch,omitempty"`
+	// Cutoff is the correlation cutoff lag Tc in seconds; 0 or absent means
+	// infinite (the pure heavy-tailed source).
+	Cutoff float64 `json:"cutoff,omitempty"`
+	// Util in (0, 1) sets the service rate from the marginal mean; Service
+	// gives the rate directly. Exactly one must be set.
+	Util    float64 `json:"util,omitempty"`
+	Service float64 `json:"service,omitempty"`
+	// Buffer is the normalized buffer size B/c in seconds. Required.
+	Buffer float64 `json:"buffer"`
+	// Model realizes the reference source as a registered traffic model
+	// before solving (fluid, onoff, markov, mmfq). Absent means fluid, the
+	// paper's model.
+	Model source.Spec `json:"model,omitempty"`
+	// Solver overrides the server's default solver knobs for this request.
+	Solver SolverParams `json:"solver,omitempty"`
+}
+
+// solveJob is a validated, realized request: the model to solve and the
+// canonical cache key that identifies its result.
+type solveJob struct {
+	model solver.Model
+	key   string
+}
+
+// build validates the request, realizes its traffic model, and computes the
+// canonical cache key. Every error is a client error (HTTP 400).
+func (r *SolveRequest) build(base solver.Config) (solveJob, error) {
+	if r.Marginal == "" {
+		return solveJob{}, fmt.Errorf("marginal is required (rate:prob pairs)")
+	}
+	m, err := source.ParseMarginal(r.Marginal)
+	if err != nil {
+		return solveJob{}, err
+	}
+	alpha := r.Alpha
+	switch {
+	case r.Hurst != 0 && r.Alpha != 0:
+		return solveJob{}, fmt.Errorf("give either hurst or alpha, not both")
+	case r.Hurst != 0:
+		alpha = dist.AlphaFromHurst(r.Hurst)
+	case r.Alpha == 0:
+		return solveJob{}, fmt.Errorf("one of hurst or alpha is required")
+	}
+	theta := r.Theta
+	if theta == 0 {
+		if r.Epoch == 0 {
+			return solveJob{}, fmt.Errorf("one of theta or epoch is required")
+		}
+		theta, err = dist.CalibrateTheta(alpha, r.Epoch)
+		if err != nil {
+			return solveJob{}, err
+		}
+	}
+	cutoff := r.Cutoff
+	if cutoff == 0 {
+		cutoff = math.Inf(1)
+	}
+	ref, err := fluid.New(m, dist.TruncatedPareto{Theta: theta, Alpha: alpha, Cutoff: cutoff})
+	if err != nil {
+		return solveJob{}, err
+	}
+	src, err := r.Model.Realize(ref)
+	if err != nil {
+		return solveJob{}, err
+	}
+	if r.Buffer <= 0 {
+		return solveJob{}, fmt.Errorf("buffer is required (seconds)")
+	}
+	var mdl solver.Model
+	switch {
+	case r.Util != 0 && r.Service != 0:
+		return solveJob{}, fmt.Errorf("give either util or service, not both")
+	case r.Util != 0:
+		mdl, err = solver.NewModelNormalized(src, r.Util, r.Buffer)
+	case r.Service != 0:
+		mdl, err = solver.NewModelFromSource(src, r.Service, r.Buffer*r.Service)
+	default:
+		return solveJob{}, fmt.Errorf("one of util or service is required")
+	}
+	if err != nil {
+		return solveJob{}, err
+	}
+	return solveJob{model: mdl, key: cacheKey(m, alpha, theta, cutoff, mdl, r.Model, r.solverConfig(base))}, nil
+}
+
+// solverConfig merges the request's overrides onto the server defaults.
+// The per-request budget is applied by the serving loop, not here, so the
+// returned config is budget-free and safe to hash into the cache key.
+func (r *SolveRequest) solverConfig(base solver.Config) solver.Config {
+	if r.Solver.RelGap > 0 {
+		base.RelGap = r.Solver.RelGap
+	}
+	if r.Solver.MaxBins > 0 {
+		base.MaxBins = r.Solver.MaxBins
+	}
+	base.MaxDuration = 0
+	return base
+}
+
+// cacheKey builds the canonical identity of a solve: every numeric input is
+// resolved first (hurst→alpha, epoch→theta, util→service rate) and printed
+// in shortest round-trippable form, so two requests that describe the same
+// queue through different parameterizations share one key. The solver
+// configuration enters through solver.ConfigHash with its wall-clock budget
+// zeroed — budgets shape latency, not the converged answer, and converged
+// results are the only ones cached.
+func cacheKey(m dist.Marginal, alpha, theta, cutoff float64, mdl solver.Model, spec source.Spec, cfg solver.Config) string {
+	var b strings.Builder
+	b.WriteString("v1|mg=")
+	for i := 0; i < m.Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(gfmt(m.Rate(i)))
+		b.WriteByte(':')
+		b.WriteString(gfmt(m.Prob(i)))
+	}
+	fmt.Fprintf(&b, "|a=%s|th=%s|tc=%s|c=%s|B=%s|model=%s|cfg=%s",
+		gfmt(alpha), gfmt(theta), gfmt(cutoff),
+		gfmt(mdl.ServiceRate), gfmt(mdl.Buffer),
+		spec.Key(), solver.ConfigHash(cfg))
+	return b.String()
+}
+
+// gfmt formats a float in shortest round-trippable form (inf-safe), the
+// same convention the sweep journal keys use.
+func gfmt(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// SolveResponse is the POST /v1/solve reply: the loss-rate bracket and
+// solve diagnostics, plus the canonical cache key the result is stored
+// under. Cache disposition travels in the X-Lrd-Cache header (hit, miss, or
+// coalesced), never in the body — cached, coalesced, and fresh replies for
+// the same key are bit-identical.
+type SolveResponse struct {
+	Loss        float64 `json:"loss"`
+	Lower       float64 `json:"lower"`
+	Upper       float64 `json:"upper"`
+	RelativeGap float64 `json:"relative_gap"`
+	Bins        int     `json:"bins"`
+	Iterations  int     `json:"iterations"`
+	Converged   bool    `json:"converged"`
+	Degraded    string  `json:"degraded,omitempty"`
+	GridStep    float64 `json:"grid_step"`
+	Key         string  `json:"key"`
+}

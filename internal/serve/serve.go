@@ -1,0 +1,343 @@
+// Package serve is the HTTP serving spine of the lrdserve command: a
+// loss-rate-as-a-service layer over the bounded solver with production
+// backpressure semantics.
+//
+// A request travels through four stages, each observable in /metrics:
+//
+//  1. Cache: the request's canonical key (see cacheKey) is looked up in an
+//     LRU of marshaled response bodies; a hit replays bit-identical bytes
+//     with X-Lrd-Cache: hit. With a journal attached the cache survives
+//     restarts: fills append to the journal, startup replays it.
+//  2. Singleflight: identical in-flight requests coalesce onto one solve;
+//     followers wait for the leader's bytes (X-Lrd-Cache: coalesced) and
+//     consume no solver slot.
+//  3. Admission: at most MaxInflight solves run concurrently; up to
+//     MaxQueue leaders wait for a slot; beyond that the request is shed
+//     fast with 429 and a Retry-After hint, so overload never starves the
+//     solves already running.
+//  4. Solve: the per-request budget (request timeout clamped to the server
+//     cap) maps onto the solver's MaxDuration machinery and the request
+//     context, so expiry degrades gracefully to the best-so-far bracket
+//     and a client disconnect cancels the solve.
+//
+// Only converged, non-degraded results are cached — a degraded bracket is
+// a budget artifact, not the queue's answer.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lrd/internal/core"
+	"lrd/internal/obs"
+	"lrd/internal/solver"
+)
+
+// Config tunes the server. The zero value serves with the defaults below.
+type Config struct {
+	// MaxInflight caps concurrent solves. Default 4.
+	MaxInflight int
+	// MaxQueue caps requests waiting for a solve slot; beyond it requests
+	// are shed with 429. Default 16.
+	MaxQueue int
+	// CacheSize is the solve-cache capacity in entries. Default 1024;
+	// negative disables caching.
+	CacheSize int
+	// RequestTimeout caps every request's solve budget; per-request timeouts
+	// are clamped to it. Zero means no server-side cap.
+	RequestTimeout time.Duration
+	// RetryAfter is the Retry-After hint on 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// Solver is the default solver configuration; requests may override the
+	// convergence knobs (relgap, maxbins) per call.
+	Solver solver.Config
+	// Journal, when non-nil, persists the solve cache: every cache fill is
+	// appended, and New warm-loads the journal's serve entries (keys are
+	// namespaced, so sweep journals pass through harmlessly). Open it with
+	// resume to get the warm start.
+	Journal *core.JournalStore
+	// Registry receives the serve metrics and backs /metrics. New creates
+	// one when nil.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 16
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// flight is one in-flight solve that identical requests coalesce onto.
+type flight struct {
+	done    chan struct{}
+	status  int
+	body    []byte
+	waiters atomic.Int64
+}
+
+// Server handles the lrdserve HTTP API. Create with New.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	sem   chan struct{}
+	queue chan struct{}
+	cache *lru
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	// solves counts solver invocations; the singleflight e2e asserts it.
+	solves atomic.Int64
+	// beforeSolve, when non-nil, runs on the leader after admission and
+	// before the solve — a test hook to hold solves open deterministically.
+	beforeSolve func(key string)
+}
+
+// New builds a Server, warm-loading the solve cache from cfg.Journal when
+// one is attached.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		queue:   make(chan struct{}, cfg.MaxQueue),
+		flights: make(map[string]*flight),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRU(cfg.CacheSize)
+	}
+	if s.cache != nil && cfg.Journal != nil {
+		warmed := 0
+		cfg.Journal.Range(func(key string, value json.RawMessage) bool {
+			// Only this layer's keys: a shared journal may also hold sweep
+			// cells, which are not response bodies.
+			if len(key) < 3 || key[:3] != "v1|" {
+				return true
+			}
+			s.cache.add(key, append([]byte(nil), value...))
+			warmed++
+			return warmed < cfg.CacheSize
+		})
+		if warmed > 0 {
+			s.reg.Add(obs.MetricServeCacheWarmed, float64(warmed))
+			s.reg.Set(obs.MetricServeCacheEntries, float64(s.cache.len()))
+		}
+	}
+	return s
+}
+
+// Handler returns the HTTP API: POST /v1/solve, GET /metrics, GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
+		// Headers are gone; nothing to do but note it.
+		s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "metrics_write"), 1)
+	}
+}
+
+// writeJSON sends body with the cache disposition header. Bodies for the
+// same key are bit-identical across hit/miss/coalesced.
+func writeJSON(w http.ResponseWriter, status int, disposition string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if disposition != "" {
+		w.Header().Set("X-Lrd-Cache", disposition)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, kind string, err error) {
+	s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", kind), 1)
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	writeJSON(w, status, "", body)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.reg.Add(obs.MetricServeRequests, 1)
+	defer func() { s.reg.Observe(obs.MetricServeRequestSeconds, time.Since(start).Seconds()) }()
+
+	var req SolveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	job, err := req.build(s.cfg.Solver)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+
+	// Stage 1: cache.
+	if s.cache != nil {
+		if body, ok := s.cache.get(job.key); ok {
+			s.reg.Add(obs.MetricServeCacheHits, 1)
+			writeJSON(w, http.StatusOK, "hit", body)
+			return
+		}
+		s.reg.Add(obs.MetricServeCacheMisses, 1)
+	}
+
+	// Stage 2: singleflight. The first request for a key leads; identical
+	// concurrent requests wait for its bytes without consuming solve slots.
+	s.mu.Lock()
+	if f, ok := s.flights[job.key]; ok {
+		f.waiters.Add(1)
+		s.mu.Unlock()
+		s.reg.Add(obs.MetricServeCoalesced, 1)
+		select {
+		case <-f.done:
+			writeJSON(w, f.status, "coalesced", f.body)
+		case <-r.Context().Done():
+			s.fail(w, http.StatusServiceUnavailable, "client_gone", r.Context().Err())
+		}
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[job.key] = f
+	s.mu.Unlock()
+
+	f.status, f.body = s.admitAndSolve(w, r, req, job)
+	s.mu.Lock()
+	delete(s.flights, job.key)
+	s.mu.Unlock()
+	close(f.done)
+	writeJSON(w, f.status, "miss", f.body)
+}
+
+// admitAndSolve runs stages 3 and 4 for a singleflight leader: bounded
+// admission, then the budgeted solve. It returns the status and body that
+// both the leader and its coalesced followers receive — including shed
+// (429) and canceled-while-queued outcomes, which followers share.
+func (s *Server) admitAndSolve(w http.ResponseWriter, r *http.Request, req SolveRequest, job solveJob) (int, []byte) {
+	// Stage 3: admission. Fast path: a free solve slot.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// All slots busy: wait in the bounded queue, or shed fast.
+		select {
+		case s.queue <- struct{}{}:
+		default:
+			s.reg.Add(obs.MetricServeShed, 1)
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			body, _ := json.Marshal(map[string]string{"error": "overloaded: solve queue is full"})
+			return http.StatusTooManyRequests, body
+		}
+		s.reg.Add(obs.MetricServeQueued, 1)
+		s.reg.Set(obs.MetricServeQueueDepth, float64(len(s.queue)))
+		select {
+		case s.sem <- struct{}{}:
+			<-s.queue
+			s.reg.Set(obs.MetricServeQueueDepth, float64(len(s.queue)))
+		case <-r.Context().Done():
+			<-s.queue
+			s.reg.Set(obs.MetricServeQueueDepth, float64(len(s.queue)))
+			body, _ := json.Marshal(map[string]string{"error": "canceled while queued: " + r.Context().Err().Error()})
+			s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "client_gone"), 1)
+			return http.StatusServiceUnavailable, body
+		}
+	}
+	s.reg.Add(obs.MetricServeAdmitted, 1)
+	s.reg.Set(obs.MetricServeInflight, float64(len(s.sem)))
+	defer func() {
+		<-s.sem
+		s.reg.Set(obs.MetricServeInflight, float64(len(s.sem)))
+	}()
+
+	if s.beforeSolve != nil {
+		s.beforeSolve(job.key)
+	}
+
+	// Stage 4: the budgeted solve. The request budget (clamped to the
+	// server cap) becomes the solver's MaxDuration; the request context
+	// cancels the solve when the client goes away.
+	cfg := req.solverConfig(s.cfg.Solver)
+	cfg.Recorder = s.reg
+	budget := time.Duration(req.Solver.Timeout)
+	if s.cfg.RequestTimeout > 0 && (budget <= 0 || budget > s.cfg.RequestTimeout) {
+		budget = s.cfg.RequestTimeout
+	}
+	cfg.MaxDuration = budget
+
+	s.solves.Add(1)
+	solveStart := time.Now()
+	res, err := solver.SolveModelContext(r.Context(), job.model, cfg)
+	s.reg.Observe(obs.MetricServeSolveSeconds, time.Since(solveStart).Seconds())
+	if err != nil {
+		var nerr *solver.NumericError
+		kind, status := "solve", http.StatusInternalServerError
+		if errors.As(err, &nerr) {
+			kind = "numeric"
+		}
+		s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", kind), 1)
+		body, _ := json.Marshal(map[string]string{"error": err.Error()})
+		return status, body
+	}
+
+	body, err := json.Marshal(SolveResponse{
+		Loss:        res.Loss,
+		Lower:       res.Lower,
+		Upper:       res.Upper,
+		RelativeGap: res.RelativeGap(),
+		Bins:        res.Bins,
+		Iterations:  res.Iterations,
+		Converged:   res.Converged,
+		Degraded:    string(res.Degraded),
+		GridStep:    res.GridStep,
+		Key:         job.key,
+	})
+	if err != nil {
+		s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "encode"), 1)
+		body, _ = json.Marshal(map[string]string{"error": "encoding response: " + err.Error()})
+		return http.StatusInternalServerError, body
+	}
+
+	// Only converged, non-degraded results enter the cache: a degraded
+	// bracket reflects this request's budget, not the queue.
+	if s.cache != nil && res.Converged && res.Degraded == "" {
+		if evicted := s.cache.add(job.key, body); evicted > 0 {
+			s.reg.Add(obs.MetricServeCacheEvicted, float64(evicted))
+		}
+		s.reg.Set(obs.MetricServeCacheEntries, float64(s.cache.len()))
+		if s.cfg.Journal != nil {
+			if jerr := s.cfg.Journal.Store(job.key, json.RawMessage(body)); jerr != nil {
+				// The response is still good; durability degraded.
+				s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "journal"), 1)
+			}
+		}
+	}
+	return http.StatusOK, body
+}

@@ -1,0 +1,29 @@
+package solver
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+)
+
+// ConfigHash returns a short stable hash of the configuration fields that
+// influence solve results. It is the cache key component shared by the
+// sweep journal (internal/core prefixes journal keys with it so a journal
+// written under one configuration is never replayed into a run with
+// another) and the serving layer's solve cache (internal/serve keys cached
+// responses by it so two requests share a cached result only when their
+// solver settings are result-identical).
+//
+// Recorder and Trace are deliberately excluded: instrumentation never
+// changes results (the bit-identity tests in internal/obs enforce that),
+// so an observed solve and an unobserved one share a hash. MaxDuration is
+// included — callers that want budget-independent keys (a converged result
+// does not depend on how much budget was left) should zero it before
+// hashing.
+func ConfigHash(cfg Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%g|%g|%d|%g|%s|%g",
+		cfg.InitialBins, cfg.MaxBins, cfg.RelGap, cfg.LossFloor,
+		cfg.MaxIterations, cfg.StallTol, cfg.MaxDuration, cfg.MassDriftTol)
+	return strconv.FormatUint(h.Sum64(), 16)
+}

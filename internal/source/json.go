@@ -1,0 +1,51 @@
+package source
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// specJSON is the wire form of a Spec: {"name": "markov", "params":
+// {"horizon": 5}}. The zero Spec marshals as {"name": "fluid"} so a stored
+// spec never depends on the default-model convention of the decoder.
+type specJSON struct {
+	Name   string `json:"name"`
+	Params Params `json:"params,omitempty"`
+}
+
+// MarshalJSON renders the spec in its wire form with the default model
+// name made explicit.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	name := s.Name
+	if name == "" {
+		name = "fluid"
+	}
+	return json.Marshal(specJSON{Name: name, Params: s.Params})
+}
+
+// UnmarshalJSON decodes the wire form, rejecting unknown fields and
+// validating the model name against the registry — a serve request naming
+// a model that does not exist fails at decode time, before any solver
+// machinery is built. An empty or omitted name means the default fluid
+// model. Parameter names are validated later, by Build, against the
+// model's own allowlist.
+func (s *Spec) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var w specJSON
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("source: decoding model spec: %w", err)
+	}
+	name := strings.TrimSpace(w.Name)
+	if name == "" {
+		name = "fluid"
+	}
+	if _, ok := Lookup(name); !ok {
+		return fmt.Errorf("source: unknown model %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	s.Name = name
+	s.Params = w.Params
+	return nil
+}

@@ -159,7 +159,9 @@ func (s Spec) Key() string {
 }
 
 // ParseParams parses a "key=value,key=value" parameter list (values are
-// floats). The empty string yields nil.
+// floats). The empty string yields nil. A key given more than once is an
+// error naming the offending key — last-wins would silently mask a typo'd
+// parameter list.
 func ParseParams(s string) (Params, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
@@ -169,6 +171,9 @@ func ParseParams(s string) (Params, error) {
 		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
 		if !ok || k == "" {
 			return nil, fmt.Errorf("source: bad model parameter %q (want key=value)", kv)
+		}
+		if _, dup := p[k]; dup {
+			return nil, fmt.Errorf("source: duplicate model parameter %q", k)
 		}
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil {
@@ -205,10 +210,10 @@ func ParseSpecs(names, params string) ([]Spec, error) {
 	}
 	var out []Spec
 	seen := map[string]bool{}
-	for _, name := range strings.Split(names, ",") {
+	for i, name := range strings.Split(names, ",") {
 		s, err := ParseSpec(name, params)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("source: model %d of %q: %w", i+1, names, err)
 		}
 		if seen[s.Name] {
 			return nil, fmt.Errorf("source: model %q listed twice", s.Name)

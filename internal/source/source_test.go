@@ -1,6 +1,7 @@
 package source_test
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"strings"
@@ -304,5 +305,71 @@ func TestSourcesPreserveMeanRate(t *testing.T) {
 		if s.Cutoff() != 10 || s.Hurst() != ref.Hurst() {
 			t.Errorf("%s: reference coordinates (H=%g, Tc=%g) not preserved", name, s.Hurst(), s.Cutoff())
 		}
+	}
+}
+
+func TestParseParamsRejectsDuplicateKeys(t *testing.T) {
+	_, err := source.ParseParams("horizon=5,horizon=7")
+	if err == nil {
+		t.Fatal("want error for duplicate parameter key")
+	}
+	if !strings.Contains(err.Error(), `"horizon"`) {
+		t.Fatalf("error %q does not name the offending key", err)
+	}
+	// A single occurrence of each key still parses.
+	p, err := source.ParseParams("horizon=5,components=3")
+	if err != nil || p["horizon"] != 5 || p["components"] != 3 {
+		t.Fatalf("distinct keys = %v, %v", p, err)
+	}
+}
+
+func TestParseSpecsErrorNamesIndex(t *testing.T) {
+	_, err := source.ParseSpecs("fluid,nosuch,mmfq", "")
+	if err == nil {
+		t.Fatal("want error for unknown model in list")
+	}
+	if !strings.Contains(err.Error(), "model 2") {
+		t.Fatalf("error %q does not name the bad spec index", err)
+	}
+	if !strings.Contains(err.Error(), `"nosuch"`) {
+		t.Fatalf("error %q does not surface the bad model name", err)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, spec := range []source.Spec{
+		{},
+		{Name: "fluid"},
+		{Name: "markov", Params: source.Params{"horizon": 5, "components": 3}},
+	} {
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", spec, err)
+		}
+		var got source.Spec
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if got.Key() != spec.Key() {
+			t.Fatalf("round trip %v -> %s -> %v (keys %q != %q)", spec, b, got, got.Key(), spec.Key())
+		}
+	}
+	// The zero spec marshals with the default name made explicit.
+	b, _ := json.Marshal(source.Spec{})
+	if !strings.Contains(string(b), `"name":"fluid"`) {
+		t.Fatalf("zero spec marshals as %s; want explicit fluid name", b)
+	}
+}
+
+func TestSpecJSONValidates(t *testing.T) {
+	var s source.Spec
+	if err := json.Unmarshal([]byte(`{"name":"nosuch"}`), &s); err == nil {
+		t.Fatal("want error for unknown model name")
+	}
+	if err := json.Unmarshal([]byte(`{"name":"fluid","bogus":1}`), &s); err == nil {
+		t.Fatal("want error for unknown field")
+	}
+	if err := json.Unmarshal([]byte(`{}`), &s); err != nil || s.Name != "fluid" {
+		t.Fatalf("empty object = %+v, %v; want default fluid", s, err)
 	}
 }

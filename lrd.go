@@ -28,6 +28,15 @@
 //	res, err := lrd.Solve(q, lrd.SolverConfig{})
 //	fmt.Println(res.Loss, res.Lower, res.Upper)
 //
+// Solves are customized with functional options — telemetry, budgets, and
+// the traffic model the queue's reference source is realized as:
+//
+//	res, err := lrd.SolveContext(ctx, q, lrd.SolverConfig{},
+//		lrd.WithRecorder(reg),                         // obs metrics
+//		lrd.WithTimeout(5*time.Second),                // degrade, don't hang
+//		lrd.WithModel(lrd.ModelSpec{Name: "markov"}),  // §IV equivalent model
+//	)
+//
 // # Package map
 //
 //   - internal/fluid    — the traffic model (rates, covariance, sampling)
@@ -52,6 +61,10 @@
 package lrd
 
 import (
+	"context"
+	"errors"
+	"time"
+
 	"lrd/internal/ams"
 	"lrd/internal/core"
 	"lrd/internal/dist"
@@ -144,25 +157,120 @@ var (
 	NewHyperexponential = dist.NewHyperexponential
 )
 
-// Solving.
+// Solving. The four entry points take the numerical configuration plus a
+// variadic list of Options; a call without options is byte-for-byte the
+// historical API, so existing callers compile and behave unchanged.
 var (
-	// Solve computes the stationary loss rate of a Queue.
-	Solve = solver.Solve
-	// SolveModel computes the stationary loss rate of a general Model.
-	SolveModel = solver.SolveModel
-	// SolveContext is Solve with cancellation, deadline, and budget support:
-	// on interruption it returns the best-so-far bracketed Result with
-	// Result.Degraded set rather than an error.
-	SolveContext = solver.SolveContext
-	// SolveModelContext is SolveModel with the same degrade-gracefully
-	// contract as SolveContext.
-	SolveModelContext = solver.SolveModelContext
 	// NewIterator exposes the bound iteration step by step.
 	NewIterator = solver.NewIterator
 	// ErrNumeric is the sentinel matched (via errors.Is) by every numeric
 	// watchdog violation the solver detects.
 	ErrNumeric = solver.ErrNumeric
+	// SolverConfigHash is a short stable hash of the result-affecting
+	// solver-configuration fields — the cache-key component shared by the
+	// sweep journal and the lrdserve solve cache.
+	SolverConfigHash = solver.ConfigHash
 )
+
+// Option customizes a solve beyond its positional SolverConfig: telemetry
+// sinks, wall-clock budgets, and the traffic model the queue's reference
+// source is realized as. Options are applied in order, so a later option
+// overrides an earlier one touching the same setting.
+type Option func(*solveSettings)
+
+type solveSettings struct {
+	cfg      SolverConfig
+	model    ModelSpec
+	hasModel bool
+}
+
+func (s *solveSettings) apply(opts []Option) {
+	for _, opt := range opts {
+		if opt != nil {
+			opt(s)
+		}
+	}
+}
+
+// WithRecorder streams solver telemetry (step counts and timings, bound
+// gap, per-solve outcomes; see MetricsRegistry) to rec. Results are
+// bit-identical with or without a recorder; WithRecorder(nil) keeps the
+// instrumented paths allocation-free.
+func WithRecorder(rec Recorder) Option {
+	return func(s *solveSettings) { s.cfg.Recorder = rec }
+}
+
+// WithTrace streams one TracePoint per solver iteration (plus a final
+// point) to fn. By Proposition II.1 the lower bounds in the stream are
+// non-decreasing and the upper bounds non-increasing within each solve.
+func WithTrace(fn func(TracePoint)) Option {
+	return func(s *solveSettings) { s.cfg.Trace = fn }
+}
+
+// WithTimeout imposes a per-solve wall-clock budget (SolverConfig
+// MaxDuration). When it expires the solver degrades gracefully: the
+// best-so-far bracketed Result is returned with Result.Degraded set, never
+// an error — the bounds are valid at every iteration.
+func WithTimeout(d time.Duration) Option {
+	return func(s *solveSettings) { s.cfg.MaxDuration = d }
+}
+
+// WithModel realizes the queue's reference fluid source as the named
+// registered traffic model (see RegisterModel; "fluid", "onoff", "markov",
+// "mmfq" are built in) before solving — the zero spec is the fluid
+// identity. It applies to Solve and SolveContext, whose Queue carries the
+// reference source; SolveModel and SolveModelContext reject it, since a
+// general Model retains no reference to refit.
+func WithModel(spec ModelSpec) Option {
+	return func(s *solveSettings) { s.model, s.hasModel = spec, true }
+}
+
+// WithConfig replaces the solve's entire SolverConfig, for call sites that
+// assemble the configuration separately from the options that refine it.
+func WithConfig(cfg SolverConfig) Option {
+	return func(s *solveSettings) { s.cfg = cfg }
+}
+
+// Solve computes the stationary loss rate of a Queue.
+func Solve(q Queue, cfg SolverConfig, opts ...Option) (Result, error) {
+	return SolveContext(context.Background(), q, cfg, opts...)
+}
+
+// SolveContext is Solve with cancellation, deadline, and budget support:
+// on interruption it returns the best-so-far bracketed Result with
+// Result.Degraded set rather than an error.
+func SolveContext(ctx context.Context, q Queue, cfg SolverConfig, opts ...Option) (Result, error) {
+	s := solveSettings{cfg: cfg}
+	s.apply(opts)
+	if !s.hasModel {
+		return solver.SolveContext(ctx, q, s.cfg)
+	}
+	src, err := s.model.Realize(q.Source)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := solver.NewModelFromSource(src, q.ServiceRate, q.Buffer)
+	if err != nil {
+		return Result{}, err
+	}
+	return solver.SolveModelContext(ctx, m, s.cfg)
+}
+
+// SolveModel computes the stationary loss rate of a general Model.
+func SolveModel(m Model, cfg SolverConfig, opts ...Option) (Result, error) {
+	return SolveModelContext(context.Background(), m, cfg, opts...)
+}
+
+// SolveModelContext is SolveModel with the same degrade-gracefully
+// contract as SolveContext.
+func SolveModelContext(ctx context.Context, m Model, cfg SolverConfig, opts ...Option) (Result, error) {
+	s := solveSettings{cfg: cfg}
+	s.apply(opts)
+	if s.hasModel {
+		return Result{}, errors.New("lrd: WithModel applies to Solve/SolveContext (a Queue carries the reference source to realize); build the Model from the realized source instead")
+	}
+	return solver.SolveModelContext(ctx, m, s.cfg)
+}
 
 // Robustness vocabulary: why a Result came back degraded, and the typed
 // error carrying numeric-watchdog diagnoses.
@@ -197,21 +305,28 @@ var (
 	NewMetricsRegistry = obs.NewRegistry
 )
 
-// WithRecorder returns a copy of cfg with the telemetry recorder attached.
-// Solver results are bit-identical with or without a recorder; with rec ==
-// nil the instrumented paths stay allocation-free.
-func WithRecorder(cfg SolverConfig, rec Recorder) SolverConfig {
-	cfg.Recorder = rec
-	return cfg
+// RecorderConfig returns a copy of cfg with the telemetry recorder
+// attached.
+//
+// Deprecated: this is the pre-options copy-mutate helper (formerly named
+// WithRecorder, which now returns an Option). Pass WithRecorder(rec) to
+// Solve/SolveContext instead.
+func RecorderConfig(cfg SolverConfig, rec Recorder) SolverConfig {
+	s := solveSettings{cfg: cfg}
+	s.apply([]Option{WithRecorder(rec)})
+	return s.cfg
 }
 
-// WithTrace returns a copy of cfg that streams one TracePoint per solver
-// iteration (plus a final point) to fn. By Proposition II.1 the lower
-// bounds in the stream are non-decreasing and the upper bounds
-// non-increasing within each solve.
-func WithTrace(cfg SolverConfig, fn func(TracePoint)) SolverConfig {
-	cfg.Trace = fn
-	return cfg
+// TracedConfig returns a copy of cfg that streams one TracePoint per
+// solver iteration (plus a final point) to fn.
+//
+// Deprecated: this is the pre-options copy-mutate helper (formerly named
+// WithTrace, which now returns an Option). Pass WithTrace(fn) to
+// Solve/SolveContext instead.
+func TracedConfig(cfg SolverConfig, fn func(TracePoint)) SolverConfig {
+	s := solveSettings{cfg: cfg}
+	s.apply([]Option{WithTrace(fn)})
+	return s.cfg
 }
 
 // DegradeReason values.
