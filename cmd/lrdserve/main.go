@@ -5,6 +5,8 @@
 //
 //	POST /v1/solve  — solve one queue; the body is the lrdloss parameter
 //	                  set as JSON (see internal/serve.SolveRequest)
+//	POST /v1/sweep  — solve a buffers × cutoffs grid in one batch request
+//	                  (see internal/serve.SweepRequest)
 //	GET  /metrics   — JSON snapshot of the serve and solver metrics
 //	GET  /healthz   — liveness probe
 //
@@ -18,6 +20,13 @@
 // Durability: -journal appends every cache fill to an fsync'd journal and
 // -resume warm-loads it on startup, so a restarted server answers its
 // known queries from cache immediately.
+//
+// Fleets: -worker-id turns the -journal into shared state for a replica
+// fleet. Each solve first takes a lease on its cache key (-lease-ttl
+// bounds how long a crashed replica can strand one), so identical requests
+// hitting different replicas are computed once fleet-wide and adopted by
+// the others from the journal — the cross-process generalization of the
+// in-process request coalescing.
 //
 // On SIGINT/SIGTERM (or when the -timeout budget expires) the server stops
 // accepting connections, drains in-flight solves for up to -drain, and
@@ -76,6 +85,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	)
 	budget := cliflags.BudgetGroup(fs)
 	jflags := cliflags.JournalGroup(fs)
+	lease := cliflags.LeaseGroup(fs)
 	oflags := cliflags.ObsGroup(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,24 +99,42 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	defer cli.Close()
 	fft.SetRecorder(cli.Recorder())
 
-	store, err := jflags.Open("lrdserve", cli.Recorder(), stderr)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
-	if store != nil {
-		defer store.Close()
-	}
-
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxInflight:    *maxInflight,
 		MaxQueue:       *maxQueue,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *reqTimeout,
 		Solver:         solver.Config{RelGap: *relGap, MaxBins: *maxBins},
-		Journal:        store,
 		Registry:       cli.Registry(), // /metrics and the -metrics snapshot share one registry
-	})
+	}
+	// Fleet mode (-worker-id) shares the journal through the lease store,
+	// which then doubles as the cache journal; otherwise the journal (if
+	// any) is this replica's private cache log. The nil checks before the
+	// interface assignments matter: a nil *JournalStore stuffed into the
+	// CacheJournal interface would not compare equal to nil inside serve.
+	leases, err := lease.Open("lrdserve", jflags, cli.Recorder(), stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if leases != nil {
+		defer leases.Close()
+		stopHeartbeat := leases.StartHeartbeat(ctx)
+		defer stopHeartbeat()
+		cfg.Leases = leases
+	} else {
+		store, err := jflags.Open("lrdserve", cli.Recorder(), stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if store != nil {
+			defer store.Close()
+			cfg.Journal = store
+		}
+	}
+
+	srv := serve.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -18,7 +18,8 @@ func TestSharedFlagsMatchCanon(t *testing.T) {
 	}
 	if err := cliflags.CheckUsage(usage,
 		"metrics", "trace", "progress", "pprof",
-		"journal", "resume", "retries", "retry-backoff",
+		"journal", "resume", "worker-id", "lease-ttl", "workers",
+		"retries", "retry-backoff",
 		"timeout", "point-timeout", "model", "model-params",
 	); err != nil {
 		t.Fatal(err)

@@ -19,6 +19,18 @@
 // (-retry-backoff). -out writes the TSV atomically (write-temp-then-
 // rename), so a crash never leaves a torn result file.
 //
+// Distributed sweeps: -worker-id joins the -journal as one member of a
+// coordinator-free worker fleet. Each cell is leased (claimed with a
+// fencing epoch and a -lease-ttl deadline) before it is solved, so N
+// processes sharing one journal partition the grid dynamically: a worker
+// that crashes or stalls simply stops renewing its leases and its cells
+// are re-leased by the survivors, while a zombie that wakes up late loses
+// the fencing race and can never overwrite a newer result. Every worker
+// writes the same complete TSV at the end (cells solved by peers are
+// adopted from the journal), byte-identical to a single-process run.
+// -workers caps the in-process solver pool so a fleet's total matches the
+// machine.
+//
 // Traffic models: -model selects the registered source model the sweep's
 // cells are realized as (fluid, onoff, markov, mmfq — see internal/source);
 // -model-params passes key=value model parameters. A comma-separated
@@ -39,6 +51,11 @@
 //	lrdsweep -exp fig4 -journal fig4.journal -out fig4.tsv
 //	lrdsweep -exp fig4 -journal fig4.journal -resume -out fig4.tsv
 //	lrdsweep -exp fig4 -quick -model fluid,markov,mmfq -out compare.tsv
+//
+//	# 4-worker distributed sweep sharing one journal (run concurrently):
+//	for i in 1 2 3 4; do
+//	  lrdsweep -exp fig4 -journal shared.journal -worker-id w$i -workers 2 -out fig4.w$i.tsv &
+//	done; wait   # all four TSVs are byte-identical
 package main
 
 import (
@@ -78,6 +95,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budget := cliflags.BudgetGroup(fs)
 	pointBudget := cliflags.PointBudgetGroup(fs)
 	jflags := cliflags.JournalGroup(fs)
+	lease := cliflags.LeaseGroup(fs)
+	workers := cliflags.WorkersFlag(fs)
 	retry := cliflags.RetryGroup(fs)
 	oflags := cliflags.ObsGroup(fs)
 	modelSpecs := cliflags.ModelGroup(fs)
@@ -120,21 +139,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	opts := core.RunOptions{
 		Seed: *seed, Quick: *quick, PointTimeout: *pointBudget.PointTimeout,
-		Retry: retry.Policy(),
+		Retry: retry.Policy(), Workers: *workers,
 	}
 	opts.Solver.Recorder = cli.Recorder()
 	fft.SetRecorder(cli.Recorder())
 	if enc := cli.TraceEncoder(); enc != nil {
 		opts.Solver.Trace = func(p solver.TracePoint) { enc(p) }
 	}
-	store, err := jflags.Open("lrdsweep", cli.Recorder(), stderr)
+	// Distributed mode (-worker-id) leases cells from the shared journal;
+	// otherwise the journal (if any) is a private single-process checkpoint.
+	leases, err := lease.Open("lrdsweep", jflags, cli.Recorder(), stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	if store != nil {
-		defer store.Close()
-		opts.Store = store
+	if leases != nil {
+		defer leases.Close()
+		stopHeartbeat := leases.StartHeartbeat(ctx)
+		defer stopHeartbeat()
+		opts.Store = leases
+	} else {
+		store, err := jflags.Open("lrdsweep", cli.Recorder(), stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if store != nil {
+			defer store.Close()
+			opts.Store = store
+		}
 	}
 
 	// With one model the table is the experiment's own (bit-identical for

@@ -92,6 +92,57 @@ func (j *Journal) Open(prog string, rec obs.Recorder, warn io.Writer) (*core.Jou
 	return store, nil
 }
 
+// Lease is the shared distributed-fleet flag group: -worker-id and
+// -lease-ttl turn the -journal into a coordinator-free work queue shared by
+// a fleet of processes (see core.LeaseStore).
+type Lease struct {
+	WorkerID *string
+	TTL      *time.Duration
+}
+
+// LeaseGroup registers -worker-id and -lease-ttl on fs.
+func LeaseGroup(fs *flag.FlagSet) *Lease {
+	return &Lease{
+		WorkerID: fs.String("worker-id", "", canon["worker-id"].Usage),
+		TTL:      fs.Duration("lease-ttl", 10*time.Second, canon["lease-ttl"].Usage),
+	}
+}
+
+// WorkersFlag registers the shared -workers pool-cap flag on fs. It is
+// separate from LeaseGroup because the sweep commands want it even for
+// single-process runs (and the serve command, which has -max-inflight,
+// does not want it at all).
+func WorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, canon["workers"].Usage)
+}
+
+// Open validates the group and opens the shared lease store: nil when no
+// -worker-id was given (the run is not distributed), an error for
+// -worker-id without -journal. The journal is always opened in resume
+// mode — it is shared state, so no worker may truncate it; pair a fresh
+// sweep with a fresh journal path (or delete the old file) instead.
+func (l *Lease) Open(prog string, j *Journal, rec obs.Recorder, warn io.Writer) (*core.LeaseStore, error) {
+	if *l.WorkerID == "" {
+		return nil, nil
+	}
+	if *j.Path == "" {
+		return nil, fmt.Errorf("%s: -worker-id requires -journal (the shared work queue)", prog)
+	}
+	store, err := core.OpenLeaseStore(*j.Path, core.LeaseStoreOptions{
+		Worker:   *l.WorkerID,
+		TTL:      *l.TTL,
+		Recorder: rec,
+		Warn:     warn,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", prog, err)
+	}
+	if store.Completed() > 0 && warn != nil {
+		fmt.Fprintf(warn, "%s: joining shared journal; %d completed cell(s) will be adopted\n", prog, store.Completed())
+	}
+	return store, nil
+}
+
 // Retry is the shared per-cell retry flag group.
 type Retry struct {
 	Retries *int
@@ -170,6 +221,9 @@ var canon = map[string]FlagSpec{
 	"pprof":         {"pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)"},
 	"journal":       {"journal", "", "checkpoint every completed cell to this append-only journal"},
 	"resume":        {"resume", "", "replay the -journal and skip its completed cells"},
+	"workers":       {"workers", "", "cap the in-process sweep worker pool (0 = one per CPU)"},
+	"worker-id":     {"worker-id", "", "join the -journal as this named worker of a distributed fleet (leases cells, adopts peers' results)"},
+	"lease-ttl":     {"lease-ttl", "(default 10s)", "lease duration before an unrenewed cell claim is presumed dead and re-leased"},
 	"retries":       {"retries", "(default 1)", "attempts per cell for transiently failed/degraded cells"},
 	"retry-backoff": {"retry-backoff", "(default 100ms)", "base backoff between per-cell retry attempts"},
 	"timeout":       {"timeout", "", "wall-clock budget for the whole run (0 = none)"},

@@ -135,8 +135,10 @@ type Point struct {
 // A non-nil rec receives the sweep telemetry: cells planned/started/
 // completed, per-cell wall time, worker-pool size, and accumulated busy
 // time (worker utilization = busy seconds / (workers × sweep seconds)).
-func parallelMap(ctx context.Context, rec obs.Recorder, n int, f func(i int) error) ([]bool, error) {
-	workers := runtime.NumCPU()
+func parallelMap(ctx context.Context, rec obs.Recorder, workers, n int, f func(i int) error) ([]bool, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	if workers > n {
 		workers = n
 	}
@@ -230,7 +232,7 @@ func completedPoints(pts []Point, done []bool) []Point {
 // cfg.Prefix's namespace.
 func gridSweep(ctx context.Context, cfg SweepConfig, n int, key func(int) string, compute func(int) (Point, error)) ([]Point, error) {
 	out := make([]Point, n)
-	done, err := parallelMap(ctx, cfg.Solver.Recorder, n, func(i int) error {
+	done, err := parallelMap(ctx, cfg.Solver.Recorder, cfg.Workers, n, func(i int) error {
 		p, err := runCell(ctx, cfg, key(i), func() (Point, error) { return compute(i) })
 		if err != nil {
 			return err
@@ -245,10 +247,15 @@ func gridSweep(ctx context.Context, cfg SweepConfig, n int, key func(int) string
 //
 //  1. a cell already in the store (journaled by a previous run under the
 //     same key) is returned without recomputation;
-//  2. a computed cell that is final — clean, or degraded for a terminal
+//  2. when the store coordinates ownership (LeaseClaimer, i.e. a shared
+//     journal with other worker processes on it), the cell is either
+//     adopted — another worker completed it while we waited — or computed
+//     under an exclusive lease that Store consumes on completion and that
+//     is released when the outcome stayed transient;
+//  3. a computed cell that is final — clean, or degraded for a terminal
 //     reason that a re-run would deterministically reproduce — is
 //     journaled and returned;
-//  3. a transient outcome — a retryable degradation (deadline,
+//  4. a transient outcome — a retryable degradation (deadline,
 //     cancellation) or a retryable error (numeric-watchdog trip) — is
 //     re-attempted under cfg.Retry with exponential backoff, and is never
 //     journaled as complete, so a resumed sweep recomputes it.
@@ -257,8 +264,9 @@ func gridSweep(ctx context.Context, cfg SweepConfig, n int, key func(int) string
 // would defeat the journal.
 func runCell(ctx context.Context, cfg SweepConfig, key string, compute func() (Point, error)) (Point, error) {
 	rec := cfg.Solver.Recorder
+	fullKey := cfg.Prefix + key
 	if cfg.Store != nil {
-		if raw, ok := cfg.Store.Lookup(cfg.Prefix + key); ok {
+		if raw, ok := cfg.Store.Lookup(fullKey); ok {
 			var p Point
 			if err := json.Unmarshal(raw, &p); err == nil {
 				if rec != nil {
@@ -270,20 +278,56 @@ func runCell(ctx context.Context, cfg SweepConfig, key string, compute func() (P
 			// schema): recompute rather than fail the sweep.
 		}
 	}
+	claimer, leased := cfg.Store.(LeaseClaimer)
+	if !leased {
+		return computeCell(ctx, cfg, fullKey, compute)
+	}
+	raw, acquired, err := claimer.Acquire(ctx, fullKey)
+	if err != nil {
+		return Point{}, err
+	}
+	if !acquired {
+		// Another worker computed the cell; adopt its result. An
+		// undecodable value here means the fleet is running incompatible
+		// schemas — fail loudly rather than silently double-compute.
+		var p Point
+		if uerr := json.Unmarshal(raw, &p); uerr != nil {
+			return Point{}, fmt.Errorf("core: adopting cell %q from a peer worker: %w", fullKey, uerr)
+		}
+		if rec != nil {
+			rec.Add(obs.MetricCoreCellsAdopted, 1)
+		}
+		return p, nil
+	}
+	p, err := computeCell(ctx, cfg, fullKey, compute)
+	// Store consumes the lease on completion, making this a no-op; when the
+	// outcome stayed transient (or errored) it hands the lease back so
+	// another worker — or a resumed run — can take the cell without waiting
+	// out the TTL.
+	if rerr := claimer.Release(fullKey); rerr != nil && err == nil {
+		err = rerr
+	}
+	return p, err
+}
+
+// computeCell is runCell's compute-and-retry loop (steps 3 and 4 of the
+// runCell contract).
+func computeCell(ctx context.Context, cfg SweepConfig, fullKey string, compute func() (Point, error)) (Point, error) {
+	rec := cfg.Solver.Recorder
 	for attempt := 1; ; attempt++ {
 		p, err := compute()
 		if err == nil && !p.Degraded.Retryable() {
 			// Final: clean, or a terminal degradation a re-run would
 			// deterministically reproduce.
 			if cfg.Store != nil {
-				if serr := cfg.Store.Store(cfg.Prefix+key, p); serr != nil {
+				if serr := cfg.Store.Store(fullKey, p); serr != nil {
 					return Point{}, serr
 				}
 			}
 			return p, nil
 		}
 		if err != nil && cfg.Store != nil {
-			if serr := cfg.Store.Fail(cfg.Prefix+key, attempt, err); serr != nil {
+			if serr := cfg.Store.Fail(fullKey, attempt, err); serr != nil {
 				return Point{}, serr
 			}
 		}

@@ -416,7 +416,7 @@ func TestMTVAndBellcoreModels(t *testing.T) {
 
 func TestParallelMapPropagatesError(t *testing.T) {
 	ctx := context.Background()
-	_, err := parallelMap(ctx, nil, 64, func(i int) error {
+	_, err := parallelMap(ctx, nil, 0, 64, func(i int) error {
 		if i == 17 {
 			return errTest
 		}
@@ -425,13 +425,13 @@ func TestParallelMapPropagatesError(t *testing.T) {
 	if err != errTest {
 		t.Fatalf("err = %v, want errTest", err)
 	}
-	if _, err := parallelMap(ctx, nil, 0, func(int) error { return nil }); err != nil {
+	if _, err := parallelMap(ctx, nil, 0, 0, func(int) error { return nil }); err != nil {
 		t.Fatalf("empty map errored: %v", err)
 	}
 	// Order-independence: results land in their own slots, and the done
 	// mask marks every index.
 	out := make([]int, 100)
-	done, err := parallelMap(ctx, nil, 100, func(i int) error {
+	done, err := parallelMap(ctx, nil, 0, 100, func(i int) error {
 		out[i] = i * i
 		return nil
 	})
@@ -453,7 +453,7 @@ func TestParallelMapCancellation(t *testing.T) {
 	// nothing marked done.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	done, err := parallelMap(ctx, nil, 32, func(i int) error { return nil })
+	done, err := parallelMap(ctx, nil, 0, 32, func(i int) error { return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
@@ -467,7 +467,7 @@ func TestParallelMapCancellation(t *testing.T) {
 	// plausible worker count so completion stays partial.
 	const n = 1 << 14
 	ctx2, cancel2 := context.WithCancel(context.Background())
-	done2, err2 := parallelMap(ctx2, nil, n, func(i int) error {
+	done2, err2 := parallelMap(ctx2, nil, 0, n, func(i int) error {
 		if i == 3 {
 			cancel2()
 		}

@@ -86,6 +86,9 @@ type RunOptions struct {
 	// iterations). Nil uses the registry defaults — the fit horizon falls
 	// back to the reference source's correlated range.
 	MarkovFit source.Params
+	// Workers caps the in-process sweep worker pool (see
+	// SweepConfig.Workers). Zero means one worker per CPU.
+	Workers int
 }
 
 // solverConfig returns the effective per-point solver configuration with
@@ -107,11 +110,12 @@ func (o RunOptions) solverConfig() solver.Config {
 func (o RunOptions) sweepConfig(id string) SweepConfig {
 	cfg := o.solverConfig()
 	return SweepConfig{
-		Solver: cfg,
-		Model:  o.Model,
-		Store:  o.Store,
-		Retry:  o.Retry,
-		Prefix: fmt.Sprintf("%s|seed=%d|quick=%t|cfg=%s|model=%s|", id, o.Seed, o.Quick, ConfigHash(cfg), o.Model.Key()),
+		Solver:  cfg,
+		Model:   o.Model,
+		Store:   o.Store,
+		Retry:   o.Retry,
+		Prefix:  fmt.Sprintf("%s|seed=%d|quick=%t|cfg=%s|model=%s|", id, o.Seed, o.Quick, ConfigHash(cfg), o.Model.Key()),
+		Workers: o.Workers,
 	}
 }
 

@@ -73,7 +73,7 @@ func TestSweepTelemetryConcurrent(t *testing.T) {
 // TestParallelMapNilRecorder: the instrumentation must be inert (and not
 // panic) when no recorder is attached.
 func TestParallelMapNilRecorder(t *testing.T) {
-	done, err := parallelMap(context.Background(), nil, 8, func(i int) error { return nil })
+	done, err := parallelMap(context.Background(), nil, 0, 8, func(i int) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -232,9 +232,9 @@ func TestRetryRecoversInjectedNumericFault(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	recs, skipped, err := journal.Load(path)
-	if err != nil || skipped != 0 {
-		t.Fatalf("journal load: err %v, skipped %d", err, skipped)
+	recs, stats, err := journal.Load(path)
+	if err != nil || stats.Corrupt() != 0 {
+		t.Fatalf("journal load: err %v, skipped %d", err, stats.Corrupt())
 	}
 	var fails, oks int
 	for _, r := range recs {

@@ -67,18 +67,11 @@ type JournalStoreOptions struct {
 func OpenJournalStore(path string, opts JournalStoreOptions) (*JournalStore, error) {
 	s := &JournalStore{rec: opts.Recorder, cached: map[string]json.RawMessage{}}
 	if opts.Resume {
-		recs, skipped, err := journal.Load(path)
+		recs, stats, err := journal.Load(path)
 		if err != nil {
 			return nil, err
 		}
-		if skipped > 0 {
-			if opts.Warn != nil {
-				fmt.Fprintf(opts.Warn, "journal: skipped %d corrupt line(s) in %s; their cells will be recomputed\n", skipped, path)
-			}
-			if s.rec != nil {
-				s.rec.Add(obs.MetricCoreJournalCorrupt, float64(skipped))
-			}
-		}
+		warnCorrupt(path, stats, s.rec, opts.Warn)
 		s.cached = journal.Completed(recs)
 	}
 	w, err := journal.Open(path, opts.Resume)
@@ -87,6 +80,32 @@ func OpenJournalStore(path string, opts JournalStoreOptions) (*JournalStore, err
 	}
 	s.w = w
 	return s, nil
+}
+
+// warnCorrupt reports a replay's skipped lines: both kinds are recoverable
+// (the cells recompute), but interior corruption — which no clean crash
+// produces — is called out distinctly from the tolerated torn trailing
+// line, and each kind feeds its own counter alongside the combined one.
+func warnCorrupt(path string, stats journal.LoadStats, rec obs.Recorder, warn io.Writer) {
+	if stats.Corrupt() == 0 {
+		return
+	}
+	if warn != nil {
+		fmt.Fprintf(warn, "journal: skipped %d corrupt line(s) in %s (%d interior, %d trailing); their cells will be recomputed\n",
+			stats.Corrupt(), path, stats.CorruptInterior, stats.CorruptTrailing)
+		if stats.CorruptInterior > 0 {
+			fmt.Fprintf(warn, "journal: interior corruption in %s is not a crash artifact — check the disk or concurrent writers\n", path)
+		}
+	}
+	if rec != nil {
+		rec.Add(obs.MetricCoreJournalCorrupt, float64(stats.Corrupt()))
+		if stats.CorruptInterior > 0 {
+			rec.Add(obs.MetricCoreJournalCorruptInterior, float64(stats.CorruptInterior))
+		}
+		if stats.CorruptTrailing > 0 {
+			rec.Add(obs.MetricCoreJournalCorruptTrailing, float64(stats.CorruptTrailing))
+		}
+	}
 }
 
 // Lookup implements CellStore from the replayed journal.
@@ -250,6 +269,11 @@ type SweepConfig struct {
 	// one model is never replayed into a run with another. Irrelevant when
 	// Store is nil.
 	Prefix string
+	// Workers caps the in-process worker pool. Zero or negative means one
+	// worker per CPU. Distributed runs (several processes sharing one
+	// journal, see LeaseStore) set it so the fleet's total matches the
+	// machine instead of oversubscribing it NumCPU-fold.
+	Workers int
 }
 
 // Sweep wraps a bare solver configuration into a SweepConfig with no

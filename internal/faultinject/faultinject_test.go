@@ -1,7 +1,9 @@
 package faultinject
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -59,6 +61,96 @@ func TestResetClearsCounters(t *testing.T) {
 	Reset()
 	if Active() || Fired(SolverIncrementPMF) != 0 {
 		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestArmErrApplyErrDisarm(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := ApplyErr(JournalAppend); err != nil {
+		t.Fatalf("disarmed ApplyErr returned %v", err)
+	}
+	boom := errors.New("disk gone")
+	ArmErr(JournalAppend, func() error { return boom })
+	if !Active() {
+		t.Fatal("Active false after ArmErr")
+	}
+	if err := ApplyErr(JournalAppend); !errors.Is(err, boom) {
+		t.Fatalf("ApplyErr = %v, want injected error", err)
+	}
+	if Fired(JournalAppend) != 1 {
+		t.Fatalf("fire count = %d, want 1", Fired(JournalAppend))
+	}
+	// Other points are unaffected.
+	if err := ApplyErr(JournalDirSync); err != nil {
+		t.Fatalf("unarmed point returned %v", err)
+	}
+	// Data hooks and error hooks are independent namespaces: arming an
+	// error at a point does not fire its data hook.
+	xs := []float64{1}
+	Apply(JournalAppend, xs)
+	if xs[0] != 1 {
+		t.Fatal("ArmErr leaked into Apply")
+	}
+	DisarmErr(JournalAppend)
+	if Active() {
+		t.Fatal("Active true after DisarmErr")
+	}
+	if err := ApplyErr(JournalAppend); err != nil {
+		t.Fatalf("ApplyErr after DisarmErr = %v", err)
+	}
+}
+
+func TestArmErrNilDisarmsAndFailOnce(t *testing.T) {
+	t.Cleanup(Reset)
+	ArmErr(LeaseRenew, func() error { return nil })
+	ArmErr(LeaseRenew, nil)
+	if Active() {
+		t.Fatal("ArmErr(nil) must disarm")
+	}
+	// Fail-once: an armed hook returning nil counts as a fire but injects
+	// nothing, so a CompareAndSwap hook fails exactly one call.
+	var once atomic.Bool
+	ArmErr(LeaseRenew, func() error {
+		if once.CompareAndSwap(false, true) {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err := ApplyErr(LeaseRenew); err == nil {
+		t.Fatal("first call should fail")
+	}
+	if err := ApplyErr(LeaseRenew); err != nil {
+		t.Fatalf("second call should succeed, got %v", err)
+	}
+	if Fired(LeaseRenew) != 2 {
+		t.Fatalf("fire count = %d, want 2", Fired(LeaseRenew))
+	}
+	Reset()
+	if Active() || Fired(LeaseRenew) != 0 {
+		t.Fatal("Reset did not clear error hooks")
+	}
+}
+
+func TestConcurrentApplyErr(t *testing.T) {
+	t.Cleanup(Reset)
+	injected := errors.New("x")
+	ArmErr(JournalAppend, func() error { return injected })
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if errors.Is(ApplyErr(JournalAppend), injected) {
+					hits.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hits.Load() != 800 || Fired(JournalAppend) != 800 {
+		t.Fatalf("hits = %d, fires = %d, want 800/800", hits.Load(), Fired(JournalAppend))
 	}
 }
 

@@ -10,7 +10,17 @@
 // failing, and every preceding record remains usable. Records are keyed by
 // an opaque string the caller derives from the experiment identity, grid
 // coordinates, seed, and solver configuration; on conflicting keys the
-// last record wins, so re-running a cell simply supersedes its history.
+// record with the highest fencing epoch wins (file order breaks ties), so
+// re-running a cell simply supersedes its history and a zombie worker's
+// stale completion can never overwrite a newer one.
+//
+// The journal doubles as a coordinator-free shared work queue: several
+// worker processes may hold the same journal open (O_APPEND writes of one
+// line each interleave but never tear on POSIX filesystems) and publish
+// lease claims as StatusClaimed records. The claim/renew/steal policy
+// lives in internal/core.LeaseStore; this package only defines the record
+// shape and the incremental ReadFrom tail reader the workers follow each
+// other with.
 //
 // The package also provides WriteFileAtomic, the write-temp-then-rename
 // helper the CLIs use so a result table on disk is always either the old
@@ -27,6 +37,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"syscall"
+
+	"lrd/internal/faultinject"
 )
 
 // Status classifies a journal record.
@@ -41,19 +54,36 @@ const (
 	// StatusFail: an attempt at the cell failed; Error holds the message.
 	// Failed cells are informational — a resumed run recomputes them.
 	StatusFail Status = "fail"
+	// StatusClaimed: a worker holds (or renews, or releases) a lease on the
+	// cell. Worker identifies the holder, Epoch is the claim's fencing
+	// epoch, and Deadline is the lease expiry in UnixNano; a claimed record
+	// with Deadline <= 0 releases the lease. Claims are coordination
+	// records, invisible to Completed.
+	StatusClaimed Status = "claimed"
 )
 
 // Record is one journal line: the outcome of one attempt at one sweep
-// cell. Key identifies the cell (experiment id, grid coordinates, seed,
-// and solver-config hash, composed by the caller); Value carries the
-// cell's serialized result for ok records; Error and Attempt describe
-// failures.
+// cell, or a lease-coordination event. Key identifies the cell (experiment
+// id, grid coordinates, seed, and solver-config hash, composed by the
+// caller); Value carries the cell's serialized result for ok records;
+// Error and Attempt describe failures; Worker, Epoch, and Deadline carry
+// the lease protocol (see StatusClaimed and internal/core.LeaseStore).
 type Record struct {
 	Key     string          `json:"key"`
 	Status  Status          `json:"status"`
 	Attempt int             `json:"attempt,omitempty"`
 	Value   json.RawMessage `json:"value,omitempty"`
 	Error   string          `json:"error,omitempty"`
+	// Worker is the id of the worker that wrote the record (claimed records
+	// always; ok/fail records written under a lease).
+	Worker string `json:"worker,omitempty"`
+	// Epoch is the fencing epoch of the lease the record was written under.
+	// Every re-lease of a cell increments it, so records from a superseded
+	// (zombie) holder carry a visibly stale epoch and lose every conflict.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Deadline is the lease expiry as UnixNano wall-clock time (claimed
+	// records only). Renewals only ever extend it; <= 0 releases the lease.
+	Deadline int64 `json:"deadline,omitempty"`
 }
 
 // Writer appends records to a journal file, fsync'ing after every append
@@ -69,6 +99,12 @@ type Writer struct {
 // Open opens (creating if needed) the journal at path. With resume true
 // existing records are preserved and new appends extend the file; with
 // resume false the journal is truncated and starts fresh.
+//
+// A resumed journal whose final line was torn by a crash (no trailing
+// newline) is terminated before the first append: without this, the first
+// new record would be glued onto the torn fragment and both would be lost
+// as one undecodable line. With it, the fragment becomes an ordinary
+// corrupt line that Load skips and counts.
 func Open(path string, resume bool) (*Writer, error) {
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if !resume {
@@ -78,7 +114,45 @@ func Open(path string, resume bool) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("journal: opening %s: %w", path, err)
 	}
+	if resume {
+		if err := terminateTornTail(path, f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	return &Writer{f: f}, nil
+}
+
+// terminateTornTail appends a newline to f if the file at path is
+// non-empty and does not end in one (the signature of a line torn by a
+// crash mid-append). f must be open O_APPEND.
+func terminateTornTail(path string, f *os.File) error {
+	r, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("journal: opening %s to inspect tail: %w", path, err)
+	}
+	defer r.Close()
+	size, err := r.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("journal: seeking %s: %w", path, err)
+	}
+	if size == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := r.ReadAt(last, size-1); err != nil {
+		return fmt.Errorf("journal: reading tail of %s: %w", path, err)
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	if _, err := f.Write([]byte{'\n'}); err != nil {
+		return fmt.Errorf("journal: terminating torn tail of %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing %s after tail repair: %w", path, err)
+	}
+	return nil
 }
 
 // Append marshals rec onto one JSONL line, writes it, and fsyncs the
@@ -101,6 +175,10 @@ func (w *Writer) Append(rec Record) (int, error) {
 	}
 	if w.f == nil {
 		return 0, errors.New("journal: writer is closed")
+	}
+	if err := faultinject.ApplyErr(faultinject.JournalAppend); err != nil {
+		w.err = fmt.Errorf("journal: appending record %q: %w", rec.Key, err)
+		return 0, w.err
 	}
 	if _, err := w.f.Write(line); err != nil {
 		w.err = fmt.Errorf("journal: appending record %q: %w", rec.Key, err)
@@ -134,26 +212,47 @@ func (w *Writer) Close() error {
 	return err
 }
 
+// LoadStats classifies the undecodable lines a replay skipped. The two
+// kinds have very different meanings: a corrupt *trailing* line is the
+// expected signature of a crash mid-append (the write tore, nothing after
+// it exists) and is fully tolerated; a corrupt *interior* line — garbage
+// with intact records after it — means something other than a clean crash
+// damaged the journal (disk corruption, a torn concurrent write, manual
+// editing), which is still recoverable cell-by-cell but worth surfacing
+// loudly and counting separately.
+type LoadStats struct {
+	// CorruptInterior counts undecodable lines that are followed by at
+	// least one valid record.
+	CorruptInterior int
+	// CorruptTrailing counts the undecodable final line (0 or 1): the
+	// tolerated crash-window artifact.
+	CorruptTrailing int
+}
+
+// Corrupt returns the total number of skipped lines.
+func (s LoadStats) Corrupt() int { return s.CorruptInterior + s.CorruptTrailing }
+
 // Load replays the journal at path and returns its records in file order,
-// together with the number of lines that could not be decoded. A missing
+// together with stats on the lines that could not be decoded. A missing
 // file is an empty journal, not an error — resuming a sweep that never
 // started is a fresh start.
 //
-// Corrupt lines — a trailing line truncated by a crash, or garbage from a
-// concurrent writer — are skipped and counted, never fatal: the caller
-// recomputes those cells, which is always safe. Only I/O errors are
-// returned.
-func Load(path string) (records []Record, skipped int, err error) {
+// Corrupt lines — a trailing line truncated by a crash, or interior
+// garbage — are skipped and counted (interior and trailing separately, see
+// LoadStats), never fatal: the caller recomputes those cells, which is
+// always safe. Only I/O errors are returned.
+func Load(path string) (records []Record, stats LoadStats, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, 0, nil
+			return nil, LoadStats{}, nil
 		}
-		return nil, 0, fmt.Errorf("journal: opening %s: %w", path, err)
+		return nil, LoadStats{}, fmt.Errorf("journal: opening %s: %w", path, err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	corrupt, lastCorrupt := 0, false
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -161,45 +260,123 @@ func Load(path string) (records []Record, skipped int, err error) {
 		}
 		var rec Record
 		if json.Unmarshal(line, &rec) != nil || rec.Key == "" || rec.Status == "" {
-			skipped++
+			corrupt++
+			lastCorrupt = true
 			continue
 		}
+		lastCorrupt = false
 		records = append(records, rec)
 	}
 	if err := sc.Err(); err != nil {
 		// A final line longer than the scanner budget counts as corrupt
 		// rather than failing the whole replay.
 		if errors.Is(err, bufio.ErrTooLong) {
-			return records, skipped + 1, nil
+			corrupt++
+			lastCorrupt = true
+		} else {
+			return nil, LoadStats{}, fmt.Errorf("journal: reading %s: %w", path, err)
 		}
-		return nil, 0, fmt.Errorf("journal: reading %s: %w", path, err)
 	}
-	return records, skipped, nil
+	stats = LoadStats{CorruptInterior: corrupt}
+	if lastCorrupt {
+		stats.CorruptInterior--
+		stats.CorruptTrailing = 1
+	}
+	return records, stats, nil
+}
+
+// ReadFrom incrementally reads the records appended to the journal at path
+// since offset (a value previously returned by ReadFrom, or 0). Only
+// complete lines — terminated by a newline — are consumed: a trailing line
+// still being written by another worker is left for the next call, so next
+// always points at a line boundary. Complete-but-undecodable lines are
+// skipped and counted in corrupt. A missing file reads as empty.
+//
+// This is the tail-following primitive of the shared-journal work queue:
+// each worker appends through its own Writer and observes every other
+// worker's claims and completions by periodically ReadFrom-ing the shared
+// file.
+func ReadFrom(path string, offset int64) (records []Record, corrupt int, next int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, offset, nil
+		}
+		return nil, 0, offset, fmt.Errorf("journal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return nil, 0, offset, fmt.Errorf("journal: seeking %s: %w", path, err)
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, offset, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	// Consume only up to the last newline; an unterminated tail is an
+	// append in flight, not corruption.
+	end := bytes.LastIndexByte(buf, '\n')
+	if end < 0 {
+		return nil, 0, offset, nil
+	}
+	next = offset + int64(end) + 1
+	for _, line := range bytes.Split(buf[:end+1], []byte{'\n'}) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.Key == "" || rec.Status == "" {
+			corrupt++
+			continue
+		}
+		records = append(records, rec)
+	}
+	return records, corrupt, next, nil
 }
 
 // Completed folds records into the per-key outcome a resumed sweep should
-// trust: the value of each key's last ok record. A later fail record for
-// the same key (defensive — the orchestration layer never re-runs an ok
-// cell) invalidates the cached value.
+// trust: the value of each key's winning ok record. Conflicts resolve by
+// fencing epoch first — the record written under the highest lease epoch
+// wins regardless of file order, so a zombie worker that appends a stale
+// completion after its lease was stolen can never overwrite the newer
+// holder's result — and by file order (last wins) within an epoch. A fail
+// record at the key's winning epoch or later (defensive — the
+// orchestration layer never re-runs an ok cell) invalidates the cached
+// value. Claimed records are coordination, not outcomes, and are ignored.
 func Completed(records []Record) map[string]json.RawMessage {
-	done := make(map[string]json.RawMessage)
+	type winner struct {
+		value json.RawMessage
+		epoch int64
+	}
+	won := make(map[string]winner)
 	for _, rec := range records {
 		switch rec.Status {
 		case StatusOK:
-			done[rec.Key] = rec.Value
+			if w, ok := won[rec.Key]; !ok || rec.Epoch >= w.epoch {
+				won[rec.Key] = winner{value: rec.Value, epoch: rec.Epoch}
+			}
 		case StatusFail:
-			delete(done, rec.Key)
+			if w, ok := won[rec.Key]; ok && rec.Epoch >= w.epoch {
+				delete(won, rec.Key)
+			}
 		}
+	}
+	done := make(map[string]json.RawMessage, len(won))
+	for k, w := range won {
+		done[k] = w.value
 	}
 	return done
 }
 
 // WriteFileAtomic writes the output of write to path atomically: the
-// content lands in a temporary file in the same directory, is fsync'd,
-// and is renamed over path only on success. Readers therefore never
-// observe a truncated or partially written file, and a crash mid-write
-// leaves any previous version of path intact. On error the temporary file
-// is removed.
+// content lands in a temporary file in the same directory, is fsync'd, is
+// renamed over path only on success, and the parent directory is fsync'd
+// after the rename so the new directory entry itself survives a power
+// loss — without it, a crash in the window after rename could resurface
+// the old file (or no file) even though the rename "succeeded". Readers
+// therefore never observe a truncated or partially written file, and a
+// crash mid-write leaves any previous version of path intact. On error the
+// temporary file is removed.
 func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 	dir, base := filepath.Dir(path), filepath.Base(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp-*")
@@ -228,11 +405,32 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("journal: renaming into %s: %w", path, err)
 	}
-	// Persist the rename itself. Directory fsync is best-effort: some
-	// filesystems refuse it, and the data file is already durable.
-	if d, derr := os.Open(dir); derr == nil {
-		_ = d.Sync()
-		_ = d.Close()
+	// Persist the rename itself: without the directory fsync the new entry
+	// lives only in the page cache and a power loss can undo it. The
+	// rename has already happened — on a sync error path IS the new file
+	// (the cleanup deferral's remove of the now-gone temp name is a no-op);
+	// only the entry's durability is in doubt, and that doubt is reported.
+	if serr := syncDir(dir); serr != nil {
+		return fmt.Errorf("journal: syncing directory of %s after rename: %w", path, serr)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory. Filesystems that refuse directory fsync
+// outright (EINVAL/ENOTSUP) are tolerated — there is nothing further the
+// writer can do there and the data file itself is already durable — but
+// any other failure is reported.
+func syncDir(dir string) error {
+	if err := faultinject.ApplyErr(faultinject.JournalDirSync); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
 	}
 	return nil
 }

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"lrd/internal/faultinject"
 )
 
 func tmpPath(t *testing.T) string {
@@ -43,12 +45,12 @@ func TestAppendLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	recs, skipped, err := Load(path)
+	recs, stats, err := Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if skipped != 0 {
-		t.Fatalf("skipped = %d, want 0", skipped)
+	if stats.Corrupt() != 0 {
+		t.Fatalf("skipped = %d, want 0", stats.Corrupt())
 	}
 	if len(recs) != 3 {
 		t.Fatalf("records = %d, want 3", len(recs))
@@ -108,27 +110,75 @@ func TestOpenResumeAppendsVsTruncates(t *testing.T) {
 	}
 }
 
+// TestOpenResumeTerminatesTornTail: resuming a journal whose last line was
+// torn by a crash must not glue the first new record onto the fragment —
+// Open terminates the torn line so the new record survives and the
+// fragment is counted as the one corrupt (now interior) line.
+func TestOpenResumeTerminatesTornTail(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, Record{Key: "a", Status: StatusOK})
+	w.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"b","status":"ok","val`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w, err = Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, Record{Key: "c", Status: StatusOK})
+	w.Close()
+
+	recs, stats, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string]bool{}
+	for _, r := range recs {
+		keys[r.Key] = true
+	}
+	if !keys["a"] || !keys["c"] {
+		t.Fatalf("records after torn-tail resume = %+v (record written after resume was lost)", recs)
+	}
+	if stats.Corrupt() != 1 {
+		t.Fatalf("stats = %+v, want exactly the torn fragment corrupt", stats)
+	}
+}
+
 func TestLoadMissingFileIsEmpty(t *testing.T) {
-	recs, skipped, err := Load(filepath.Join(t.TempDir(), "nope.journal"))
-	if err != nil || len(recs) != 0 || skipped != 0 {
-		t.Fatalf("missing journal: recs=%v skipped=%d err=%v", recs, skipped, err)
+	recs, stats, err := Load(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil || len(recs) != 0 || stats.Corrupt() != 0 {
+		t.Fatalf("missing journal: recs=%v stats=%+v err=%v", recs, stats, err)
 	}
 }
 
 // TestLoadSkipsCorruptLines: truncated trailing lines (the crash case) and
-// garbage interior lines are skipped and counted, never fatal, and every
-// intact record is preserved.
+// garbage interior lines are skipped and counted — each kind separately,
+// because only the trailing tear is a clean-crash artifact — never fatal,
+// and every intact record is preserved.
 func TestLoadSkipsCorruptLines(t *testing.T) {
 	cases := []struct {
-		name    string
-		corrupt string // appended raw after two good records
-		skipped int
+		name     string
+		corrupt  string // appended raw after two good records
+		interior int
+		trailing int
 	}{
-		{"truncated-tail", `{"key":"c","status":"ok","val`, 1},
-		{"garbage-line", "\x00\xff not json at all\n", 1},
-		{"non-record-json", `{"loss":1}` + "\n", 1},
-		{"empty-lines", "\n\n\n", 0},
-		{"two-bad-lines", "garbage\n{\"key\":\"d\",\"status\":\"ok\"}\ntrunc", 2},
+		{"truncated-tail", `{"key":"c","status":"ok","val`, 0, 1},
+		{"garbage-line", "\x00\xff not json at all\n", 0, 1},
+		{"non-record-json", `{"loss":1}` + "\n", 0, 1},
+		{"empty-lines", "\n\n\n", 0, 0},
+		{"two-bad-lines", "garbage\n{\"key\":\"d\",\"status\":\"ok\"}\ntrunc", 1, 1},
+		{"interior-only", "garbage\n{\"key\":\"d\",\"status\":\"ok\"}\n", 1, 0},
+		{"two-interior", "garbage\nworse\n{\"key\":\"d\",\"status\":\"ok\"}\n", 2, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -149,12 +199,12 @@ func TestLoadSkipsCorruptLines(t *testing.T) {
 			}
 			f.Close()
 
-			recs, skipped, err := Load(path)
+			recs, stats, err := Load(path)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if skipped != tc.skipped {
-				t.Fatalf("skipped = %d, want %d", skipped, tc.skipped)
+			if stats.CorruptInterior != tc.interior || stats.CorruptTrailing != tc.trailing {
+				t.Fatalf("stats = %+v, want interior %d / trailing %d", stats, tc.interior, tc.trailing)
 			}
 			keys := map[string]bool{}
 			for _, r := range recs {
@@ -210,9 +260,9 @@ func TestConcurrentAppends(t *testing.T) {
 	}
 	wg.Wait()
 	w.Close()
-	recs, skipped, err := Load(path)
-	if err != nil || skipped != 0 {
-		t.Fatalf("load: skipped=%d err=%v", skipped, err)
+	recs, stats, err := Load(path)
+	if err != nil || stats.Corrupt() != 0 {
+		t.Fatalf("load: skipped=%d err=%v", stats.Corrupt(), err)
 	}
 	if len(recs) != n {
 		t.Fatalf("records = %d, want %d", len(recs), n)
@@ -269,5 +319,198 @@ func TestWriteFileAtomic(t *testing.T) {
 		if strings.Contains(e.Name(), ".tmp-") {
 			t.Fatalf("temp file left behind: %s", e.Name())
 		}
+	}
+}
+
+// TestWriteFileAtomicDirSyncFailure: when the directory fsync after the
+// rename fails, the error is reported — the caller must know durability of
+// the rename is in doubt — but the rename has already happened, so the file
+// on disk is the NEW content, and no temp litter remains.
+func TestWriteFileAtomicDirSyncFailure(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.tsv")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v1\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.ArmErr(faultinject.JournalDirSync, func() error {
+		return fmt.Errorf("injected dir-sync failure")
+	})
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v2\n")
+		return err
+	})
+	faultinject.DisarmErr(faultinject.JournalDirSync)
+	if err == nil || !strings.Contains(err.Error(), "injected dir-sync failure") {
+		t.Fatalf("err = %v, want injected dir-sync failure", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "v2\n" {
+		t.Fatalf("content after failed dir sync = %q, want new version (rename already happened)", got)
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestAppendInjectedFailurePoisonsWriter: an injected append failure is
+// returned and poisons the writer — later appends fail with the same error
+// instead of silently losing durability.
+func TestAppendInjectedFailurePoisonsWriter(t *testing.T) {
+	defer faultinject.Reset()
+	w, err := Open(tmpPath(t), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	mustAppend(t, w, Record{Key: "a", Status: StatusOK})
+
+	faultinject.ArmErr(faultinject.JournalAppend, func() error {
+		return fmt.Errorf("injected append failure")
+	})
+	_, err = w.Append(Record{Key: "b", Status: StatusOK})
+	faultinject.DisarmErr(faultinject.JournalAppend)
+	if err == nil || !strings.Contains(err.Error(), "injected append failure") {
+		t.Fatalf("err = %v, want injected append failure", err)
+	}
+	// Poisoned: the hook is disarmed but the writer stays broken.
+	if _, err := w.Append(Record{Key: "c", Status: StatusOK}); err == nil || !strings.Contains(err.Error(), "injected append failure") {
+		t.Fatalf("append after poison: err = %v, want the original failure", err)
+	}
+}
+
+// TestCompletedEpochFencing: the completion written under the highest
+// fencing epoch wins regardless of file order, so a zombie worker whose
+// lease was stolen cannot overwrite the new holder's result by appending
+// late.
+func TestCompletedEpochFencing(t *testing.T) {
+	v := func(s string) json.RawMessage { return json.RawMessage(`"` + s + `"`) }
+	recs := []Record{
+		{Key: "cell", Status: StatusOK, Worker: "w1", Epoch: 1, Value: v("first")},
+		{Key: "cell", Status: StatusOK, Worker: "w2", Epoch: 3, Value: v("newest")},
+		// Zombie: stale epoch, later in the file. Must lose.
+		{Key: "cell", Status: StatusOK, Worker: "w1", Epoch: 2, Value: v("zombie")},
+	}
+	done := Completed(recs)
+	if string(done["cell"]) != `"newest"` {
+		t.Fatalf("completed[cell] = %s, want the epoch-3 value", done["cell"])
+	}
+
+	// Within an epoch, file order still applies: last wins.
+	recs = []Record{
+		{Key: "cell", Status: StatusOK, Epoch: 2, Value: v("old")},
+		{Key: "cell", Status: StatusOK, Epoch: 2, Value: v("new")},
+	}
+	if done = Completed(recs); string(done["cell"]) != `"new"` {
+		t.Fatalf("same-epoch completed[cell] = %s, want last in file order", done["cell"])
+	}
+
+	// A stale-epoch fail cannot invalidate a newer completion; a fail at the
+	// winning epoch or later does.
+	recs = []Record{
+		{Key: "cell", Status: StatusOK, Epoch: 3, Value: v("good")},
+		{Key: "cell", Status: StatusFail, Epoch: 2, Error: "zombie fail"},
+	}
+	if done = Completed(recs); string(done["cell"]) != `"good"` {
+		t.Fatalf("stale fail invalidated a newer completion: %v", done)
+	}
+	recs = append(recs, Record{Key: "cell", Status: StatusFail, Epoch: 3, Error: "real fail"})
+	if done = Completed(recs); len(done) != 0 {
+		t.Fatalf("fail at winning epoch did not invalidate: %v", done)
+	}
+
+	// Claimed records are coordination, never outcomes.
+	recs = []Record{
+		{Key: "cell", Status: StatusClaimed, Worker: "w1", Epoch: 5, Deadline: 1},
+	}
+	if done = Completed(recs); len(done) != 0 {
+		t.Fatalf("claimed record leaked into completed: %v", done)
+	}
+}
+
+// TestReadFrom: incremental tail-following consumes only newline-terminated
+// lines, leaves an in-flight append for the next call, and counts corrupt
+// complete lines.
+func TestReadFrom(t *testing.T) {
+	path := tmpPath(t)
+
+	// Missing file reads as empty and does not advance the offset.
+	recs, corrupt, next, err := ReadFrom(path, 0)
+	if err != nil || len(recs) != 0 || corrupt != 0 || next != 0 {
+		t.Fatalf("missing file: recs=%v corrupt=%d next=%d err=%v", recs, corrupt, next, err)
+	}
+
+	w, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	mustAppend(t, w, Record{Key: "a", Status: StatusOK})
+	mustAppend(t, w, Record{Key: "b", Status: StatusClaimed, Worker: "w1", Epoch: 1, Deadline: 99})
+
+	recs, corrupt, next, err = ReadFrom(path, 0)
+	if err != nil || corrupt != 0 {
+		t.Fatalf("first read: corrupt=%d err=%v", corrupt, err)
+	}
+	if len(recs) != 2 || recs[0].Key != "a" || recs[1].Worker != "w1" {
+		t.Fatalf("first read records = %+v", recs)
+	}
+	if next != w.Bytes() {
+		t.Fatalf("next = %d, want %d (all bytes consumed)", next, w.Bytes())
+	}
+
+	// Nothing new: no records, offset unchanged.
+	recs, _, next2, err := ReadFrom(path, next)
+	if err != nil || len(recs) != 0 || next2 != next {
+		t.Fatalf("idle read: recs=%v next=%d err=%v", recs, next2, err)
+	}
+
+	// An unterminated tail (append in flight) is left unconsumed...
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"c","status":"ok"`); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, next2, err = ReadFrom(path, next)
+	if err != nil || len(recs) != 0 || next2 != next {
+		t.Fatalf("in-flight tail consumed: recs=%v next=%d err=%v", recs, next2, err)
+	}
+	// ...and consumed once the newline lands.
+	if _, err := f.WriteString("}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, corrupt, next, err = ReadFrom(path, next)
+	if err != nil || corrupt != 0 || len(recs) != 1 || recs[0].Key != "c" {
+		t.Fatalf("completed tail: recs=%+v corrupt=%d err=%v", recs, corrupt, err)
+	}
+
+	// A complete-but-undecodable line is counted corrupt and skipped.
+	f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("garbage line\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, corrupt, _, err = ReadFrom(path, next)
+	if err != nil || corrupt != 1 || len(recs) != 0 {
+		t.Fatalf("corrupt line: recs=%v corrupt=%d err=%v", recs, corrupt, err)
 	}
 }

@@ -70,6 +70,24 @@ const (
 	MetricCoreCellsRetried   = "core_cell_retries_total"  // extra attempts beyond the first
 	MetricCoreJournalBytes   = "core_journal_bytes_total"
 	MetricCoreJournalCorrupt = "core_journal_corrupt_lines_total"
+	// Corrupt-line classification: trailing = the tolerated crash-window
+	// artifact (a line torn mid-append); interior = garbage with intact
+	// records after it, i.e. damage no clean crash explains.
+	MetricCoreJournalCorruptInterior = "core_journal_corrupt_interior_lines_total"
+	MetricCoreJournalCorruptTrailing = "core_journal_corrupt_trailing_lines_total"
+
+	// Distributed sweeps (internal/core.LeaseStore): lease-protocol
+	// accounting for the shared-journal work queue.
+	MetricCoreLeasesClaimed  = "core_leases_claimed_total"  // cells this worker leased
+	MetricCoreLeasesRenewed  = "core_leases_renewed_total"  // heartbeat renewals appended
+	MetricCoreLeasesReleased = "core_leases_released_total" // leases released without completion
+	MetricCoreLeasesStolen   = "core_leases_stolen_total"   // expired leases this worker took over
+	MetricCoreLeasesFenced   = "core_leases_fenced_total"   // own leases lost to a newer epoch
+	MetricCoreLeasesLost     = "core_leases_lost_total"     // claim races lost to another worker
+	MetricCoreCellsAdopted   = "core_cells_adopted_total"   // cells completed by other workers, adopted locally
+	MetricCoreLeaseWaitSecs  = "core_lease_wait_seconds"    // time spent waiting on other workers' cells
+	MetricCoreLeasesHeld     = "core_leases_held"           // gauge: leases currently held
+	MetricCoreLeaseEpoch     = "core_lease_max_epoch"       // gauge: highest fencing epoch observed
 
 	// Traffic-model registry (internal/source realized through sweeps):
 	// fit quality of approximating models.

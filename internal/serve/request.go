@@ -209,6 +209,70 @@ func gfmt(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// SweepRequest is the POST /v1/sweep body: a grid of cells over one queue
+// description. Buffers and Cutoffs are the grid axes (each pair is one
+// cell); when an axis is absent the embedded request's scalar Buffer or
+// Cutoff is the single value. Cells are returned in row-major
+// (buffer-outer, cutoff-inner) order, matching the lrdsweep TSV layout.
+type SweepRequest struct {
+	SolveRequest
+	// Buffers are the normalized buffer sizes B/c in seconds swept by this
+	// request; empty means the scalar Buffer field.
+	Buffers []float64 `json:"buffers,omitempty"`
+	// Cutoffs are the correlation cutoff lags Tc in seconds; empty means
+	// the scalar Cutoff field (0 = infinite).
+	Cutoffs []float64 `json:"cutoffs,omitempty"`
+}
+
+// maxSweepCells bounds one batch request's grid: a request is cheap to
+// send, so an unbounded grid would be an amplification hazard.
+const maxSweepCells = 4096
+
+// cells expands the grid into one SolveRequest per cell, row-major.
+func (r *SweepRequest) cells() ([]SolveRequest, error) {
+	buffers := r.Buffers
+	if len(buffers) == 0 {
+		buffers = []float64{r.Buffer}
+	}
+	cutoffs := r.Cutoffs
+	if len(cutoffs) == 0 {
+		cutoffs = []float64{r.Cutoff}
+	}
+	if n := len(buffers) * len(cutoffs); n > maxSweepCells {
+		return nil, fmt.Errorf("sweep grid has %d cells, limit %d", n, maxSweepCells)
+	}
+	out := make([]SolveRequest, 0, len(buffers)*len(cutoffs))
+	for _, b := range buffers {
+		for _, tc := range cutoffs {
+			cell := r.SolveRequest
+			cell.Buffer = b
+			cell.Cutoff = tc
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// SweepCellResult is one cell of a POST /v1/sweep reply. Status is the
+// cell's own HTTP status; Result is the /v1/solve body for that cell (a
+// SolveResponse on 200, an error object otherwise). Source is the cell's
+// cache disposition (hit, miss, coalesced, or adopted — the last meaning
+// another replica of a lease-sharing fleet computed it).
+type SweepCellResult struct {
+	Buffer float64         `json:"buffer"`
+	Cutoff float64         `json:"cutoff,omitempty"`
+	Status int             `json:"status"`
+	Source string          `json:"source,omitempty"`
+	Result json.RawMessage `json:"result"`
+}
+
+// SweepResponse is the POST /v1/sweep reply: one result per cell, in the
+// request's row-major grid order. The response status is 200 when every
+// cell succeeded and 207 when any cell carries its own error status.
+type SweepResponse struct {
+	Cells []SweepCellResult `json:"cells"`
+}
+
 // SolveResponse is the POST /v1/solve reply: the loss-rate bracket and
 // solve diagnostics, plus the canonical cache key the result is stored
 // under. Cache disposition travels in the X-Lrd-Cache header (hit, miss, or

@@ -25,6 +25,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -60,11 +61,28 @@ type Config struct {
 	// Journal, when non-nil, persists the solve cache: every cache fill is
 	// appended, and New warm-loads the journal's serve entries (keys are
 	// namespaced, so sweep journals pass through harmlessly). Open it with
-	// resume to get the warm start.
-	Journal *core.JournalStore
+	// resume to get the warm start. Both *core.JournalStore (single
+	// replica) and *core.LeaseStore (shared across a fleet) satisfy it.
+	Journal CacheJournal
+	// Leases, when non-nil, coordinates solves across a fleet of replicas
+	// sharing one journal: before computing, a singleflight leader leases
+	// the request key, and a replica that finds another replica's lease
+	// blocks until that replica's result lands, then adopts it
+	// (X-Lrd-Cache: adopted) — the cross-process generalization of
+	// singleflight. When Leases is set and Journal is nil, the lease store
+	// doubles as the cache journal.
+	Leases *core.LeaseStore
 	// Registry receives the serve metrics and backs /metrics. New creates
 	// one when nil.
 	Registry *obs.Registry
+}
+
+// CacheJournal is the durability surface the serving layer uses: Store
+// appends one completed entry, Range replays every completed entry for the
+// warm start.
+type CacheJournal interface {
+	Store(key string, value any) error
+	Range(fn func(key string, value json.RawMessage) bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +134,9 @@ type Server struct {
 // one is attached.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Journal == nil && cfg.Leases != nil {
+		cfg.Journal = cfg.Leases
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
@@ -146,10 +167,12 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP API: POST /v1/solve, GET /metrics, GET /healthz.
+// Handler returns the HTTP API: POST /v1/solve, POST /v1/sweep,
+// GET /metrics, GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -201,12 +224,104 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	status, disposition, body := s.solveOne(r.Context(), req, job)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+	}
+	writeJSON(w, status, disposition, body)
+}
+
+// handleSweep is the batch endpoint: one request describes a grid of
+// cells (buffers × cutoffs over a shared queue description) and every
+// cell runs through the same per-key pipeline as /v1/solve — cache,
+// singleflight, fleet lease, admission — concurrently within the request,
+// bounded by the server's admission limits. A fleet of replicas pointed
+// at one shared lease journal splits a sweep without a coordinator: each
+// cell is computed by exactly one replica and adopted by the rest.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.reg.Add(obs.MetricServeRequests, 1)
+	defer func() { s.reg.Observe(obs.MetricServeRequestSeconds, time.Since(start).Seconds()) }()
+
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	cells, err := req.cells()
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	type built struct {
+		req SolveRequest
+		job solveJob
+	}
+	jobs := make([]built, len(cells))
+	for i, cr := range cells {
+		job, err := cr.build(s.cfg.Solver)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "bad_request",
+				fmt.Errorf("cell %d (buffer=%g, cutoff=%g): %w", i, cr.Buffer, cr.Cutoff, err))
+			return
+		}
+		jobs[i] = built{req: cr, job: job}
+	}
+
+	results := make([]SweepCellResult, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, disposition, body := s.solveOne(r.Context(), jobs[i].req, jobs[i].job)
+			results[i] = SweepCellResult{
+				Buffer: jobs[i].req.Buffer,
+				Cutoff: jobs[i].req.Cutoff,
+				Status: status,
+				Source: disposition,
+				Result: json.RawMessage(body),
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	status := http.StatusOK
+	for _, res := range results {
+		if res.Status != http.StatusOK {
+			status = http.StatusMultiStatus
+			if res.Status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", s.retryAfterSeconds())
+			}
+		}
+	}
+	body, err := json.Marshal(SweepResponse{Cells: results})
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "encode", fmt.Errorf("encoding sweep response: %w", err))
+		return
+	}
+	writeJSON(w, status, "", body)
+}
+
+// retryAfterSeconds renders the configured 429 hint for a Retry-After
+// header (whole seconds, rounded up).
+func (s *Server) retryAfterSeconds() string {
+	return strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
+}
+
+// solveOne runs one request key through the pipeline — cache, singleflight,
+// fleet lease, admission, solve — and returns the status, cache
+// disposition, and body. It is context-based (no ResponseWriter) so the
+// sweep endpoint can drive many keys through it per request; HTTP-only
+// concerns like the Retry-After header live with the callers.
+func (s *Server) solveOne(ctx context.Context, req SolveRequest, job solveJob) (int, string, []byte) {
 	// Stage 1: cache.
 	if s.cache != nil {
 		if body, ok := s.cache.get(job.key); ok {
 			s.reg.Add(obs.MetricServeCacheHits, 1)
-			writeJSON(w, http.StatusOK, "hit", body)
-			return
+			return http.StatusOK, "hit", body
 		}
 		s.reg.Add(obs.MetricServeCacheMisses, 1)
 	}
@@ -220,29 +335,65 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.reg.Add(obs.MetricServeCoalesced, 1)
 		select {
 		case <-f.done:
-			writeJSON(w, f.status, "coalesced", f.body)
-		case <-r.Context().Done():
-			s.fail(w, http.StatusServiceUnavailable, "client_gone", r.Context().Err())
+			return f.status, "coalesced", f.body
+		case <-ctx.Done():
+			s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "client_gone"), 1)
+			body, _ := json.Marshal(map[string]string{"error": ctx.Err().Error()})
+			return http.StatusServiceUnavailable, "", body
 		}
-		return
 	}
 	f := &flight{done: make(chan struct{})}
 	s.flights[job.key] = f
 	s.mu.Unlock()
 
-	f.status, f.body = s.admitAndSolve(w, r, req, job)
+	disposition := "miss"
+	f.status, f.body = s.leaseAndSolve(ctx, req, job, &disposition)
 	s.mu.Lock()
 	delete(s.flights, job.key)
 	s.mu.Unlock()
 	close(f.done)
-	writeJSON(w, f.status, "miss", f.body)
+	return f.status, disposition, f.body
+}
+
+// leaseAndSolve is the singleflight leader's path. With a fleet lease
+// store attached it first claims the key across replicas: if another
+// replica already completed it the result is adopted; if another replica
+// holds the lease, this one blocks (bounded by ctx) and then adopts. Only
+// the lease holder proceeds to admission and the solve; a solve that does
+// not converge releases the lease so a peer (or retry) can take the key
+// over, while a converged solve's journal append consumes it.
+func (s *Server) leaseAndSolve(ctx context.Context, req SolveRequest, job solveJob, disposition *string) (int, []byte) {
+	if s.cfg.Leases != nil {
+		raw, acquired, err := s.cfg.Leases.Acquire(ctx, job.key)
+		if err != nil {
+			s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "lease"), 1)
+			body, _ := json.Marshal(map[string]string{"error": "acquiring fleet lease: " + err.Error()})
+			return http.StatusServiceUnavailable, body
+		}
+		if !acquired {
+			body := append([]byte(nil), raw...)
+			*disposition = "adopted"
+			if s.cache != nil {
+				// A peer only journals converged results; cache it.
+				if evicted := s.cache.add(job.key, body); evicted > 0 {
+					s.reg.Add(obs.MetricServeCacheEvicted, float64(evicted))
+				}
+				s.reg.Set(obs.MetricServeCacheEntries, float64(s.cache.len()))
+			}
+			return http.StatusOK, body
+		}
+		// Store consumes the lease when the result journals; every other
+		// outcome hands it back so peers need not wait out the TTL.
+		defer s.cfg.Leases.Release(job.key)
+	}
+	return s.admitAndSolve(ctx, req, job)
 }
 
 // admitAndSolve runs stages 3 and 4 for a singleflight leader: bounded
 // admission, then the budgeted solve. It returns the status and body that
 // both the leader and its coalesced followers receive — including shed
 // (429) and canceled-while-queued outcomes, which followers share.
-func (s *Server) admitAndSolve(w http.ResponseWriter, r *http.Request, req SolveRequest, job solveJob) (int, []byte) {
+func (s *Server) admitAndSolve(ctx context.Context, req SolveRequest, job solveJob) (int, []byte) {
 	// Stage 3: admission. Fast path: a free solve slot.
 	select {
 	case s.sem <- struct{}{}:
@@ -252,7 +403,6 @@ func (s *Server) admitAndSolve(w http.ResponseWriter, r *http.Request, req Solve
 		case s.queue <- struct{}{}:
 		default:
 			s.reg.Add(obs.MetricServeShed, 1)
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 			body, _ := json.Marshal(map[string]string{"error": "overloaded: solve queue is full"})
 			return http.StatusTooManyRequests, body
 		}
@@ -262,10 +412,10 @@ func (s *Server) admitAndSolve(w http.ResponseWriter, r *http.Request, req Solve
 		case s.sem <- struct{}{}:
 			<-s.queue
 			s.reg.Set(obs.MetricServeQueueDepth, float64(len(s.queue)))
-		case <-r.Context().Done():
+		case <-ctx.Done():
 			<-s.queue
 			s.reg.Set(obs.MetricServeQueueDepth, float64(len(s.queue)))
-			body, _ := json.Marshal(map[string]string{"error": "canceled while queued: " + r.Context().Err().Error()})
+			body, _ := json.Marshal(map[string]string{"error": "canceled while queued: " + ctx.Err().Error()})
 			s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "client_gone"), 1)
 			return http.StatusServiceUnavailable, body
 		}
@@ -282,8 +432,8 @@ func (s *Server) admitAndSolve(w http.ResponseWriter, r *http.Request, req Solve
 	}
 
 	// Stage 4: the budgeted solve. The request budget (clamped to the
-	// server cap) becomes the solver's MaxDuration; the request context
-	// cancels the solve when the client goes away.
+	// server cap) becomes the solver's MaxDuration; the context cancels
+	// the solve when the client goes away.
 	cfg := req.solverConfig(s.cfg.Solver)
 	cfg.Recorder = s.reg
 	budget := time.Duration(req.Solver.Timeout)
@@ -294,7 +444,7 @@ func (s *Server) admitAndSolve(w http.ResponseWriter, r *http.Request, req Solve
 
 	s.solves.Add(1)
 	solveStart := time.Now()
-	res, err := solver.SolveModelContext(r.Context(), job.model, cfg)
+	res, err := solver.SolveModelContext(ctx, job.model, cfg)
 	s.reg.Observe(obs.MetricServeSolveSeconds, time.Since(solveStart).Seconds())
 	if err != nil {
 		var nerr *solver.NumericError
