@@ -160,6 +160,39 @@ func BenchmarkSolveInstrumented(b *testing.B) {
 	benchSolve(b, "SolveInstrumented", cfg)
 }
 
+// BenchmarkSolveNilRecorder is the tracing layer's allocation guard: the
+// solve runs under a context that carries a TraceContext but no span sink
+// and no Recorder, the configuration every uninstrumented run sees. The
+// AllocsPerRun probe asserts the disabled tracing surface itself (context
+// lookups, StartSpan, finish) contributes exactly zero allocations; the
+// timed loop then records the full solve so BENCH_solver.json can compare
+// it against SolveOnOff (any gap would be tracing overhead).
+func BenchmarkSolveNilRecorder(b *testing.B) {
+	ctx := lrd.ContextWithTrace(context.Background(), lrd.NewTrace())
+	if allocs := testing.AllocsPerRun(100, func() {
+		spanCtx, finish := lrd.StartSpan(ctx, "bench")
+		if _, ok := lrd.TraceFromContext(spanCtx); !ok {
+			b.Fatal("trace context lost")
+		}
+		finish(nil)
+	}); allocs != 0 {
+		b.Fatalf("disabled tracing path allocates %v allocs/op, want 0", allocs)
+	}
+
+	q := benchQueue(b, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := lrd.SolveContext(ctx, q, lrd.SolverConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	recordBench(b, "SolveNilRecorder", float64(elapsed.Nanoseconds())/float64(b.N), b.N)
+}
+
 // BenchmarkSolverStep measures a single Lindley iteration of both bound
 // processes at M = 1024 (the per-step FFT convolution cost).
 func BenchmarkSolverStep(b *testing.B) {

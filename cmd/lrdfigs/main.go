@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -76,17 +77,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	specs, err := modelSpecs()
+	cli, err := obs.StartCLI(oflags.CLIOptions("lrdfigs", stderr))
 	if err != nil {
 		fmt.Fprintf(stderr, "lrdfigs: %v\n", err)
 		return 1
 	}
+	defer cli.Close()
+	logger := obs.NewLogger(stderr, "lrdfigs", cli.Trace())
+	warn := obs.NewLogWriter(logger, slog.LevelWarn)
+
+	specs, err := modelSpecs()
+	if err != nil {
+		logger.Error(fmt.Sprintf("lrdfigs: %v", err))
+		return 1
+	}
 	if len(specs) != 1 {
-		fmt.Fprintln(stderr, "lrdfigs: -model takes a single model; use lrdsweep for side-by-side model comparisons")
+		logger.Error("lrdfigs: -model takes a single model; use lrdsweep for side-by-side model comparisons")
 		return 1
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintf(stderr, "lrdfigs: %v\n", err)
+		logger.Error(fmt.Sprintf("lrdfigs: %v", err))
 		return 1
 	}
 	var selected map[string]bool
@@ -97,17 +107,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	cli, err := obs.StartCLI(oflags.CLIOptions("lrdfigs", stderr))
-	if err != nil {
-		fmt.Fprintf(stderr, "lrdfigs: %v\n", err)
-		return 1
-	}
-	defer cli.Close()
-
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	ctx, cancel := budget.Context(sigCtx)
 	defer cancel()
+	// Attach the batch's root trace (and the -trace span sink) so every
+	// experiment's cells, solves, and journal appends share one trace id.
+	ctx = cli.Context(ctx)
 	opts := core.RunOptions{
 		Seed: *seed, Quick: *quick, Model: specs[0],
 		PointTimeout: *pointBudget.PointTimeout,
@@ -123,9 +129,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if enc := cli.TraceEncoder(); enc != nil {
 		opts.Solver.Trace = func(p solver.TracePoint) { enc(p) }
 	}
-	store, err := jflags.Open("lrdfigs", cli.Recorder(), stderr)
+	store, err := jflags.Open("lrdfigs", cli.Recorder(), warn)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
+		logger.Error(err.Error())
 		return 1
 	}
 	if store != nil {
@@ -139,14 +145,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		if ctx.Err() != nil {
-			fmt.Fprintln(stderr, "lrdfigs: interrupted")
+			logger.Warn("lrdfigs: interrupted")
 			failures++
 			break
 		}
 		start := time.Now()
 		table, err := e.Run(ctx, opts)
 		if err != nil && !errors.Is(err, context.Canceled) {
-			fmt.Fprintf(stderr, "lrdfigs: %s FAILED: %v\n", e.ID, err)
+			logger.Error(fmt.Sprintf("lrdfigs: %s FAILED: %v", e.ID, err))
 			failures++
 			continue
 		}
@@ -157,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		path := filepath.Join(*out, e.ID+".tsv")
 		if err := writeTSV(path, e, table); err != nil {
-			fmt.Fprintf(stderr, "lrdfigs: %s: %v\n", e.ID, err)
+			logger.Error(fmt.Sprintf("lrdfigs: %s: %v", e.ID, err))
 			failures++
 			continue
 		}

@@ -78,9 +78,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	cli, err := obs.StartCLI(oflags.CLIOptions("lrdloss", stderr))
+	if err != nil {
+		fmt.Fprintf(stderr, "lrdloss: %v\n", err)
+		return 1
+	}
+	defer cli.Close()
+	logger := obs.NewLogger(stderr, "lrdloss", cli.Trace())
+
 	bad := false
 	fail := func(format string, args ...any) {
-		fmt.Fprintf(stderr, "lrdloss: "+format+"\n", args...)
+		logger.Error(fmt.Sprintf("lrdloss: "+format, args...))
 		bad = true
 	}
 
@@ -159,15 +167,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	cli, err := obs.StartCLI(oflags.CLIOptions("lrdloss", stderr))
-	if err != nil {
-		fail("%v", err)
-		return 1
-	}
-	defer cli.Close()
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// Attach the run's trace context (and -trace span sink) so the solve's
+	// span and trace points share the id on every slog line.
+	ctx = cli.Context(ctx)
 	cfg := solver.Config{
 		RelGap: *relGap, MaxBins: *maxBins, MaxDuration: *budget.Timeout,
 		Recorder: cli.Recorder(),
@@ -219,12 +223,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Retryable reasons are exactly the wall-clock interruptions (SIGINT,
 	// -timeout): report them as such instead of string-matching reasons.
 	case res.Degraded.Retryable():
-		fmt.Fprintf(stderr, "lrdloss: interrupted (%s); bounds above still bracket the true loss\n", res.Degraded)
+		logger.Warn(fmt.Sprintf("lrdloss: interrupted (%s); bounds above still bracket the true loss", res.Degraded))
 		return 1
 	case res.Degraded != "":
-		fmt.Fprintf(stderr, "lrdloss: degraded result (%s); bounds above still bracket the true loss\n", res.Degraded)
+		logger.Warn(fmt.Sprintf("lrdloss: degraded result (%s); bounds above still bracket the true loss", res.Degraded))
 	case !res.Converged:
-		fmt.Fprintln(stderr, "lrdloss: warning: bounds did not reach the requested gap; result is the bracket midpoint")
+		logger.Warn("lrdloss: warning: bounds did not reach the requested gap; result is the bracket midpoint")
 	}
 	return 0
 }

@@ -3,12 +3,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve  — solve one queue; the body is the lrdloss parameter
-//	                  set as JSON (see internal/serve.SolveRequest)
-//	POST /v1/sweep  — solve a buffers × cutoffs grid in one batch request
-//	                  (see internal/serve.SweepRequest)
-//	GET  /metrics   — JSON snapshot of the serve and solver metrics
-//	GET  /healthz   — liveness probe
+//	POST /v1/solve         — solve one queue; the body is the lrdloss
+//	                         parameter set as JSON (internal/serve.SolveRequest)
+//	POST /v1/sweep         — solve a buffers × cutoffs grid in one batch
+//	                         request (see internal/serve.SweepRequest)
+//	GET  /metrics          — Prometheus text exposition of the serve and
+//	                         solver metrics (?format=json for the JSON
+//	                         snapshot)
+//	GET  /v1/status        — journal-derived fleet status JSON (requires
+//	                         -journal)
+//	GET  /v1/status/stream — the same status as a Server-Sent-Events stream
+//	GET  /healthz          — liveness probe
 //
 // Identical concurrent requests coalesce onto one solve; repeated requests
 // are answered from an LRU cache with bit-identical bytes (the X-Lrd-Cache
@@ -45,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -54,6 +60,7 @@ import (
 
 	"lrd/internal/cliflags"
 	"lrd/internal/fft"
+	"lrd/internal/fleetstatus"
 	"lrd/internal/obs"
 	"lrd/internal/serve"
 	"lrd/internal/solver"
@@ -99,6 +106,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	defer cli.Close()
 	fft.SetRecorder(cli.Recorder())
 
+	// All diagnostics from here down are slog records. Lifecycle messages
+	// carry the server's root trace id; the serving layer gets a logger
+	// without it, so each request line carries exactly one trace attr —
+	// the request's own.
+	logger := obs.NewLogger(stderr, "lrdserve", cli.Trace())
+	reqLogger := obs.NewLogger(stderr, "lrdserve", obs.TraceContext{})
+	warn := obs.NewLogWriter(logger, slog.LevelWarn)
+
 	cfg := serve.Config{
 		MaxInflight:    *maxInflight,
 		MaxQueue:       *maxQueue,
@@ -106,15 +121,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		RequestTimeout: *reqTimeout,
 		Solver:         solver.Config{RelGap: *relGap, MaxBins: *maxBins},
 		Registry:       cli.Registry(), // /metrics and the -metrics snapshot share one registry
+		SpanSink:       cli.SpanSink(), // -trace: request/lease/solve/append spans as JSONL
+		Logger:         reqLogger,
+	}
+	if enc := cli.TraceEncoder(); enc != nil {
+		cfg.Solver.Trace = func(p solver.TracePoint) { enc(p) }
+	}
+	if *jflags.Path != "" {
+		// The journal doubles as the fleet-status source: /v1/status and the
+		// SSE stream fold it into per-worker progress.
+		cfg.Status = fleetstatus.New(*jflags.Path, fleetstatus.Options{})
 	}
 	// Fleet mode (-worker-id) shares the journal through the lease store,
 	// which then doubles as the cache journal; otherwise the journal (if
 	// any) is this replica's private cache log. The nil checks before the
 	// interface assignments matter: a nil *JournalStore stuffed into the
 	// CacheJournal interface would not compare equal to nil inside serve.
-	leases, err := lease.Open("lrdserve", jflags, cli.Recorder(), stderr)
+	leases, err := lease.Open("lrdserve", jflags, cli.Recorder(), warn)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
+		logger.Error(err.Error())
 		return 1
 	}
 	if leases != nil {
@@ -123,9 +148,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		defer stopHeartbeat()
 		cfg.Leases = leases
 	} else {
-		store, err := jflags.Open("lrdserve", cli.Recorder(), stderr)
+		store, err := jflags.Open("lrdserve", cli.Recorder(), warn)
 		if err != nil {
-			fmt.Fprintln(stderr, err)
+			logger.Error(err.Error())
 			return 1
 		}
 		if store != nil {
@@ -138,10 +163,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(stderr, "lrdserve: %v\n", err)
+		logger.Error(fmt.Sprintf("lrdserve: %v", err))
 		return 1
 	}
-	fmt.Fprintf(stderr, "lrdserve: listening on http://%s\n", ln.Addr())
+	logger.Info(fmt.Sprintf("listening on http://%s", ln.Addr()), "addr", ln.Addr().String())
 
 	// -timeout bounds the server's lifetime on top of the signal context —
 	// handy for smoke tests and batch warm-ups.
@@ -153,22 +178,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
-		fmt.Fprintf(stderr, "lrdserve: %v\n", err)
+		logger.Error(fmt.Sprintf("lrdserve: %v", err))
 		return 1
 	case <-ctx.Done():
 	}
 
 	// Graceful shutdown: stop accepting, finish what's running. A solve
 	// that outlives the -drain budget is abandoned and the exit is dirty.
-	fmt.Fprintln(stderr, "lrdserve: shutting down; draining in-flight solves")
+	logger.Info("shutting down; draining in-flight solves")
 	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drain)
 	defer drainCancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(stderr, "lrdserve: drain: %v\n", err)
+		logger.Error(fmt.Sprintf("lrdserve: drain: %v", err))
 		return 1
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(stderr, "lrdserve: %v\n", err)
+		logger.Error(fmt.Sprintf("lrdserve: %v", err))
 		return 1
 	}
 	fmt.Fprintln(stdout, "lrdserve: drained cleanly")

@@ -61,7 +61,9 @@ func TestRunRejectsResumeWithoutJournal(t *testing.T) {
 	}
 }
 
-var listenRE = regexp.MustCompile(`listening on http://(\S+)`)
+// The announcement is an slog record, so the address ends at the closing
+// quote of the msg attribute.
+var listenRE = regexp.MustCompile(`listening on http://([^"\s]+)`)
 
 // startServer runs the command on an ephemeral port and returns its base
 // URL plus a channel delivering the exit code after cancel.
@@ -127,7 +129,7 @@ func TestServeSolveCacheJournalAndGracefulShutdown(t *testing.T) {
 		t.Fatalf("cached body differs from fresh:\n%s\n%s", fresh, cached)
 	}
 
-	mresp, err := http.Get(base + "/metrics")
+	mresp, err := http.Get(base + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,6 +143,32 @@ func TestServeSolveCacheJournalAndGracefulShutdown(t *testing.T) {
 	}
 	if snap.Counters["serve_cache_hits_total"] != 1 || snap.Counters["solver_solves_total"] != 1 {
 		t.Fatalf("metrics = %v, want one cache hit and one solve", snap.Counters)
+	}
+
+	// Default /metrics is Prometheus text; -journal also enables /v1/status.
+	presp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdata, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if !bytes.Contains(pdata, []byte("# TYPE serve_cache_hits_total counter")) {
+		t.Fatalf("default /metrics is not Prometheus text:\n%s", pdata)
+	}
+	sresp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdata, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	var fleet struct {
+		Journal string `json:"journal"`
+	}
+	if err := json.Unmarshal(sdata, &fleet); err != nil {
+		t.Fatalf("status: %v\n%s", err, sdata)
+	}
+	if fleet.Journal != jpath {
+		t.Fatalf("status journal = %q, want %q", fleet.Journal, jpath)
 	}
 
 	cancel()

@@ -19,7 +19,7 @@ func TestSharedFlagsMatchCanon(t *testing.T) {
 	if err := cliflags.CheckUsage(usage,
 		"metrics", "trace", "progress", "pprof",
 		"journal", "resume", "worker-id", "lease-ttl", "workers",
-		"retries", "retry-backoff",
+		"retries", "retry-backoff", "expect-cells",
 		"timeout", "point-timeout", "model", "model-params",
 	); err != nil {
 		t.Fatal(err)

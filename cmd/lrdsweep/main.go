@@ -40,8 +40,16 @@
 //
 // Observability flags: -metrics writes a JSON metrics snapshot on exit
 // (including interrupted exits), -trace streams per-iteration solver
-// convergence points as JSONL, -progress prints a periodic status line to
-// stderr, and -pprof serves net/http/pprof plus an expvar metrics export.
+// convergence points plus correlated spans (cell → lease → solve →
+// journal append, all sharing the run's trace id) as JSONL, -progress
+// prints a periodic status line to stderr, and -pprof serves
+// net/http/pprof, expvar, and a Prometheus /metrics exposition.
+//
+// Fleet inspection: -status folds the shared -journal into a per-worker
+// table (cells claimed/completed, leases stolen/released/renewed, live
+// lease TTLs, straggler flags, completion %) and exits without joining
+// the sweep; -expect-cells supplies the grid size for a true completion
+// percentage. lrdtop is the continuously refreshing version.
 //
 // Example:
 //
@@ -64,6 +72,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -71,6 +80,7 @@ import (
 	"lrd/internal/cliflags"
 	"lrd/internal/core"
 	"lrd/internal/fft"
+	"lrd/internal/fleetstatus"
 	"lrd/internal/journal"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
@@ -86,11 +96,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lrdsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp   = fs.String("exp", "", "experiment id (see -list)")
-		seed  = fs.Int64("seed", 1, "random seed for trace synthesis and shuffling")
-		quick = fs.Bool("quick", false, "use shrunken grids for a fast run")
-		list  = fs.Bool("list", false, "list experiment ids and exit")
-		out   = fs.String("out", "", "write the TSV atomically to this file instead of stdout")
+		exp    = fs.String("exp", "", "experiment id (see -list)")
+		seed   = fs.Int64("seed", 1, "random seed for trace synthesis and shuffling")
+		quick  = fs.Bool("quick", false, "use shrunken grids for a fast run")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		out    = fs.String("out", "", "write the TSV atomically to this file instead of stdout")
+		status = fs.Bool("status", false, "print the journal-derived fleet status table and exit (requires -journal)")
 	)
 	budget := cliflags.BudgetGroup(fs)
 	pointBudget := cliflags.PointBudgetGroup(fs)
@@ -99,6 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := cliflags.WorkersFlag(fs)
 	retry := cliflags.RetryGroup(fs)
 	oflags := cliflags.ObsGroup(fs)
+	sflags := cliflags.StatusGroup(fs)
 	modelSpecs := cliflags.ModelGroup(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -110,20 +122,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" {
-		fmt.Fprintln(stderr, "lrdsweep: -exp is required (use -list to enumerate)")
-		return 1
-	}
-	e, err := core.ExperimentByID(*exp)
-	if err != nil {
-		fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
-		return 1
-	}
-	specs, err := modelSpecs()
-	if err != nil {
-		fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
-		return 1
-	}
 
 	cli, err := obs.StartCLI(oflags.CLIOptions("lrdsweep", stderr))
 	if err != nil {
@@ -131,11 +129,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer cli.Close()
+	logger := obs.NewLogger(stderr, "lrdsweep", cli.Trace())
+	warn := obs.NewLogWriter(logger, slog.LevelWarn)
+
+	if *status {
+		// One-shot fleet inspection: fold the shared journal and print the
+		// per-worker table without joining the sweep (see also lrdtop).
+		if *jflags.Path == "" {
+			logger.Error("lrdsweep: -status requires -journal")
+			return 1
+		}
+		st, err := fleetstatus.New(*jflags.Path, sflags.Options()).Status()
+		if err != nil {
+			logger.Error(fmt.Sprintf("lrdsweep: %v", err))
+			return 1
+		}
+		if err := st.WriteText(stdout); err != nil {
+			logger.Error(fmt.Sprintf("lrdsweep: %v", err))
+			return 1
+		}
+		return 0
+	}
+
+	if *exp == "" {
+		logger.Error("lrdsweep: -exp is required (use -list to enumerate)")
+		return 1
+	}
+	e, err := core.ExperimentByID(*exp)
+	if err != nil {
+		logger.Error(fmt.Sprintf("lrdsweep: %v", err))
+		return 1
+	}
+	specs, err := modelSpecs()
+	if err != nil {
+		logger.Error(fmt.Sprintf("lrdsweep: %v", err))
+		return 1
+	}
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	ctx, cancel := budget.Context(sigCtx)
 	defer cancel()
+	// Attach the run's root trace (and the -trace span sink) so every sweep
+	// cell, lease operation, solve, and journal append shares one trace id.
+	ctx = cli.Context(ctx)
 
 	opts := core.RunOptions{
 		Seed: *seed, Quick: *quick, PointTimeout: *pointBudget.PointTimeout,
@@ -148,9 +185,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// Distributed mode (-worker-id) leases cells from the shared journal;
 	// otherwise the journal (if any) is a private single-process checkpoint.
-	leases, err := lease.Open("lrdsweep", jflags, cli.Recorder(), stderr)
+	leases, err := lease.Open("lrdsweep", jflags, cli.Recorder(), warn)
 	if err != nil {
-		fmt.Fprintln(stderr, err)
+		logger.Error(err.Error())
 		return 1
 	}
 	if leases != nil {
@@ -159,9 +196,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer stopHeartbeat()
 		opts.Store = leases
 	} else {
-		store, err := jflags.Open("lrdsweep", cli.Recorder(), stderr)
+		store, err := jflags.Open("lrdsweep", cli.Recorder(), warn)
 		if err != nil {
-			fmt.Fprintln(stderr, err)
+			logger.Error(err.Error())
 			return 1
 		}
 		if store != nil {
@@ -202,7 +239,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	interrupted := runErr != nil &&
 		(errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded))
 	if runErr != nil && !interrupted {
-		fmt.Fprintf(stderr, "lrdsweep: %s: %v\n", e.ID, runErr)
+		logger.Error(fmt.Sprintf("lrdsweep: %s: %v", e.ID, runErr))
 		return 1
 	}
 
@@ -231,15 +268,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Atomic write: a crash (or an interrupted partial table) never
 		// replaces a previously complete result file with a torn one.
 		if err := journal.WriteFileAtomic(*out, render); err != nil {
-			fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
+			logger.Error(fmt.Sprintf("lrdsweep: %v", err))
 			return 1
 		}
 	} else if err := render(stdout); err != nil {
-		fmt.Fprintf(stderr, "lrdsweep: %v\n", err)
+		logger.Error(fmt.Sprintf("lrdsweep: %v", err))
 		return 1
 	}
 	if interrupted {
-		fmt.Fprintf(stderr, "lrdsweep: %s interrupted: %v\n", e.ID, runErr)
+		logger.Warn(fmt.Sprintf("lrdsweep: %s interrupted: %v", e.ID, runErr))
 		return 1
 	}
 	return 0

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"lrd/internal/journal"
 )
 
 // runCapture invokes run with captured stdout/stderr.
@@ -40,7 +43,8 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1", code)
 	}
-	if !strings.Contains(stderr, `unknown experiment "nosuch"`) {
+	// The diagnostic is an slog record, which escapes the inner quotes.
+	if !strings.Contains(stderr, "unknown experiment") || !strings.Contains(stderr, "nosuch") {
 		t.Fatalf("stderr = %q", stderr)
 	}
 }
@@ -52,6 +56,56 @@ func TestRunResumeRequiresJournal(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "-resume requires -journal") {
 		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestStatusRequiresJournal(t *testing.T) {
+	code, _, stderr := runCapture("-status")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-status requires -journal") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+// TestStatusTable: -status folds a shared journal into the per-worker
+// fleet table — completions, an expired (straggler) lease, and the
+// completion percentage against -expect-cells.
+func TestStatusTable(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "shared.journal")
+	w, err := journal.Open(jpath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	for _, rec := range []journal.Record{
+		{Key: "m|a", Status: journal.StatusClaimed, Worker: "w1", Epoch: 1, Deadline: now.Add(time.Hour).UnixNano()},
+		{Key: "m|a", Status: journal.StatusOK, Worker: "w1", Epoch: 1, Value: []byte(`{}`)},
+		{Key: "m|b", Status: journal.StatusClaimed, Worker: "w2", Epoch: 1, Deadline: now.Add(-time.Minute).UnixNano()},
+	} {
+		if _, err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runCapture("-status", "-journal", jpath, "-expect-cells", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"1 completed, 1 in flight, 3 expected",
+		"(33.3% complete)",
+		"1 straggler(s)",
+		"STRAGGLER",
+		"w1", "w2",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("status output missing %q:\n%s", want, stdout)
+		}
 	}
 }
 

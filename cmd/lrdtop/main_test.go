@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lrd/internal/journal"
+)
+
+func runCapture(ctx context.Context, args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(ctx, args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	code, _, stderr := runCapture(context.Background(), "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunRequiresJournal(t *testing.T) {
+	code, _, stderr := runCapture(context.Background())
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-journal is required") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+// writeFleetJournal authors a small synthetic fleet journal: w1 completes
+// a cell, w2 holds a live lease on another.
+func writeFleetJournal(t *testing.T) string {
+	t.Helper()
+	jpath := filepath.Join(t.TempDir(), "shared.journal")
+	w, err := journal.Open(jpath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Hour).UnixNano()
+	for _, rec := range []journal.Record{
+		{Key: "m|a", Status: journal.StatusClaimed, Worker: "w1", Epoch: 1, Deadline: deadline},
+		{Key: "m|a", Status: journal.StatusOK, Worker: "w1", Epoch: 1, Value: []byte(`{}`)},
+		{Key: "m|b", Status: journal.StatusClaimed, Worker: "w2", Epoch: 1, Deadline: deadline},
+	} {
+		if _, err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return jpath
+}
+
+func TestOnceSnapshot(t *testing.T) {
+	jpath := writeFleetJournal(t)
+	code, stdout, stderr := runCapture(context.Background(), "-once", "-journal", jpath, "-expect-cells", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"1 completed, 1 in flight, 4 expected", "(25.0% complete)", "w1", "w2"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestWatchStopsWhenComplete: in watch mode the command exits 0 on its
+// own once the journal shows the expected cell count completed.
+func TestWatchStopsWhenComplete(t *testing.T) {
+	jpath := writeFleetJournal(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	code, stdout, stderr := runCapture(ctx, "-journal", jpath, "-expect-cells", "1", "-interval", "10ms")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "(100.0% complete)") {
+		t.Fatalf("watch output missing completion:\n%s", stdout)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("watch did not stop on its own; the test timeout fired")
+	}
+}

@@ -75,18 +75,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	bad := false
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(stderr, "lrdtrace: "+format+"\n", args...)
-		bad = true
-	}
-
 	cli, err := obs.StartCLI(oflags.CLIOptions("lrdtrace", stderr))
 	if err != nil {
-		fail("%v", err)
+		fmt.Fprintf(stderr, "lrdtrace: %v\n", err)
 		return 1
 	}
 	defer cli.Close()
+	logger := obs.NewLogger(stderr, "lrdtrace", cli.Trace())
+
+	bad := false
+	fail := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf("lrdtrace: "+format, args...))
+		bad = true
+	}
 	// Trace synthesis and Hurst estimation run on the FFT layer; the shared
 	// observability group surfaces its counters the same way the solver
 	// commands do.

@@ -40,7 +40,8 @@ func TestRunRejectsUnknownGenerator(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1", code)
 	}
-	if !strings.Contains(stderr, `unknown generator "nosuch"`) {
+	// The diagnostic is an slog record, which escapes the inner quotes.
+	if !strings.Contains(stderr, "unknown generator") || !strings.Contains(stderr, "nosuch") {
 		t.Fatalf("stderr = %q", stderr)
 	}
 }

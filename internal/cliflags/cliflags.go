@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"lrd/internal/core"
+	"lrd/internal/fleetstatus"
 	"lrd/internal/obs"
 	"lrd/internal/source"
 )
@@ -143,6 +144,23 @@ func (l *Lease) Open(prog string, j *Journal, rec obs.Recorder, warn io.Writer) 
 	return store, nil
 }
 
+// StatusFlags is the shared fleet-status flag group (lrdsweep -status and
+// lrdtop): -expect-cells supplies the grid size the journal alone cannot
+// know, so the status table can show a true completion percentage.
+type StatusFlags struct {
+	ExpectCells *int
+}
+
+// StatusGroup registers -expect-cells on fs.
+func StatusGroup(fs *flag.FlagSet) *StatusFlags {
+	return &StatusFlags{ExpectCells: fs.Int("expect-cells", 0, canon["expect-cells"].Usage)}
+}
+
+// Options returns the parsed group as fleetstatus Options.
+func (s *StatusFlags) Options() fleetstatus.Options {
+	return fleetstatus.Options{ExpectedCells: *s.ExpectCells}
+}
+
 // Retry is the shared per-cell retry flag group.
 type Retry struct {
 	Retries *int
@@ -216,9 +234,10 @@ type FlagSpec struct {
 // table.
 var canon = map[string]FlagSpec{
 	"metrics":       {"metrics", "", "write a JSON metrics snapshot to this file on exit"},
-	"trace":         {"trace", "", "write per-iteration solver convergence points to this file as JSONL"},
+	"trace":         {"trace", "", "write solver convergence points and trace spans to this file as JSONL"},
 	"progress":      {"progress", "", "print a periodic progress line to stderr"},
-	"pprof":         {"pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)"},
+	"pprof":         {"pprof", "", "serve net/http/pprof, expvar, and Prometheus /metrics on this address (e.g. localhost:6060)"},
+	"expect-cells":  {"expect-cells", "", "expected total grid cells, for a true completion percentage in fleet status (0 = unknown)"},
 	"journal":       {"journal", "", "checkpoint every completed cell to this append-only journal"},
 	"resume":        {"resume", "", "replay the -journal and skip its completed cells"},
 	"workers":       {"workers", "", "cap the in-process sweep worker pool (0 = one per CPU)"},

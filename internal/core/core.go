@@ -230,10 +230,10 @@ func completedPoints(pts []Point, done []bool) []Point {
 // journaled and pushing every fresh result through the bounded retry
 // policy before journaling it. key(i) must identify cell i within
 // cfg.Prefix's namespace.
-func gridSweep(ctx context.Context, cfg SweepConfig, n int, key func(int) string, compute func(int) (Point, error)) ([]Point, error) {
+func gridSweep(ctx context.Context, cfg SweepConfig, n int, key func(int) string, compute func(context.Context, int) (Point, error)) ([]Point, error) {
 	out := make([]Point, n)
 	done, err := parallelMap(ctx, cfg.Solver.Recorder, cfg.Workers, n, func(i int) error {
-		p, err := runCell(ctx, cfg, key(i), func() (Point, error) { return compute(i) })
+		p, err := runCell(ctx, cfg, key(i), func(ctx context.Context) (Point, error) { return compute(ctx, i) })
 		if err != nil {
 			return err
 		}
@@ -262,9 +262,17 @@ func gridSweep(ctx context.Context, cfg SweepConfig, n int, key func(int) string
 //
 // Store write failures are returned as errors: losing durability silently
 // would defeat the journal.
-func runCell(ctx context.Context, cfg SweepConfig, key string, compute func() (Point, error)) (Point, error) {
+func runCell(ctx context.Context, cfg SweepConfig, key string, compute func(context.Context) (Point, error)) (Point, error) {
 	rec := cfg.Solver.Recorder
 	fullKey := cfg.Prefix + key
+	// Every cell is a tracing entry point: the cell span becomes the parent
+	// of the lease, solver, and journal-append spans below it. When no span
+	// sink rides the context this is free.
+	ctx, finishCell := obs.StartSpan(ctx, "core.cell")
+	outcome := "computed"
+	if obs.Traced(ctx) {
+		defer func() { finishCell(map[string]string{"key": fullKey, "outcome": outcome}) }()
+	}
 	if cfg.Store != nil {
 		if raw, ok := cfg.Store.Lookup(fullKey); ok {
 			var p Point
@@ -272,6 +280,7 @@ func runCell(ctx context.Context, cfg SweepConfig, key string, compute func() (P
 				if rec != nil {
 					rec.Add(obs.MetricCoreCellsResumed, 1)
 				}
+				outcome = "resumed"
 				return p, nil
 			}
 			// Undecodable cached value (journal written by an incompatible
@@ -282,8 +291,13 @@ func runCell(ctx context.Context, cfg SweepConfig, key string, compute func() (P
 	if !leased {
 		return computeCell(ctx, cfg, fullKey, compute)
 	}
-	raw, acquired, err := claimer.Acquire(ctx, fullKey)
+	leaseCtx, finishLease := obs.StartSpan(ctx, "lease.acquire")
+	raw, acquired, err := claimer.Acquire(leaseCtx, fullKey)
+	if obs.Traced(ctx) {
+		finishLease(map[string]string{"key": fullKey, "acquired": strconv.FormatBool(acquired)})
+	}
 	if err != nil {
+		outcome = "error"
 		return Point{}, err
 	}
 	if !acquired {
@@ -292,14 +306,19 @@ func runCell(ctx context.Context, cfg SweepConfig, key string, compute func() (P
 		// schemas — fail loudly rather than silently double-compute.
 		var p Point
 		if uerr := json.Unmarshal(raw, &p); uerr != nil {
+			outcome = "error"
 			return Point{}, fmt.Errorf("core: adopting cell %q from a peer worker: %w", fullKey, uerr)
 		}
 		if rec != nil {
 			rec.Add(obs.MetricCoreCellsAdopted, 1)
 		}
+		outcome = "adopted"
 		return p, nil
 	}
 	p, err := computeCell(ctx, cfg, fullKey, compute)
+	if err != nil {
+		outcome = "error"
+	}
 	// Store consumes the lease on completion, making this a no-op; when the
 	// outcome stayed transient (or errored) it hands the lease back so
 	// another worker — or a resumed run — can take the cell without waiting
@@ -312,15 +331,20 @@ func runCell(ctx context.Context, cfg SweepConfig, key string, compute func() (P
 
 // computeCell is runCell's compute-and-retry loop (steps 3 and 4 of the
 // runCell contract).
-func computeCell(ctx context.Context, cfg SweepConfig, fullKey string, compute func() (Point, error)) (Point, error) {
+func computeCell(ctx context.Context, cfg SweepConfig, fullKey string, compute func(context.Context) (Point, error)) (Point, error) {
 	rec := cfg.Solver.Recorder
 	for attempt := 1; ; attempt++ {
-		p, err := compute()
+		p, err := compute(ctx)
 		if err == nil && !p.Degraded.Retryable() {
 			// Final: clean, or a terminal degradation a re-run would
 			// deterministically reproduce.
 			if cfg.Store != nil {
-				if serr := cfg.Store.Store(fullKey, p); serr != nil {
+				_, finishAppend := obs.StartSpan(ctx, "journal.append")
+				serr := cfg.Store.Store(fullKey, p)
+				if obs.Traced(ctx) {
+					finishAppend(map[string]string{"key": fullKey})
+				}
+				if serr != nil {
 					return Point{}, serr
 				}
 			}
@@ -411,7 +435,7 @@ func LossVsBufferAndCutoff(ctx context.Context, tm TraceModel, util float64, buf
 		func(i int) string {
 			return "bufcut|u=" + fkey(util) + "|b=" + fkey(buffers[i/len(cutoffs)]) + "|tc=" + fkey(cutoffs[i%len(cutoffs)])
 		},
-		func(i int) (Point, error) {
+		func(ctx context.Context, i int) (Point, error) {
 			b := buffers[i/len(cutoffs)]
 			tc := cutoffs[i%len(cutoffs)]
 			src, err := tm.Source(tc)
@@ -433,7 +457,7 @@ func LossVsCutoffFixedTheta(ctx context.Context, marginal dist.Marginal, util, n
 	keyBase := "cutfix|u=" + fkey(util) + "|b=" + fkey(nbuf) + "|th=" + fkey(theta) + "|h=" + fkey(hurst)
 	return gridSweep(ctx, cfg, len(cutoffs),
 		func(i int) string { return keyBase + "|tc=" + fkey(cutoffs[i]) },
-		func(i int) (Point, error) {
+		func(ctx context.Context, i int) (Point, error) {
 			src, err := fluid.New(marginal, dist.TruncatedPareto{Theta: theta, Alpha: alpha, Cutoff: cutoffs[i]})
 			if err != nil {
 				return Point{}, err
@@ -454,7 +478,7 @@ func LossVsHurstAndScale(ctx context.Context, tm TraceModel, util, nbuf float64,
 		func(i int) string {
 			return keyBase + "|h=" + fkey(hursts[i/len(scales)]) + "|a=" + fkey(scales[i%len(scales)])
 		},
-		func(i int) (Point, error) {
+		func(ctx context.Context, i int) (Point, error) {
 			h := hursts[i/len(scales)]
 			a := scales[i%len(scales)]
 			src, err := tm.SourceWithHurst(h, math.Inf(1))
@@ -496,7 +520,7 @@ func LossVsHurstAndStreams(ctx context.Context, tm TraceModel, util, nbuf float6
 		func(i int) string {
 			return keyBase + "|h=" + fkey(hursts[i/len(streams)]) + "|n=" + strconv.Itoa(streams[i%len(streams)])
 		},
-		func(i int) (Point, error) {
+		func(ctx context.Context, i int) (Point, error) {
 			h := hursts[i/len(streams)]
 			j := i % len(streams)
 			src, err := tm.SourceWithHurst(h, math.Inf(1))
@@ -523,7 +547,7 @@ func LossVsBufferAndScale(ctx context.Context, tm TraceModel, util float64, buff
 		func(i int) string {
 			return "bscale|u=" + fkey(util) + "|b=" + fkey(buffers[i/len(scales)]) + "|a=" + fkey(scales[i%len(scales)])
 		},
-		func(i int) (Point, error) {
+		func(ctx context.Context, i int) (Point, error) {
 			b := buffers[i/len(scales)]
 			a := scales[i%len(scales)]
 			src, err := tm.Source(math.Inf(1))

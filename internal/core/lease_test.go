@@ -462,7 +462,7 @@ func TestRunCellWithLeaseStore(t *testing.T) {
 	ctx := context.Background()
 
 	computes := 0
-	compute := func() (Point, error) {
+	compute := func(context.Context) (Point, error) {
 		computes++
 		return Point{Loss: 0.125, Converged: true}, nil
 	}

@@ -1,0 +1,339 @@
+// Package fleetstatus derives a live fleet view from the shared work
+// journal alone. Because the lease protocol (internal/core.LeaseStore)
+// writes every claim, renewal, release, and completion as a journal
+// record, *any* process that can read the journal can reconstruct who is
+// doing what — without talking to the workers. The Aggregator tails the
+// journal incrementally (journal.ReadFrom) and folds the records with the
+// same last-record-wins, epoch-fenced rules the lease store itself uses,
+// yielding per-worker cells claimed/completed/stolen, live lease
+// deadlines, straggler flags, and grid completion.
+//
+// It backs `GET /v1/status` (plus the SSE stream) on lrdserve and the
+// `lrdsweep -status` / lrdtop watch surfaces.
+package fleetstatus
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"lrd/internal/journal"
+)
+
+// Options configures an Aggregator.
+type Options struct {
+	// ExpectedCells, when positive, is the full grid size, enabling a real
+	// completion percentage (the journal alone cannot know cells that were
+	// never attempted).
+	ExpectedCells int
+	// Now overrides the wall clock (tests). Defaults to time.Now.
+	Now func() time.Time
+}
+
+// claim is one live lease reconstructed from the journal.
+type claim struct {
+	worker   string
+	epoch    int64
+	deadline int64 // UnixNano
+}
+
+// cellState is the folded state of one journal key.
+type cellState struct {
+	done      bool
+	doneEpoch int64
+	claim     *claim
+}
+
+// workerAgg accumulates one worker's counters across the fold.
+type workerAgg struct {
+	claimed   int
+	completed int
+	stolen    int
+	released  int
+	renewed   int
+	failures  int
+}
+
+// Aggregator tails one journal and maintains the folded fleet state. Safe
+// for concurrent use; each Refresh reads only the bytes appended since
+// the previous one.
+type Aggregator struct {
+	path string
+	opts Options
+
+	mu      sync.Mutex
+	offset  int64
+	corrupt int
+	cells   map[string]*cellState
+	workers map[string]*workerAgg
+}
+
+// New returns an Aggregator tailing the journal at path. The journal may
+// not exist yet; Refresh treats a missing file as empty.
+func New(path string, opts Options) *Aggregator {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Aggregator{
+		path:    path,
+		opts:    opts,
+		cells:   map[string]*cellState{},
+		workers: map[string]*workerAgg{},
+	}
+}
+
+// Refresh folds any records appended since the last call.
+func (a *Aggregator) Refresh() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	records, corrupt, next, err := journal.ReadFrom(a.path, a.offset)
+	if err != nil {
+		return err
+	}
+	a.offset = next
+	a.corrupt += corrupt
+	for _, rec := range records {
+		a.fold(rec)
+	}
+	return nil
+}
+
+func (a *Aggregator) worker(name string) *workerAgg {
+	w := a.workers[name]
+	if w == nil {
+		w = &workerAgg{}
+		a.workers[name] = w
+	}
+	return w
+}
+
+func (a *Aggregator) cell(key string) *cellState {
+	c := a.cells[key]
+	if c == nil {
+		c = &cellState{}
+		a.cells[key] = c
+	}
+	return c
+}
+
+// fold applies one record with the lease store's conflict rules: ok
+// records with a current-or-newer epoch complete the cell and consume its
+// claim; claimed records with Deadline <= 0 release; a higher-epoch claim
+// supersedes (steals) a live one; a same-holder claim is a renewal.
+func (a *Aggregator) fold(rec journal.Record) {
+	c := a.cell(rec.Key)
+	switch rec.Status {
+	case journal.StatusOK:
+		if c.done && rec.Epoch < c.doneEpoch {
+			return // zombie completion, fenced off
+		}
+		if !c.done {
+			a.worker(rec.Worker).completed++
+		}
+		c.done, c.doneEpoch, c.claim = true, rec.Epoch, nil
+	case journal.StatusFail:
+		a.worker(rec.Worker).failures++
+	case journal.StatusClaimed:
+		if c.done {
+			return // stale claim on a finished cell
+		}
+		if rec.Deadline <= 0 {
+			// Release: only the current holder's release clears the claim.
+			if c.claim != nil && c.claim.worker == rec.Worker && c.claim.epoch == rec.Epoch {
+				c.claim = nil
+				a.worker(rec.Worker).released++
+			}
+			return
+		}
+		switch {
+		case c.claim == nil:
+			a.worker(rec.Worker).claimed++
+			c.claim = &claim{worker: rec.Worker, epoch: rec.Epoch, deadline: rec.Deadline}
+		case c.claim.worker == rec.Worker && c.claim.epoch == rec.Epoch:
+			// Heartbeat renewal: deadlines only ever extend.
+			if rec.Deadline > c.claim.deadline {
+				c.claim.deadline = rec.Deadline
+			}
+			a.worker(rec.Worker).renewed++
+		case rec.Epoch > c.claim.epoch:
+			// A newer fencing epoch supersedes the live claim — a steal when
+			// the previous holder was someone else (it let the lease expire).
+			if c.claim.worker != rec.Worker {
+				a.worker(rec.Worker).stolen++
+			}
+			a.worker(rec.Worker).claimed++
+			c.claim = &claim{worker: rec.Worker, epoch: rec.Epoch, deadline: rec.Deadline}
+		}
+		// An equal-or-older epoch from another worker lost the claim race;
+		// the file-order winner already holds the cell.
+	}
+}
+
+// WorkerStatus is one worker's folded view.
+type WorkerStatus struct {
+	Worker string `json:"worker"`
+	// Claimed counts leases this worker took (first claims and steals).
+	Claimed int `json:"cells_claimed"`
+	// Completed counts cells whose first completion this worker wrote.
+	Completed int `json:"cells_completed"`
+	// Stolen counts expired leases this worker took over from a peer.
+	Stolen int `json:"leases_stolen"`
+	// Released counts leases handed back without completion.
+	Released int `json:"leases_released"`
+	// Renewed counts heartbeat renewals.
+	Renewed int `json:"leases_renewed"`
+	// Failures counts failed attempts recorded by this worker.
+	Failures int `json:"failed_attempts,omitempty"`
+	// LiveLeases is the number of cells this worker currently holds.
+	LiveLeases int `json:"live_leases"`
+	// MinLeaseRemaining is the seconds until the nearest live lease
+	// expires; negative means at least one lease is already expired
+	// (meaningful only when LiveLeases > 0).
+	MinLeaseRemaining float64 `json:"min_lease_remaining_s"`
+	// Straggler is set when the worker holds an expired, unsuperseded
+	// lease — it stopped heartbeating and its cells are up for stealing.
+	Straggler bool `json:"straggler"`
+}
+
+// Status is the fleet-wide snapshot.
+type Status struct {
+	Journal       string `json:"journal"`
+	UnixMs        int64  `json:"unix_ms"`
+	CellsDone     int    `json:"cells_completed"`
+	CellsInFlight int    `json:"cells_in_flight"`
+	CellsExpected int    `json:"cells_expected,omitempty"`
+	// CompletionPct is 100·done/expected when the expected grid size is
+	// known, else 100·done/(done+inflight) as a lower-bound estimate.
+	CompletionPct float64        `json:"completion_pct"`
+	Failures      int            `json:"failed_attempts"`
+	CorruptLines  int            `json:"corrupt_lines"`
+	Stragglers    int            `json:"stragglers"`
+	Workers       []WorkerStatus `json:"workers"`
+}
+
+// Status refreshes from the journal and returns the folded snapshot.
+func (a *Aggregator) Status() (Status, error) {
+	if err := a.Refresh(); err != nil {
+		return Status{}, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.opts.Now()
+	s := Status{
+		Journal:       a.path,
+		UnixMs:        now.UnixMilli(),
+		CellsExpected: a.opts.ExpectedCells,
+		CorruptLines:  a.corrupt,
+	}
+	type liveAgg struct {
+		live        int
+		minRemain   float64
+		hasStraggle bool
+	}
+	live := map[string]*liveAgg{}
+	for _, c := range a.cells {
+		if c.done {
+			s.CellsDone++
+			continue
+		}
+		if c.claim == nil {
+			continue
+		}
+		s.CellsInFlight++
+		la := live[c.claim.worker]
+		if la == nil {
+			la = &liveAgg{minRemain: math.Inf(1)}
+			live[c.claim.worker] = la
+		}
+		la.live++
+		remain := time.Duration(c.claim.deadline - now.UnixNano()).Seconds()
+		if remain < la.minRemain {
+			la.minRemain = remain
+		}
+		if remain < 0 {
+			la.hasStraggle = true
+		}
+	}
+	names := make([]string, 0, len(a.workers))
+	for name := range a.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := a.workers[name]
+		ws := WorkerStatus{
+			Worker:    name,
+			Claimed:   w.claimed,
+			Completed: w.completed,
+			Stolen:    w.stolen,
+			Released:  w.released,
+			Renewed:   w.renewed,
+			Failures:  w.failures,
+		}
+		if la := live[name]; la != nil {
+			ws.LiveLeases = la.live
+			ws.MinLeaseRemaining = la.minRemain
+			ws.Straggler = la.hasStraggle
+			if la.hasStraggle {
+				s.Stragglers++
+			}
+		}
+		s.Workers = append(s.Workers, ws)
+		s.Failures += w.failures
+	}
+	switch {
+	case s.CellsExpected > 0:
+		s.CompletionPct = 100 * float64(s.CellsDone) / float64(s.CellsExpected)
+	case s.CellsDone+s.CellsInFlight > 0:
+		s.CompletionPct = 100 * float64(s.CellsDone) / float64(s.CellsDone+s.CellsInFlight)
+	}
+	return s, nil
+}
+
+// WriteText renders the status as a human-readable table (the lrdsweep
+// -status / lrdtop surface).
+func (s Status) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "fleet status — journal %s\n", s.Journal)
+	fmt.Fprintf(w, "cells: %d completed, %d in flight", s.CellsDone, s.CellsInFlight)
+	if s.CellsExpected > 0 {
+		fmt.Fprintf(w, ", %d expected", s.CellsExpected)
+	}
+	fmt.Fprintf(w, " (%.1f%% complete)", s.CompletionPct)
+	if s.Failures > 0 {
+		fmt.Fprintf(w, ", %d failed attempts", s.Failures)
+	}
+	if s.CorruptLines > 0 {
+		fmt.Fprintf(w, ", %d corrupt lines", s.CorruptLines)
+	}
+	if s.Stragglers > 0 {
+		fmt.Fprintf(w, ", %d straggler(s)", s.Stragglers)
+	}
+	fmt.Fprintln(w)
+	if len(s.Workers) == 0 {
+		return nil
+	}
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "worker\tclaimed\tcompleted\tstolen\treleased\trenewed\tlive\tmin-ttl\tstraggler")
+	for _, ws := range s.Workers {
+		name := ws.Worker
+		if name == "" {
+			name = "-"
+		}
+		minTTL := "-"
+		if ws.LiveLeases > 0 {
+			minTTL = fmt.Sprintf("%.1fs", ws.MinLeaseRemaining)
+		}
+		straggler := ""
+		if ws.Straggler {
+			straggler = "STRAGGLER"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			name, ws.Claimed, ws.Completed, ws.Stolen, ws.Released, ws.Renewed,
+			ws.LiveLeases, minTTL, straggler)
+	}
+	return tw.Flush()
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -47,6 +48,7 @@ type CLI struct {
 	opts     CLIOptions
 	registry *Registry
 	start    time.Time
+	trace    TraceContext
 
 	traceMu   sync.Mutex
 	traceFile *os.File
@@ -73,6 +75,7 @@ func StartCLI(opts CLIOptions) (*CLI, error) {
 		opts:     opts,
 		registry: NewRegistry(),
 		start:    time.Now(),
+		trace:    NewTrace(),
 		stopCh:   make(chan struct{}),
 	}
 	if opts.TracePath != "" {
@@ -90,7 +93,7 @@ func StartCLI(opts CLIOptions) (*CLI, error) {
 			return nil, fmt.Errorf("obs: pprof listener: %w", err)
 		}
 		c.pprofLn = ln
-		publishExpvar(c.registry)
+		publishDebug(c.registry)
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
@@ -117,6 +120,29 @@ func (c *CLI) Recorder() Recorder {
 
 // Registry returns the underlying registry (always non-nil).
 func (c *CLI) Registry() *Registry { return c.registry }
+
+// Trace returns the root TraceContext minted for this run. Every CLI run
+// gets one, whether or not a trace file was requested, so slog lines can
+// always carry a trace id.
+func (c *CLI) Trace() TraceContext { return c.trace }
+
+// SpanSink returns a concurrency-safe sink writing spans to the -trace
+// JSONL file, or nil when no trace was requested — attach it with
+// ContextWithSpanSink so StartSpan becomes live down the call tree.
+func (c *CLI) SpanSink() SpanSink {
+	enc := c.TraceEncoder()
+	if enc == nil {
+		return nil
+	}
+	return func(s Span) { enc(s) }
+}
+
+// Context attaches this run's root trace context, and span sink when
+// tracing is enabled, to ctx.
+func (c *CLI) Context(ctx context.Context) context.Context {
+	ctx = ContextWithTrace(ctx, c.trace)
+	return ContextWithSpanSink(ctx, c.SpanSink())
+}
 
 // TraceEncoder returns a concurrency-safe JSONL encoder writing to the
 // -trace file, or nil when no trace was requested. Encoding errors are
@@ -218,6 +244,9 @@ func (c *CLI) ProgressLine() string {
 			line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
 		}
 	}
+	if hs, ok := r.HistogramSnapshotFor(MetricCoreCellSeconds); ok && hs.Count > 0 {
+		line += fmt.Sprintf(", cell p50/p99 %.3gs/%.3gs", hs.P50, hs.P99)
+	}
 	if steps := r.CounterValue(MetricSolverSteps); steps > 0 {
 		line += fmt.Sprintf(", %.0f iters", steps)
 	}
@@ -230,15 +259,16 @@ func (c *CLI) ProgressLine() string {
 	return line
 }
 
-// expvar publication: expvar.Publish panics on duplicate names, so the
-// process-wide "lrd_metrics" var is registered once and redirected to the
-// most recently started CLI's registry.
+// Debug-mux publication: expvar.Publish and http.HandleFunc both panic on
+// duplicate registration, so the process-wide "lrd_metrics" expvar and the
+// default-mux /metrics Prometheus handler are registered once and
+// redirected to the most recently started CLI's registry.
 var (
 	expvarOnce sync.Once
 	expvarReg  atomic.Pointer[Registry]
 )
 
-func publishExpvar(r *Registry) {
+func publishDebug(r *Registry) {
 	expvarReg.Store(r)
 	expvarOnce.Do(func() {
 		expvar.Publish("lrd_metrics", expvar.Func(func() any {
@@ -247,5 +277,14 @@ func publishExpvar(r *Registry) {
 			}
 			return nil
 		}))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+			reg := expvarReg.Load()
+			if reg == nil {
+				http.Error(w, "metrics registry not started", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", PrometheusContentType)
+			_ = reg.Snapshot().WritePrometheus(w)
+		})
 	})
 }

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the standard CLI/server diagnostic logger: slog text
+// records on w with the program name and the run's trace id attached to
+// every line, so grep-by-trace works across slog output, JSONL spans, and
+// solver trace points.
+func NewLogger(w io.Writer, name string, tc TraceContext) *slog.Logger {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	l := slog.New(h)
+	if name != "" {
+		l = l.With("prog", name)
+	}
+	if tc.TraceID != "" {
+		l = l.With("trace", tc.TraceID)
+	}
+	return l
+}
+
+// LogWriter adapts a slog.Logger to io.Writer so legacy warn-writer
+// plumbing (LeaseStore warnings, journal resume notices) routes through
+// structured logging without changing those interfaces. Each written line
+// becomes one log record at the configured level.
+type LogWriter struct {
+	l     *slog.Logger
+	level slog.Level
+}
+
+// NewLogWriter wraps l at the given level.
+func NewLogWriter(l *slog.Logger, level slog.Level) *LogWriter {
+	return &LogWriter{l: l, level: level}
+}
+
+// Write implements io.Writer, logging each non-empty line of p.
+func (w *LogWriter) Write(p []byte) (int, error) {
+	for _, line := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
+		if line != "" {
+			w.l.Log(context.Background(), w.level, line)
+		}
+	}
+	return len(p), nil
+}

@@ -335,14 +335,51 @@ type Bucket struct {
 	Count uint64  `json:"count"`
 }
 
-// HistogramSnapshot is the exported state of one histogram.
+// HistogramSnapshot is the exported state of one histogram. P50/P90/P99
+// are estimated quantiles: exact to within one log₂ bucket, linearly
+// interpolated inside the bucket and clamped to the observed [Min, Max].
 type HistogramSnapshot struct {
 	Count   uint64   `json:"count"`
 	Sum     float64  `json:"sum"`
 	Mean    float64  `json:"mean"`
 	Min     float64  `json:"min"`
 	Max     float64  `json:"max"`
+	P50     float64  `json:"p50"`
+	P90     float64  `json:"p90"`
+	P99     float64  `json:"p99"`
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts.
+// Within the containing bucket the value is linearly interpolated between
+// the bucket's bounds; the estimate is clamped to [Min, Max], which makes
+// it exact for single-bucket histograms. Returns NaN when empty.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	target := q * float64(h.Count)
+	cum := 0.0
+	for _, b := range h.Buckets {
+		prev := cum
+		cum += float64(b.Count)
+		if cum >= target {
+			hi := b.Le
+			if math.IsInf(hi, 1) {
+				return h.Max
+			}
+			lo := hi / 2 // log₂ buckets span (le/2, le]; clamping fixes the low bucket
+			v := lo + (hi-lo)*(target-prev)/float64(b.Count)
+			return math.Min(math.Max(v, h.Min), h.Max)
+		}
+	}
+	return h.Max
 }
 
 // Snapshot is a point-in-time copy of a Registry, ready for JSON encoding.
@@ -373,26 +410,45 @@ func (r *Registry) Snapshot() Snapshot {
 		return true
 	})
 	r.histograms.Range(func(k, v any) bool {
-		h := v.(*Histogram)
-		hs := HistogramSnapshot{
-			Count: h.Count(),
-			Sum:   h.Sum(),
-			Mean:  h.Mean(),
-			Min:   math.Float64frombits(h.min.Load()),
-			Max:   math.Float64frombits(h.max.Load()),
-		}
-		if hs.Count == 0 {
-			hs.Min, hs.Max, hs.Mean = 0, 0, 0
-		}
-		for i := 0; i < histBucket; i++ {
-			if c := h.counts[i].Load(); c > 0 {
-				hs.Buckets = append(hs.Buckets, Bucket{Le: bucketUpper(i), Count: c})
-			}
-		}
-		s.Histograms[k.(string)] = hs
+		s.Histograms[k.(string)] = snapshotHistogram(v.(*Histogram))
 		return true
 	})
 	return s
+}
+
+// snapshotHistogram copies one histogram's atomics into an exported
+// snapshot, including the estimated tail quantiles.
+func snapshotHistogram(h *Histogram) HistogramSnapshot {
+	hs := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		Min:   math.Float64frombits(h.min.Load()),
+		Max:   math.Float64frombits(h.max.Load()),
+	}
+	if hs.Count == 0 {
+		hs.Min, hs.Max, hs.Mean = 0, 0, 0
+	}
+	for i := 0; i < histBucket; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			hs.Buckets = append(hs.Buckets, Bucket{Le: bucketUpper(i), Count: c})
+		}
+	}
+	if hs.Count > 0 {
+		hs.P50 = hs.Quantile(0.50)
+		hs.P90 = hs.Quantile(0.90)
+		hs.P99 = hs.Quantile(0.99)
+	}
+	return hs
+}
+
+// HistogramSnapshotFor snapshots the single named histogram and reports
+// whether it exists (reading does not create the metric).
+func (r *Registry) HistogramSnapshotFor(name string) (HistogramSnapshot, bool) {
+	if v, ok := r.histograms.Load(name); ok {
+		return snapshotHistogram(v.(*Histogram)), true
+	}
+	return HistogramSnapshot{}, false
 }
 
 // WriteJSON writes the snapshot as indented JSON. Non-finite floats are
@@ -422,6 +478,9 @@ func (s Snapshot) sanitized() Snapshot {
 		h.Mean = sanitizeFloat(h.Mean)
 		h.Min = sanitizeFloat(h.Min)
 		h.Max = sanitizeFloat(h.Max)
+		h.P50 = sanitizeFloat(h.P50)
+		h.P90 = sanitizeFloat(h.P90)
+		h.P99 = sanitizeFloat(h.P99)
 		buckets := make([]Bucket, len(h.Buckets))
 		for i, b := range h.Buckets {
 			buckets[i] = Bucket{Le: sanitizeFloat(b.Le), Count: b.Count}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// populate fills a registry with one of everything the encoder must
+// handle: plain and labeled counters (the label value exercises every
+// escape class), a gauge, and a histogram spanning several log₂ buckets.
+func populate(r *Registry) {
+	r.Add("solver_solves_total", 3)
+	r.Add(Labeled("sweep_cells_total", "status", `ok`), 2)
+	r.Add(Labeled("sweep_cells_total", "status", "we\"ird\\va\nl"), 1)
+	r.Set("solver_bins", 1024)
+	for _, v := range []float64{0.0003, 0.004, 0.05, 0.6, 7, 80} {
+		r.Observe("core_cell_seconds", v)
+	}
+}
+
+func TestPrometheusExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := LintExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("exposition fails its own linter: %v\n%s", err, text)
+	}
+
+	for _, want := range []string{
+		"# TYPE solver_solves_total counter",
+		"solver_solves_total 3",
+		"# TYPE solver_bins gauge",
+		"solver_bins 1024",
+		`sweep_cells_total{status="ok"} 2`,
+		// Escaping: backslash, quote, and newline in a label value.
+		`sweep_cells_total{status="we\"ird\\va\nl"} 1`,
+		"# TYPE core_cell_seconds histogram",
+		"core_cell_seconds_count 6",
+		`core_cell_seconds_bucket{le="+Inf"} 6`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// HELP must precede TYPE, which must precede samples, per family.
+	helpAt := strings.Index(text, "# HELP solver_solves_total")
+	typeAt := strings.Index(text, "# TYPE solver_solves_total")
+	sampleAt := strings.Index(text, "\nsolver_solves_total 3")
+	if helpAt < 0 || typeAt < helpAt || sampleAt < typeAt {
+		t.Fatalf("HELP/TYPE/sample ordering broken (%d, %d, %d):\n%s", helpAt, typeAt, sampleAt, text)
+	}
+}
+
+// TestPrometheusHistogramCumulative: the per-bucket counts in a Snapshot
+// are non-cumulative; the exposition must render cumulative counts that
+// end exactly at _count.
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	for _, v := range []float64{0.25, 0.5, 1, 2, 4} {
+		r.Observe("h_seconds", v)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "h_seconds_bucket{") {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &v); err != nil {
+			t.Fatalf("unparsable bucket line %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative at %q (prev %g)", line, prev)
+		}
+		prev = v
+	}
+	if prev != 5 {
+		t.Fatalf("final (+Inf) bucket = %g, want 5", prev)
+	}
+	if err := LintExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+}
+
+// TestLintExpositionRejects: the linter is strict enough to catch the
+// classic exposition mistakes.
+func TestLintExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"type after sample":  "a_total 1\n# TYPE a_total counter\na_total 2\n",
+		"duplicate type":     "# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n",
+		"interleaved family": "# TYPE a_total counter\na_total 1\nb_total 2\na_total 3\n",
+		"unsorted le": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+		"non-monotone cumulative": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"inf bucket != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 5\n",
+		"missing sum": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_count 5\n",
+		"bad name":  "# TYPE 9bad counter\n9bad 1\n",
+		"bad value": "# TYPE a_total counter\na_total notanumber\n",
+	}
+	for name, text := range cases {
+		if err := LintExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: linter accepted invalid exposition:\n%s", name, text)
+		}
+	}
+}
+
+// TestPrometheusConcurrentScrape hammers the registry from writer
+// goroutines while scraping and linting concurrently — the race-mode
+// guard for the /metrics handler path.
+func TestPrometheusConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Add("writes_total", 1)
+				r.Add(Labeled("writes_total", "worker", fmt.Sprintf("w%d", id)), 1)
+				r.Observe("write_seconds", float64(n%7)/10)
+				r.Set("last_n", float64(n))
+			}
+		}(i)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := LintExposition(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("scrape %d: %v\n%s", i, err, buf.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,138 @@
+// Correlated tracing: a TraceContext (trace id + span id) is minted at
+// every entry point — an HTTP request, a sweep cell, a CLI run — and
+// threaded through context.Context so the serve layer, the sweep engine,
+// lease operations, solver steps, and journal appends all stamp the same
+// trace id. Spans are emitted through a SpanSink (typically the -trace
+// JSONL encoder) as {"type":"span",...} records interleaved with the
+// solver's TracePoints.
+//
+// The disabled path is allocation-free: context keys are zero-size
+// structs (Value lookups do not allocate), and StartSpan with no sink in
+// the context returns the context unchanged and a shared no-op finish
+// function.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext identifies one causal chain (TraceID) and one operation
+// within it (SpanID). The zero value means "no trace".
+type TraceContext struct {
+	TraceID string `json:"trace"`
+	SpanID  string `json:"span"`
+}
+
+// Span is one completed traced operation, emitted as a JSONL record. The
+// fixed Type field ("span") discriminates spans from solver TracePoints
+// sharing the same trace file.
+type Span struct {
+	Type    string            `json:"type"` // always "span"
+	Trace   string            `json:"trace"`
+	Span    string            `json:"span"`
+	Parent  string            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	StartNS int64             `json:"start_unix_ns"`
+	Seconds float64           `json:"dur_s"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// SpanSink receives completed spans. Implementations must be safe for
+// concurrent use (the CLI's TraceEncoder is).
+type SpanSink func(Span)
+
+var spanSeq atomic.Uint64
+
+// NewTraceID returns a fresh 16-hex-digit trace id.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// rand.Read cannot fail on supported platforms; keep ids unique anyway.
+		return "t" + strconv.FormatUint(spanSeq.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// newSpanID returns a process-unique span id (cheap: no entropy needed,
+// uniqueness only matters within one trace file).
+func newSpanID() string { return strconv.FormatUint(spanSeq.Add(1), 16) }
+
+// NewTrace mints a root TraceContext for a new entry point.
+func NewTrace() TraceContext {
+	return TraceContext{TraceID: NewTraceID(), SpanID: newSpanID()}
+}
+
+type traceCtxKey struct{}
+type spanSinkKey struct{}
+
+// ContextWithTrace attaches tc as the current trace context.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the current trace context, if any. The lookup
+// does not allocate.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// ContextWithSpanSink attaches a span sink; StartSpan below it becomes
+// live. A nil sink returns ctx unchanged.
+func ContextWithSpanSink(ctx context.Context, sink SpanSink) context.Context {
+	if sink == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanSinkKey{}, sink)
+}
+
+// SpanSinkFromContext returns the attached span sink or nil. The lookup
+// does not allocate.
+func SpanSinkFromContext(ctx context.Context) SpanSink {
+	sink, _ := ctx.Value(spanSinkKey{}).(SpanSink)
+	return sink
+}
+
+// Traced reports whether ctx carries a live SpanSink. Hot paths use it to
+// skip building span attributes (maps allocate) when nothing is listening.
+func Traced(ctx context.Context) bool { return SpanSinkFromContext(ctx) != nil }
+
+// noopFinish is the shared finish function for untraced StartSpan calls,
+// so the disabled path allocates nothing.
+var noopFinish = func(map[string]string) {}
+
+// StartSpan begins a span named name as a child of the context's current
+// trace (minting a fresh trace id when there is none) and returns a
+// context carrying the child TraceContext plus a finish function that
+// emits the completed span with optional attributes. When the context
+// carries no SpanSink the call is free: it returns ctx unchanged and a
+// shared no-op finish.
+func StartSpan(ctx context.Context, name string) (context.Context, func(attrs map[string]string)) {
+	sink := SpanSinkFromContext(ctx)
+	if sink == nil {
+		return ctx, noopFinish
+	}
+	parent, _ := TraceFromContext(ctx)
+	tc := TraceContext{TraceID: parent.TraceID, SpanID: newSpanID()}
+	if tc.TraceID == "" {
+		tc.TraceID = NewTraceID()
+	}
+	start := time.Now()
+	return ContextWithTrace(ctx, tc), func(attrs map[string]string) {
+		sink(Span{
+			Type:    "span",
+			Trace:   tc.TraceID,
+			Span:    tc.SpanID,
+			Parent:  parent.SpanID,
+			Name:    name,
+			StartNS: start.UnixNano(),
+			Seconds: time.Since(start).Seconds(),
+			Attrs:   attrs,
+		})
+	}
+}

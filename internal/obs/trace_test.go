@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestStartSpanDisabledIsAllocationFree: with no SpanSink attached,
+// StartSpan, the finish call, and the context lookups must not allocate —
+// this is the hot-path contract the solver and sweep layers rely on.
+func TestStartSpanDisabledIsAllocationFree(t *testing.T) {
+	ctx := ContextWithTrace(context.Background(), NewTrace())
+	if allocs := testing.AllocsPerRun(200, func() {
+		spanCtx, finish := StartSpan(ctx, "op")
+		if Traced(spanCtx) {
+			t.Fatal("no sink attached but Traced = true")
+		}
+		if _, ok := TraceFromContext(spanCtx); !ok {
+			t.Fatal("trace context lost")
+		}
+		finish(nil)
+	}); allocs != 0 {
+		t.Fatalf("disabled StartSpan path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestStartSpanDisabledReturnsSameContext: no sink → the context is
+// returned unchanged (no wrapping layers pile up on deep call chains).
+func TestStartSpanDisabledReturnsSameContext(t *testing.T) {
+	ctx := ContextWithTrace(context.Background(), NewTrace())
+	spanCtx, _ := StartSpan(ctx, "op")
+	if spanCtx != ctx {
+		t.Fatal("disabled StartSpan wrapped the context")
+	}
+}
+
+// TestSpanEmissionAndParenting: nested spans share the trace id, chain
+// parent span ids, and carry attributes and positive durations.
+func TestSpanEmissionAndParenting(t *testing.T) {
+	var mu sync.Mutex
+	var spans []Span
+	sink := func(s Span) { mu.Lock(); spans = append(spans, s); mu.Unlock() }
+
+	root := NewTrace()
+	ctx := ContextWithSpanSink(ContextWithTrace(context.Background(), root), SpanSink(sink))
+	if !Traced(ctx) {
+		t.Fatal("sink attached but Traced = false")
+	}
+
+	outerCtx, finishOuter := StartSpan(ctx, "outer")
+	innerCtx, finishInner := StartSpan(outerCtx, "inner")
+	finishInner(map[string]string{"key": "cell-7"})
+	finishOuter(nil)
+
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	inner, outer := spans[0], spans[1]
+	if inner.Name != "inner" || outer.Name != "outer" {
+		t.Fatalf("span order: %q then %q", inner.Name, outer.Name)
+	}
+	if inner.Trace != root.TraceID || outer.Trace != root.TraceID {
+		t.Fatalf("trace ids diverged: root %s, inner %s, outer %s", root.TraceID, inner.Trace, outer.Trace)
+	}
+	if outer.Parent != root.SpanID {
+		t.Fatalf("outer parent = %s, want root span %s", outer.Parent, root.SpanID)
+	}
+	outerTC, _ := TraceFromContext(outerCtx)
+	if inner.Parent != outerTC.SpanID {
+		t.Fatalf("inner parent = %s, want outer span %s", inner.Parent, outerTC.SpanID)
+	}
+	innerTC, _ := TraceFromContext(innerCtx)
+	if inner.Span != innerTC.SpanID {
+		t.Fatalf("inner span id = %s, want %s", inner.Span, innerTC.SpanID)
+	}
+	if inner.Attrs["key"] != "cell-7" {
+		t.Fatalf("attrs = %v", inner.Attrs)
+	}
+	if inner.Type != "span" || inner.Seconds < 0 || inner.StartNS == 0 {
+		t.Fatalf("malformed span: %+v", inner)
+	}
+}
+
+// TestStartSpanMintsTraceWhenAbsent: a sink with no inherited trace still
+// yields a usable trace id.
+func TestStartSpanMintsTraceWhenAbsent(t *testing.T) {
+	var got Span
+	ctx := ContextWithSpanSink(context.Background(), func(s Span) { got = s })
+	_, finish := StartSpan(ctx, "orphan")
+	finish(nil)
+	if got.Trace == "" || got.Span == "" {
+		t.Fatalf("span without ids: %+v", got)
+	}
+	if got.Parent != "" {
+		t.Fatalf("orphan span has parent %q", got.Parent)
+	}
+}
+
+func TestNewTraceIDsAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace id %q is not 16 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+}

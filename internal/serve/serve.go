@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"lrd/internal/core"
+	"lrd/internal/fleetstatus"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
 )
@@ -75,6 +77,17 @@ type Config struct {
 	// Registry receives the serve metrics and backs /metrics. New creates
 	// one when nil.
 	Registry *obs.Registry
+	// Status, when non-nil, backs GET /v1/status and the SSE stream with a
+	// journal-derived fleet view (typically an aggregator tailing the same
+	// journal the cache/lease layer writes). Without it /v1/status reports
+	// an empty fleet.
+	Status *fleetstatus.Aggregator
+	// SpanSink, when non-nil, receives the request/solve/journal spans of
+	// every request (the -trace JSONL file on lrdserve).
+	SpanSink obs.SpanSink
+	// Logger, when non-nil, receives one structured line per request with
+	// the correlated trace id attached. Nil disables request logging.
+	Logger *slog.Logger
 }
 
 // CacheJournal is the durability surface the serving layer uses: Store
@@ -168,12 +181,15 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the HTTP API: POST /v1/solve, POST /v1/sweep,
-// GET /metrics, GET /healthz.
+// GET /metrics (Prometheus text; ?format=json for the JSON snapshot),
+// GET /v1/status (+ /v1/status/stream SSE), GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/status/stream", s.handleStatusStream)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
@@ -181,11 +197,84 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.reg.Snapshot().WriteJSON(w); err != nil {
-		// Headers are gone; nothing to do but note it.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.reg.Snapshot().WriteJSON(w); err != nil {
+			// Headers are gone; nothing to do but note it.
+			s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "metrics_write"), 1)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	if err := s.reg.Snapshot().WritePrometheus(w); err != nil {
 		s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "metrics_write"), 1)
+	}
+}
+
+// statusSnapshot builds the fleet status. Without an aggregator the fleet
+// view is empty (the server is running journal-less); the endpoint still
+// answers so probes need not know the deployment mode.
+func (s *Server) statusSnapshot() (fleetstatus.Status, error) {
+	if s.cfg.Status == nil {
+		return fleetstatus.Status{UnixMs: time.Now().UnixMilli()}, nil
+	}
+	return s.cfg.Status.Status()
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	st, err := s.statusSnapshot()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "status", err)
+		return
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "encode", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, "", body)
+}
+
+// handleStatusStream pushes the fleet status as server-sent events: one
+// `status` event immediately, then one per interval (?interval_ms, default
+// 1000, floor 100) until the client disconnects.
+func (s *Server) handleStatusStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, "status", errors.New("streaming unsupported"))
+		return
+	}
+	interval := time.Second
+	if ms, err := strconv.Atoi(r.URL.Query().Get("interval_ms")); err == nil && ms > 0 {
+		if ms < 100 {
+			ms = 100
+		}
+		interval = time.Duration(ms) * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := s.statusSnapshot()
+		if err != nil {
+			fmt.Fprintf(w, "event: error\ndata: %q\n\n", err.Error())
+			fl.Flush()
+			return
+		}
+		body, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: status\ndata: %s\n\n", body)
+		fl.Flush()
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+		}
 	}
 }
 
@@ -206,25 +295,64 @@ func (s *Server) fail(w http.ResponseWriter, status int, kind string, err error)
 	writeJSON(w, status, "", body)
 }
 
+// traceRequest mints (or adopts, from an incoming X-Lrd-Trace header) the
+// request's TraceContext, attaches it and the server's span sink to the
+// context, echoes the trace id back as the X-Lrd-Trace response header,
+// and opens the root request span. The returned finish closure emits the
+// span and the per-request slog line.
+func (s *Server) traceRequest(w http.ResponseWriter, r *http.Request, name string) (context.Context, func(status int, disposition string)) {
+	start := time.Now()
+	traceID := r.Header.Get("X-Lrd-Trace")
+	if traceID == "" {
+		traceID = obs.NewTraceID()
+	}
+	ctx := obs.ContextWithTrace(r.Context(), obs.TraceContext{TraceID: traceID})
+	ctx = obs.ContextWithSpanSink(ctx, s.cfg.SpanSink)
+	ctx, finishSpan := obs.StartSpan(ctx, name)
+	w.Header().Set("X-Lrd-Trace", traceID)
+	return ctx, func(status int, disposition string) {
+		if obs.Traced(ctx) {
+			finishSpan(map[string]string{
+				"path":        r.URL.Path,
+				"status":      strconv.Itoa(status),
+				"disposition": disposition,
+			})
+		}
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", status,
+				"disposition", disposition,
+				"dur", time.Since(start).Round(time.Microsecond).String(),
+				"trace", traceID)
+		}
+	}
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.reg.Add(obs.MetricServeRequests, 1)
 	defer func() { s.reg.Observe(obs.MetricServeRequestSeconds, time.Since(start).Seconds()) }()
+	ctx, finish := s.traceRequest(w, r, "serve.solve")
 
 	var req SolveRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		finish(http.StatusBadRequest, "")
 		s.fail(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	job, err := req.build(s.cfg.Solver)
 	if err != nil {
+		finish(http.StatusBadRequest, "")
 		s.fail(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
 
-	status, disposition, body := s.solveOne(r.Context(), req, job)
+	status, disposition, body := s.solveOne(ctx, req, job)
+	finish(status, disposition)
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 	}
@@ -242,16 +370,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.reg.Add(obs.MetricServeRequests, 1)
 	defer func() { s.reg.Observe(obs.MetricServeRequestSeconds, time.Since(start).Seconds()) }()
+	ctx, finish := s.traceRequest(w, r, "serve.sweep")
 
 	var req SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		finish(http.StatusBadRequest, "")
 		s.fail(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	cells, err := req.cells()
 	if err != nil {
+		finish(http.StatusBadRequest, "")
 		s.fail(w, http.StatusBadRequest, "bad_request", err)
 		return
 	}
@@ -263,6 +394,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for i, cr := range cells {
 		job, err := cr.build(s.cfg.Solver)
 		if err != nil {
+			finish(http.StatusBadRequest, "")
 			s.fail(w, http.StatusBadRequest, "bad_request",
 				fmt.Errorf("cell %d (buffer=%g, cutoff=%g): %w", i, cr.Buffer, cr.Cutoff, err))
 			return
@@ -276,7 +408,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			status, disposition, body := s.solveOne(r.Context(), jobs[i].req, jobs[i].job)
+			status, disposition, body := s.solveOne(ctx, jobs[i].req, jobs[i].job)
 			results[i] = SweepCellResult{
 				Buffer: jobs[i].req.Buffer,
 				Cutoff: jobs[i].req.Cutoff,
@@ -299,9 +431,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := json.Marshal(SweepResponse{Cells: results})
 	if err != nil {
+		finish(http.StatusInternalServerError, "")
 		s.fail(w, http.StatusInternalServerError, "encode", fmt.Errorf("encoding sweep response: %w", err))
 		return
 	}
+	finish(status, "")
 	writeJSON(w, status, "", body)
 }
 
@@ -364,7 +498,11 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest, job solveJob) (
 // over, while a converged solve's journal append consumes it.
 func (s *Server) leaseAndSolve(ctx context.Context, req SolveRequest, job solveJob, disposition *string) (int, []byte) {
 	if s.cfg.Leases != nil {
-		raw, acquired, err := s.cfg.Leases.Acquire(ctx, job.key)
+		leaseCtx, finishLease := obs.StartSpan(ctx, "lease.acquire")
+		raw, acquired, err := s.cfg.Leases.Acquire(leaseCtx, job.key)
+		if obs.Traced(ctx) {
+			finishLease(map[string]string{"key": job.key, "acquired": strconv.FormatBool(acquired)})
+		}
 		if err != nil {
 			s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "lease"), 1)
 			body, _ := json.Marshal(map[string]string{"error": "acquiring fleet lease: " + err.Error()})
@@ -483,7 +621,12 @@ func (s *Server) admitAndSolve(ctx context.Context, req SolveRequest, job solveJ
 		}
 		s.reg.Set(obs.MetricServeCacheEntries, float64(s.cache.len()))
 		if s.cfg.Journal != nil {
-			if jerr := s.cfg.Journal.Store(job.key, json.RawMessage(body)); jerr != nil {
+			_, finishAppend := obs.StartSpan(ctx, "journal.append")
+			jerr := s.cfg.Journal.Store(job.key, json.RawMessage(body))
+			if obs.Traced(ctx) {
+				finishAppend(map[string]string{"key": job.key})
+			}
+			if jerr != nil {
 				// The response is still good; durability degraded.
 				s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "journal"), 1)
 			}

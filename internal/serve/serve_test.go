@@ -350,7 +350,8 @@ func TestModelRequests(t *testing.T) {
 	}
 }
 
-// TestMetricsAndHealth: the observability endpoints serve JSON.
+// TestMetricsAndHealth: /metrics serves conformant Prometheus text by
+// default and the JSON snapshot under ?format=json.
 func TestMetricsAndHealth(t *testing.T) {
 	s := New(Config{})
 	ts := httptest.NewServer(s.Handler())
@@ -368,6 +369,22 @@ func TestMetricsAndHealth(t *testing.T) {
 	}
 
 	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	if err := obs.LintExposition(bytes.NewReader(prom)); err != nil {
+		t.Fatalf("/metrics fails the exposition linter: %v\n%s", err, prom)
+	}
+	if !bytes.Contains(prom, []byte(obs.MetricServeRequests+" 1")) {
+		t.Fatalf("%s missing from exposition:\n%s", obs.MetricServeRequests, prom)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 	"errors"
+	"strconv"
 	"time"
 
 	"lrd/internal/obs"
@@ -99,8 +100,25 @@ func SolveModelContext(ctx context.Context, m Model, cfg Config) (Result, error)
 // degraded Result (Converged false, Degraded set, Lower <= Loss <= Upper)
 // with a nil error.
 func (it *Iterator) RunContext(ctx context.Context) (Result, error) {
+	// Correlated tracing: stamp the context's trace id on every TracePoint
+	// and bracket the solve in a span. Both are gated so the untraced path
+	// (Trace nil, no SpanSink in ctx) stays allocation-free.
+	if it.cfg.Trace != nil {
+		if tc, ok := obs.TraceFromContext(ctx); ok {
+			it.traceID = tc.TraceID
+		}
+	}
+	ctx, finish := obs.StartSpan(ctx, "solver.solve")
 	r, err := it.runContext(ctx)
 	it.observeFinish(r, err)
+	if obs.Traced(ctx) {
+		finish(map[string]string{
+			"solve":      strconv.FormatUint(it.id, 10),
+			"iterations": strconv.Itoa(it.iterations),
+			"bins":       strconv.Itoa(it.bins),
+			"degraded":   string(r.Degraded),
+		})
+	}
 	return r, err
 }
 

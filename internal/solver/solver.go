@@ -247,6 +247,9 @@ type TracePoint struct {
 	Elapsed float64 `json:"elapsed_s"`
 	// Final marks the last point of a solve (emitted from RunContext).
 	Final bool `json:"final,omitempty"`
+	// Trace is the correlated trace id (obs.TraceContext) of the request
+	// or sweep cell that drove this solve, when the context carried one.
+	Trace string `json:"trace,omitempty"`
 }
 
 // solveSeq numbers Iterators process-wide so concurrent solves' trace
@@ -382,8 +385,9 @@ type Iterator struct {
 	lowerLoss   float64
 	upperLoss   float64
 
-	id    uint64    // process-unique solve id for trace disambiguation
-	start time.Time // Iterator creation time (trace/metrics wall clock)
+	id      uint64    // process-unique solve id for trace disambiguation
+	start   time.Time // Iterator creation time (trace/metrics wall clock)
+	traceID string    // correlated trace id stamped on every TracePoint
 
 	// Trace envelope: the tightest bracket seen so far. Every iteration's
 	// bounds bracket the true loss (Prop. II.1), so their running
@@ -542,6 +546,7 @@ func (it *Iterator) tracePoint(final bool) TracePoint {
 		Upper:     it.traceHi,
 		Elapsed:   time.Since(it.start).Seconds(),
 		Final:     final,
+		Trace:     it.traceID,
 	}
 }
 

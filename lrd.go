@@ -295,14 +295,42 @@ type (
 	// MetricsSnapshot is a point-in-time JSON-marshalable registry export.
 	MetricsSnapshot = obs.Snapshot
 	// TracePoint is one per-iteration convergence observation (solve id,
-	// iteration, resolution, lower/upper bound, elapsed wall time).
+	// iteration, resolution, lower/upper bound, elapsed wall time). When
+	// the solve's context carries a TraceContext, each point also carries
+	// the trace id.
 	TracePoint = solver.TracePoint
+	// TraceContext identifies one causal chain (trace id + span id),
+	// threaded through context.Context from entry points down to solver
+	// steps and journal appends.
+	TraceContext = obs.TraceContext
+	// TraceSpan is one completed traced operation, emitted as a JSONL
+	// record through a SpanSink.
+	TraceSpan = obs.Span
+	// SpanSink receives completed spans; attach one with
+	// ContextWithSpanSink to make StartSpan live below it.
+	SpanSink = obs.SpanSink
 )
 
 // Observability constructors and options.
 var (
 	// NewMetricsRegistry builds an empty MetricsRegistry.
 	NewMetricsRegistry = obs.NewRegistry
+	// NewTrace mints a root TraceContext for a new entry point.
+	NewTrace = obs.NewTrace
+	// NewTraceID mints a fresh 16-hex-digit trace id.
+	NewTraceID = obs.NewTraceID
+	// ContextWithTrace attaches a TraceContext to a context.
+	ContextWithTrace = obs.ContextWithTrace
+	// TraceFromContext returns the context's TraceContext, if any, without
+	// allocating.
+	TraceFromContext = obs.TraceFromContext
+	// ContextWithSpanSink attaches a SpanSink; StartSpan below it emits
+	// spans. A nil sink leaves the context unchanged.
+	ContextWithSpanSink = obs.ContextWithSpanSink
+	// StartSpan begins a traced operation and returns the child context
+	// plus a finish function; with no sink attached it is allocation-free
+	// and returns the context unchanged.
+	StartSpan = obs.StartSpan
 )
 
 // RecorderConfig returns a copy of cfg with the telemetry recorder
