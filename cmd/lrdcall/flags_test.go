@@ -1,0 +1,23 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"lrd/internal/cliflags"
+)
+
+// TestSharedFlagsMatchCanon is this binary's half of the cross-command
+// drift check: its own -h output must register every shared flag with the
+// canonical name, default, and help text (see internal/cliflags).
+func TestSharedFlagsMatchCanon(t *testing.T) {
+	code, _, usage := runCapture(context.Background(), "", "-h")
+	if code != 2 {
+		t.Fatalf("-h exit code = %d, want 2", code)
+	}
+	if err := cliflags.CheckUsage(usage,
+		"fleet", "attempts", "hedge-after", "breaker-fails", "breaker-cooldown",
+		"timeout", "metrics", "progress"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Command lrdcall talks to an lrdserve fleet through the resilient client:
+// every request gets exponential backoff with full jitter (honoring
+// Retry-After), per-replica circuit breakers, and optional hedging — the
+// same machinery lrdsweep -fleet rides, packaged as a curl replacement that
+// understands replica sets.
+//
+// The last argument names the call:
+//
+//	solve    POST /v1/solve   — request body read from stdin (JSON)
+//	sweep    POST /v1/sweep   — request body read from stdin (JSON)
+//	readyz   GET  /readyz     — readiness probe
+//	healthz  GET  /healthz    — liveness probe
+//	status   GET  /v1/status  — journal-derived fleet status
+//	metrics  GET  /metrics    — Prometheus exposition
+//
+// The response body is written to stdout; the replica that answered, the
+// attempt count, and the status go to stderr as a log line. The exit code
+// is 0 for a 2xx response, 1 otherwise — note that by default non-2xx
+// retryable statuses (5xx, 429) are retried -attempts times before the
+// command gives up; use -attempts 1 for a point-in-time probe.
+//
+// Example:
+//
+//	echo '{"marginal":"0:0.5,2:0.5","hurst":0.8,"epoch":0.05,"util":0.8,"buffer":0.5}' |
+//	  lrdcall -fleet http://a:8080,http://b:8080 -hedge-after 200ms solve
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	"lrd/internal/cliflags"
+	"lrd/internal/obs"
+)
+
+// calls maps the positional call name to its method and path.
+var calls = map[string]struct {
+	method, path string
+	body         bool // read the request body from stdin
+}{
+	"solve":   {"POST", "/v1/solve", true},
+	"sweep":   {"POST", "/v1/sweep", true},
+	"readyz":  {"GET", "/readyz", false},
+	"healthz": {"GET", "/healthz", false},
+	"status":  {"GET", "/v1/status", false},
+	"metrics": {"GET", "/metrics", false},
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses args with its own FlagSet,
+// writes the response body to stdout and diagnostics to stderr, and returns
+// the exit code instead of calling os.Exit.
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lrdcall", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fleet := cliflags.FleetGroup(fs)
+	budget := cliflags.BudgetGroup(fs)
+	oflags := cliflags.ObsGroup(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cli, err := obs.StartCLI(oflags.CLIOptions("lrdcall", stderr))
+	if err != nil {
+		fmt.Fprintf(stderr, "lrdcall: %v\n", err)
+		return 1
+	}
+	defer cli.Close()
+	logger := obs.NewLogger(stderr, "lrdcall", cli.Trace())
+
+	if !fleet.Enabled() {
+		logger.Error("lrdcall: -fleet is required (comma-separated lrdserve base URLs)")
+		return 1
+	}
+	name := fs.Arg(0)
+	call, ok := calls[name]
+	if !ok {
+		logger.Error(fmt.Sprintf("lrdcall: unknown call %q (want solve, sweep, readyz, healthz, status, or metrics)", name))
+		return 1
+	}
+
+	client, err := fleet.Client("lrdcall", cli.Recorder())
+	if err != nil {
+		logger.Error(fmt.Sprintf("lrdcall: %v", err))
+		return 1
+	}
+
+	var body []byte
+	if call.body {
+		if body, err = io.ReadAll(stdin); err != nil {
+			logger.Error(fmt.Sprintf("lrdcall: reading request body: %v", err))
+			return 1
+		}
+	}
+
+	ctx, cancel := budget.Context(ctx)
+	defer cancel()
+	res, err := client.Do(ctx, call.method, call.path, body)
+	if err != nil {
+		logger.Error(fmt.Sprintf("lrdcall: %s: %v", name, err))
+		return 1
+	}
+	logger.Info(fmt.Sprintf("%s %s: %d", call.method, call.path, res.Status),
+		"replica", res.Replica, "attempt", res.Attempt, "hedged", res.Hedged)
+	stdout.Write(res.Body)
+	if len(res.Body) > 0 && res.Body[len(res.Body)-1] != '\n' {
+		fmt.Fprintln(stdout)
+	}
+	if res.Status < 200 || res.Status > 299 {
+		return 1
+	}
+	return 0
+}

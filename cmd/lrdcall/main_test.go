@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lrd/internal/serve"
+)
+
+func runCapture(ctx context.Context, stdin string, args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(ctx, args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// testServer spins a real in-process lrdserve handler.
+func testServer(t *testing.T, ready bool) *httptest.Server {
+	t.Helper()
+	s := serve.New(serve.Config{})
+	if ready {
+		s.MarkReady()
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+const solveReq = `{"marginal":"0:0.5,2:0.5","hurst":0.8,"epoch":0.05,"cutoff":1,"util":0.8,"buffer":0.1,"solver":{"relgap":0.5}}`
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if code, _, _ := runCapture(context.Background(), "", "-no-such-flag"); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRequiresFleet(t *testing.T) {
+	code, _, stderr := runCapture(context.Background(), "", "solve")
+	if code != 1 || !strings.Contains(stderr, "-fleet is required") {
+		t.Fatalf("code=%d stderr=%s", code, stderr)
+	}
+}
+
+func TestUnknownCall(t *testing.T) {
+	ts := testServer(t, true)
+	code, _, stderr := runCapture(context.Background(), "", "-fleet", ts.URL, "frobnicate")
+	if code != 1 || !strings.Contains(stderr, "unknown call") {
+		t.Fatalf("code=%d stderr=%s", code, stderr)
+	}
+}
+
+// TestSolveThroughFleet: a solve request from stdin round-trips through the
+// resilient client to a live replica.
+func TestSolveThroughFleet(t *testing.T) {
+	ts := testServer(t, true)
+	code, stdout, stderr := runCapture(context.Background(), solveReq, "-fleet", ts.URL, "solve")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"loss"`) {
+		t.Fatalf("stdout = %s, want a solve response", stdout)
+	}
+}
+
+// TestReadyzNotReady: a cold replica answers 503 and lrdcall exits 1 (with
+// -attempts 1 there is no retry loop to wait through).
+func TestReadyzNotReady(t *testing.T) {
+	ts := testServer(t, false)
+	code, stdout, _ := runCapture(context.Background(), "", "-fleet", ts.URL, "-attempts", "1", "readyz")
+	if code != 1 || !strings.Contains(stdout, "starting") {
+		t.Fatalf("code=%d stdout=%s, want 1 + starting body", code, stdout)
+	}
+	code, stdout, _ = runCapture(context.Background(), "", "-fleet", ts.URL, "-attempts", "1", "healthz")
+	if code != 0 {
+		t.Fatalf("healthz code=%d stdout=%s", code, stdout)
+	}
+}
+
+// TestFailoverToSecondReplica: with the first replica dead, the call still
+// succeeds via the second.
+func TestFailoverToSecondReplica(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close() // nothing listens here anymore
+	ts := testServer(t, true)
+	code, stdout, stderr := runCapture(context.Background(), solveReq,
+		"-fleet", dead.URL+","+ts.URL, "solve")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"loss"`) {
+		t.Fatalf("stdout = %s", stdout)
+	}
+}
+
+// TestMetricsCall: GET /metrics streams the Prometheus exposition.
+func TestMetricsCall(t *testing.T) {
+	ts := testServer(t, true)
+	code, stdout, stderr := runCapture(context.Background(), "", "-fleet", ts.URL, "metrics")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "# TYPE") {
+		t.Fatalf("stdout = %.200s, want Prometheus exposition", stdout)
+	}
+}

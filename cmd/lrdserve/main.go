@@ -14,6 +14,8 @@
 //	                         -journal)
 //	GET  /v1/status/stream — the same status as a Server-Sent-Events stream
 //	GET  /healthz          — liveness probe
+//	GET  /readyz           — readiness probe: 503 until the cache warm-load
+//	                         completes and during graceful drain, 200 between
 //
 // Identical concurrent requests coalesce onto one solve; repeated requests
 // are answered from an LRU cache with bit-identical bytes (the X-Lrd-Cache
@@ -33,9 +35,14 @@
 // the others from the journal — the cross-process generalization of the
 // in-process request coalescing.
 //
-// On SIGINT/SIGTERM (or when the -timeout budget expires) the server stops
-// accepting connections, drains in-flight solves for up to -drain, and
-// exits 0.
+// Admission: -rate-limit imposes a per-client token bucket on the /v1/
+// endpoints (burst -rate-burst), shedding excess with 429 and a
+// queue-depth-aware Retry-After; probes and /metrics are never throttled.
+//
+// On SIGINT/SIGTERM (or when the -timeout budget expires) the server first
+// flips /readyz to 503 and waits -drain-grace so load balancers reroute,
+// then stops accepting connections, drains in-flight solves for up to
+// -drain, and exits 0.
 //
 // Example:
 //
@@ -89,6 +96,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		relGap      = fs.Float64("relgap", 0.2, "default bound convergence target (paper: 0.2)")
 		maxBins     = fs.Int("maxbins", 0, "default resolution cap (default 32768)")
 		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining in-flight solves")
+		drainGrace  = fs.Duration("drain-grace", 0, "pause between flipping /readyz to draining and closing the listener, giving load balancers time to reroute")
+		rateLimit   = fs.Float64("rate-limit", 0, "per-client request rate on /v1/ endpoints in req/s (0 = unlimited)")
+		rateBurst   = fs.Int("rate-burst", 0, "per-client burst capacity for -rate-limit (default 2x the rate)")
 	)
 	budget := cliflags.BudgetGroup(fs)
 	jflags := cliflags.JournalGroup(fs)
@@ -120,6 +130,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		CacheSize:      *cacheSize,
 		RequestTimeout: *reqTimeout,
 		Solver:         solver.Config{RelGap: *relGap, MaxBins: *maxBins},
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
 		Registry:       cli.Registry(), // /metrics and the -metrics snapshot share one registry
 		SpanSink:       cli.SpanSink(), // -trace: request/lease/solve/append spans as JSONL
 		Logger:         reqLogger,
@@ -167,6 +179,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	logger.Info(fmt.Sprintf("listening on http://%s", ln.Addr()), "addr", ln.Addr().String())
+	// The cache warm-load happened inside serve.New, so by the time the
+	// listener exists the replica genuinely is ready.
+	srv.MarkReady()
 
 	// -timeout bounds the server's lifetime on top of the signal context —
 	// handy for smoke tests and batch warm-ups.
@@ -183,8 +198,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, finish what's running. A solve
-	// that outlives the -drain budget is abandoned and the exit is dirty.
+	// Graceful shutdown, in load-balancer-safe order: first flip /readyz to
+	// draining so new work routes elsewhere, hold the listener open for the
+	// -drain-grace window (requests already routed here still connect and
+	// complete — no resets), then stop accepting and finish what's running.
+	// A solve that outlives the -drain budget is abandoned and the exit is
+	// dirty.
+	srv.StartDrain()
+	logger.Info("draining: /readyz now 503", "grace", drainGrace.String())
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
+	}
 	logger.Info("shutting down; draining in-flight solves")
 	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drain)
 	defer drainCancel()

@@ -223,3 +223,87 @@ func TestServeLifetimeBudget(t *testing.T) {
 		t.Fatal("-timeout did not stop the server")
 	}
 }
+
+// TestGracefulDrainNeverResets is the load-balancer-contract regression:
+// after SIGINT (context cancel) the server flips /readyz to "draining"
+// while the listener stays open for -drain-grace, so requests already
+// routed here complete normally — no client ever sees a connection reset.
+// Once the grace window ends, new connections are refused (a clean
+// signal), never reset.
+func TestGracefulDrainNeverResets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a real server")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errw syncWriter
+	base, done := startServer(t, ctx, &out, &errw, "-drain-grace", "750ms")
+
+	// Warm the cache so drain-window solves answer instantly.
+	if resp, body := postSolve(t, base, smallSolve); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup solve: %d %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(base + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain /readyz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	// One connection per request: a listener-level reset cannot hide
+	// behind connection reuse.
+	client := &http.Client{
+		Timeout:   5 * time.Second,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+	cancel() // the "SIGINT"
+
+	var sawDraining, solvedDuringDrain bool
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("drain never completed; stderr:\n%s", errw.String())
+		}
+		resp, err := client.Get(base + "/readyz")
+		if err != nil {
+			if strings.Contains(err.Error(), "connection reset") {
+				t.Fatalf("client saw a reset during graceful drain: %v", err)
+			}
+			break // connection refused: the grace window ended cleanly
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && strings.Contains(string(body), "draining") {
+			sawDraining = true
+			if !solvedDuringDrain {
+				sresp, serr := client.Post(base+"/v1/solve", "application/json", strings.NewReader(smallSolve))
+				if serr != nil {
+					if strings.Contains(serr.Error(), "connection reset") {
+						t.Fatalf("solve reset during drain grace: %v", serr)
+					}
+					break
+				}
+				sbody, _ := io.ReadAll(sresp.Body)
+				sresp.Body.Close()
+				if sresp.StatusCode == http.StatusOK && len(sbody) > 0 {
+					solvedDuringDrain = true
+				}
+			}
+		}
+	}
+	if !sawDraining {
+		t.Fatalf("never observed /readyz draining; stderr:\n%s", errw.String())
+	}
+	if !solvedDuringDrain {
+		t.Fatal("no solve completed during the drain-grace window")
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("drain exit code = %d; stderr:\n%s", code, errw.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not exit after drain")
+	}
+	if !strings.Contains(errw.String(), "draining: /readyz now 503") {
+		t.Fatalf("drain ordering log line missing; stderr:\n%s", errw.String())
+	}
+}

@@ -31,6 +31,18 @@
 // -workers caps the in-process solver pool so a fleet's total matches the
 // machine.
 //
+// Remote solving: -fleet offloads each cell's numeric work to lrdserve
+// replicas through the resilient fleet client — exponential backoff with
+// jitter (-attempts), per-replica circuit breakers (-breaker-fails,
+// -breaker-cooldown), and optional request hedging (-hedge-after).
+// Journaling, leasing, and retries still run locally, so -journal/-resume
+// and the output bytes behave exactly as in a local run.
+//
+// Journal maintenance: -compact rewrites the -journal to one record per key
+// (atomic replace) and exits; -compact-mb does the same automatically on
+// -resume when the journal has outgrown a size budget. Neither may run
+// while live workers share the journal.
+//
 // Traffic models: -model selects the registered source model the sweep's
 // cells are realized as (fluid, onoff, markov, mmfq — see internal/source);
 // -model-params passes key=value model parameters. A comma-separated
@@ -96,12 +108,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("lrdsweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "", "experiment id (see -list)")
-		seed   = fs.Int64("seed", 1, "random seed for trace synthesis and shuffling")
-		quick  = fs.Bool("quick", false, "use shrunken grids for a fast run")
-		list   = fs.Bool("list", false, "list experiment ids and exit")
-		out    = fs.String("out", "", "write the TSV atomically to this file instead of stdout")
-		status = fs.Bool("status", false, "print the journal-derived fleet status table and exit (requires -journal)")
+		exp     = fs.String("exp", "", "experiment id (see -list)")
+		seed    = fs.Int64("seed", 1, "random seed for trace synthesis and shuffling")
+		quick   = fs.Bool("quick", false, "use shrunken grids for a fast run")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		out     = fs.String("out", "", "write the TSV atomically to this file instead of stdout")
+		status  = fs.Bool("status", false, "print the journal-derived fleet status table and exit (requires -journal)")
+		compact = fs.Bool("compact", false, "compact the -journal to one record per key and exit (no live workers may share it)")
 	)
 	budget := cliflags.BudgetGroup(fs)
 	pointBudget := cliflags.PointBudgetGroup(fs)
@@ -112,6 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	oflags := cliflags.ObsGroup(fs)
 	sflags := cliflags.StatusGroup(fs)
 	modelSpecs := cliflags.ModelGroup(fs)
+	fleet := cliflags.FleetGroup(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -148,6 +162,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			logger.Error(fmt.Sprintf("lrdsweep: %v", err))
 			return 1
 		}
+		return 0
+	}
+
+	if *compact {
+		// One-shot maintenance: rewrite the journal to one record per key
+		// (atomic replace, quarantining damaged lines) and exit. Safe only
+		// when no live worker shares the journal — compaction must not race
+		// appenders holding the old inode open.
+		if *jflags.Path == "" {
+			logger.Error("lrdsweep: -compact requires -journal")
+			return 1
+		}
+		cs, err := journal.Compact(*jflags.Path)
+		if err != nil {
+			logger.Error(fmt.Sprintf("lrdsweep: %v", err))
+			return 1
+		}
+		fmt.Fprintf(stdout, "compacted %s: %d → %d records, %d → %d bytes (%d reclaimed)\n",
+			*jflags.Path, cs.RecordsIn, cs.RecordsOut, cs.BytesBefore, cs.BytesAfter, cs.Reclaimed())
 		return 0
 	}
 
@@ -205,6 +238,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer store.Close()
 			opts.Store = store
 		}
+	}
+	// Remote mode (-fleet): the numeric work of each cell moves to lrdserve
+	// replicas through the resilient client (retries, circuit breakers,
+	// optional hedging); journaling, leasing, and the retry policy still run
+	// locally, so crash safety and output identity are unchanged.
+	if fleet.Enabled() {
+		fc, err := fleet.Client("lrdsweep", cli.Recorder())
+		if err != nil {
+			logger.Error(fmt.Sprintf("lrdsweep: %v", err))
+			return 1
+		}
+		opts.Remote = remoteSolver(fc)
 	}
 
 	// With one model the table is the experiment's own (bit-identical for

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"lrd/internal/core"
+	"lrd/internal/resilient"
+	"lrd/internal/serve"
+	"lrd/internal/solver"
+	"lrd/internal/source"
+)
+
+// remoteSolver adapts the resilient fleet client into a core.RemoteSolveFunc:
+// each sweep cell becomes a POST /v1/solve against the -fleet replicas, with
+// retries, circuit breaking, and hedging handled by the client. The request
+// ships the reference source's exact parameters (alpha rather than the
+// derived Hurst, the normalized marginal in shortest round-trippable form),
+// so the replica reconstructs bit-identical solver inputs; the returned
+// Point is populated exactly as the local solveCell would populate it.
+func remoteSolver(client *resilient.Client) core.RemoteSolveFunc {
+	return func(ctx context.Context, cell core.RemoteCell) (core.Point, error) {
+		req := serve.SolveRequest{
+			Marginal: source.FormatMarginal(cell.Ref.Marginal),
+			Alpha:    cell.Ref.Interarrival.Alpha,
+			Theta:    cell.Ref.Interarrival.Theta,
+			Util:     cell.Util,
+			Buffer:   cell.NormalizedBuffer,
+			Model:    cell.Model,
+			Solver: serve.SolverParams{
+				RelGap:  cell.Config.RelGap,
+				MaxBins: cell.Config.MaxBins,
+			},
+		}
+		// The wire encoding reads 0 as "no cutoff"; +Inf does not survive
+		// JSON anyway.
+		if !math.IsInf(cell.Ref.Interarrival.Cutoff, 1) {
+			req.Cutoff = cell.Ref.Interarrival.Cutoff
+		}
+		var res serve.SolveResponse
+		if _, err := client.DoJSON(ctx, "POST", "/v1/solve", req, &res); err != nil {
+			return core.Point{}, fmt.Errorf("remote solve: %w", err)
+		}
+		// Realize the model locally (cheap: no solving) so the Point carries
+		// the same reference Cutoff/Hurst coordinates solveCell reports —
+		// remote cells must land in the same table rows as local ones.
+		src, err := cell.Model.Realize(cell.Ref)
+		if err != nil {
+			return core.Point{}, err
+		}
+		return core.Point{
+			NormalizedBuffer: cell.NormalizedBuffer,
+			Cutoff:           src.Cutoff(),
+			Hurst:            src.Hurst(),
+			Scale:            1,
+			Streams:          1,
+			Loss:             res.Loss,
+			Lower:            res.Lower,
+			Upper:            res.Upper,
+			Converged:        res.Converged,
+			Degraded:         solver.DegradeReason(res.Degraded),
+		}, nil
+	}
+}

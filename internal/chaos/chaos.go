@@ -1,0 +1,274 @@
+// Package chaos is a TCP fault-injection proxy for exercising the fleet
+// stack the way a bad network would: added latency, connection resets
+// mid-exchange, truncated responses, and black-holed connections that
+// accept and then say nothing. It exists so the e2e suite can assert the
+// strong property — a sweep pointed through a chaotic proxy produces
+// byte-identical results to a clean run — rather than hoping resilience
+// code works from unit tests alone.
+//
+// Faults are counter-based and therefore deterministic: the n-th accepted
+// connection (1-based) misbehaves iff n is a multiple of the corresponding
+// *Every knob, with priority blackhole > reset > truncate when several
+// match. Determinism matters because the e2e asserts exact recovery, not
+// "usually recovers".
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the proxy. Zero values disable each fault.
+type Config struct {
+	// Upstream is the host:port the proxy forwards healthy traffic to.
+	Upstream string
+	// Listen is the address to listen on; default "127.0.0.1:0" (ephemeral).
+	Listen string
+	// Latency is added once per connection before dialing upstream,
+	// simulating a slow path (applies to faulty connections too).
+	Latency time.Duration
+	// ResetEvery sends a TCP RST on every n-th connection (0 = never).
+	ResetEvery int
+	// TruncateEvery forwards only TruncateBytes of the upstream response on
+	// every n-th connection, then resets both sides (0 = never).
+	TruncateEvery int
+	// TruncateBytes is the response prefix length delivered before a
+	// truncation reset. Default 512.
+	TruncateBytes int64
+	// BlackholeEvery accepts and then ignores every n-th connection until
+	// the proxy closes (0 = never) — the client sees pure silence and must
+	// save itself with a deadline.
+	BlackholeEvery int
+	// Logf, when set, receives one line per injected fault.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts the proxy's decisions. All fields are totals since start.
+type Stats struct {
+	Accepted    int64
+	Proxied     int64 // connections forwarded without any fault
+	Resets      int64
+	Truncations int64
+	Blackholes  int64
+}
+
+// Proxy is a running fault injector. Create with New, stop with Close.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+
+	accepted    atomic.Int64
+	proxied     atomic.Int64
+	resets      atomic.Int64
+	truncations atomic.Int64
+	blackholes  atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts the proxy listening (use Addr for the bound address).
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Upstream == "" {
+		return nil, errors.New("chaos: Upstream is required")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.TruncateBytes <= 0 {
+		cfg.TruncateBytes = 512
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy address as an http base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Stats returns a snapshot of fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Accepted:    p.accepted.Load(),
+		Proxied:     p.proxied.Load(),
+		Resets:      p.resets.Load(),
+		Truncations: p.truncations.Load(),
+		Blackholes:  p.blackholes.Load(),
+	}
+}
+
+// Close stops accepting, severs every live connection (black holes
+// included), and waits for the handlers to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// track registers a live connection for Close to sever; returns false when
+// the proxy is already closing (caller must drop the conn).
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n := p.accepted.Add(1)
+		if !p.track(conn) {
+			return
+		}
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.untrack(conn)
+			p.handle(conn, n)
+		}()
+	}
+}
+
+// every reports whether the n-th connection trips a fault with period k.
+func every(n int64, k int) bool { return k > 0 && n%int64(k) == 0 }
+
+// rst closes a connection with SO_LINGER=0 so the peer sees a hard RST
+// instead of a polite FIN — the difference between "server hung up" and
+// "network ate my connection", and exactly what resilient clients must
+// treat as a transport failure.
+func rst(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}
+
+func (p *Proxy) handle(conn net.Conn, n int64) {
+	if p.cfg.Latency > 0 {
+		time.Sleep(p.cfg.Latency)
+	}
+	switch {
+	case every(n, p.cfg.BlackholeEvery):
+		p.blackholes.Add(1)
+		p.logf("chaos: conn %d black-holed", n)
+		// Swallow whatever the client sends and never answer; the conn dies
+		// when the client gives up or the proxy closes.
+		io.Copy(io.Discard, conn)
+		conn.Close()
+	case every(n, p.cfg.ResetEvery):
+		p.resets.Add(1)
+		p.logf("chaos: conn %d reset", n)
+		// Let the request bytes arrive so the client is mid-exchange, then
+		// yank the floor out.
+		conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		buf := make([]byte, 1)
+		conn.Read(buf)
+		rst(conn)
+	case every(n, p.cfg.TruncateEvery):
+		p.truncations.Add(1)
+		p.logf("chaos: conn %d truncated after %d bytes", n, p.cfg.TruncateBytes)
+		p.truncate(conn)
+	default:
+		p.proxied.Add(1)
+		p.forward(conn)
+	}
+}
+
+// truncate forwards the request upstream, relays only TruncateBytes of the
+// response, then resets both legs.
+func (p *Proxy) truncate(conn net.Conn) {
+	up, err := net.Dial("tcp", p.cfg.Upstream)
+	if err != nil {
+		rst(conn)
+		return
+	}
+	if !p.track(up) {
+		rst(conn)
+		return
+	}
+	defer p.untrack(up)
+	done := make(chan struct{})
+	go func() {
+		io.Copy(up, conn) // request flows intact
+		close(done)
+	}()
+	io.CopyN(conn, up, p.cfg.TruncateBytes)
+	rst(conn)
+	rst(up)
+	<-done
+}
+
+// forward is the no-fault path: splice both directions until either side
+// closes.
+func (p *Proxy) forward(conn net.Conn) {
+	up, err := net.Dial("tcp", p.cfg.Upstream)
+	if err != nil {
+		rst(conn)
+		return
+	}
+	if !p.track(up) {
+		rst(conn)
+		return
+	}
+	defer p.untrack(up)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		io.Copy(up, conn)
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		io.Copy(conn, up)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	wg.Wait()
+	conn.Close()
+	up.Close()
+}

@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// upstream starts a plain HTTP server answering every request with a
+// fixed body longer than the truncation cutoff used in tests.
+func upstream(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	body := strings.Repeat("x", 4096)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, body
+}
+
+// client returns an http.Client that never reuses connections, so each
+// request maps to exactly one proxy connection and the counter-based
+// faults stay predictable.
+func client(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+func get(c *http.Client, url string) (string, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// TestForwardCleanly: with no faults configured the proxy is transparent.
+func TestForwardCleanly(t *testing.T) {
+	srv, body := upstream(t)
+	p, err := New(Config{Upstream: srv.Listener.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 3; i++ {
+		got, err := get(client(5*time.Second), p.URL())
+		if err != nil || got != body {
+			t.Fatalf("request %d: len=%d err=%v", i, len(got), err)
+		}
+	}
+	if s := p.Stats(); s.Proxied != 3 || s.Resets+s.Truncations+s.Blackholes != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestResetEvery: every second connection dies with a transport-level
+// error; the others pass untouched.
+func TestResetEvery(t *testing.T) {
+	srv, body := upstream(t)
+	p, err := New(Config{Upstream: srv.Listener.Addr().String(), ResetEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := client(5 * time.Second)
+	var failures int
+	for i := 1; i <= 4; i++ {
+		got, err := get(c, p.URL())
+		if i%2 == 0 {
+			if err == nil {
+				t.Fatalf("conn %d: want reset, got %d bytes", i, len(got))
+			}
+			failures++
+		} else if err != nil || got != body {
+			t.Fatalf("conn %d: err=%v", i, err)
+		}
+	}
+	if s := p.Stats(); s.Resets != 2 || s.Proxied != 2 || failures != 2 {
+		t.Fatalf("stats = %+v, failures = %d", s, failures)
+	}
+}
+
+// TestTruncateEvery: the client receives a response prefix and then a
+// reset — a read error, never a silently short success.
+func TestTruncateEvery(t *testing.T) {
+	srv, _ := upstream(t)
+	p, err := New(Config{Upstream: srv.Listener.Addr().String(), TruncateEvery: 1, TruncateBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	_, err = get(client(5*time.Second), p.URL())
+	if err == nil {
+		t.Fatal("truncated response read without error")
+	}
+	if s := p.Stats(); s.Truncations != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestBlackholeEvery: the connection hangs until the client's own timeout
+// saves it — the proxy never answers.
+func TestBlackholeEvery(t *testing.T) {
+	srv, _ := upstream(t)
+	p, err := New(Config{Upstream: srv.Listener.Addr().String(), BlackholeEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	_, err = get(client(300*time.Millisecond), p.URL())
+	if err == nil {
+		t.Fatal("black-holed request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
+		t.Fatalf("failed after %v, want to hang until the client deadline", elapsed)
+	}
+	if s := p.Stats(); s.Blackholes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestLatency: the added delay is observable on the clean path.
+func TestLatency(t *testing.T) {
+	srv, body := upstream(t)
+	p, err := New(Config{Upstream: srv.Listener.Addr().String(), Latency: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	got, err := get(client(5*time.Second), p.URL())
+	if err != nil || got != body {
+		t.Fatalf("err=%v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Fatalf("round trip took %v, want >= injected 150ms", elapsed)
+	}
+}
+
+// TestPriorityBlackholeOverReset: when both knobs match the same
+// connection, the blackhole wins (strictly nastier fault).
+func TestPriorityBlackholeOverReset(t *testing.T) {
+	srv, _ := upstream(t)
+	p, err := New(Config{Upstream: srv.Listener.Addr().String(), BlackholeEvery: 1, ResetEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	get(client(200*time.Millisecond), p.URL())
+	if s := p.Stats(); s.Blackholes != 1 || s.Resets != 0 {
+		t.Fatalf("stats = %+v, want the blackhole to shadow the reset", s)
+	}
+}
+
+// TestCloseSeversBlackholes: Close must not hang waiting for a black-holed
+// connection that will never finish on its own.
+func TestCloseSeversBlackholes(t *testing.T) {
+	srv, _ := upstream(t)
+	p, err := New(Config{Upstream: srv.Listener.Addr().String(), BlackholeEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := get(client(time.Minute), p.URL())
+		errc <- err
+	}()
+	// Wait until the proxy has swallowed the connection.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Blackholes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blackhole never engaged")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on a black-holed connection")
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("black-holed client somehow succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client still blocked after proxy Close")
+	}
+}
+
+// TestUpstreamDown: a dead upstream surfaces as a reset, not a hang.
+func TestUpstreamDown(t *testing.T) {
+	// Grab a port that nothing listens on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	p, err := New(Config{Upstream: dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, p.URL(), nil)
+	_, err = client(5 * time.Second).Do(req)
+	if err == nil || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a prompt connection error", err)
+	}
+}
+
+// TestNewRequiresUpstream: config validation.
+func TestNewRequiresUpstream(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing upstream accepted")
+	}
+}

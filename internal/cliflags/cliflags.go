@@ -20,6 +20,7 @@ import (
 	"lrd/internal/core"
 	"lrd/internal/fleetstatus"
 	"lrd/internal/obs"
+	"lrd/internal/resilient"
 	"lrd/internal/source"
 )
 
@@ -56,15 +57,17 @@ func (o *Obs) CLIOptions(name string, progressOut io.Writer) obs.CLIOptions {
 
 // Journal is the shared durability flag group.
 type Journal struct {
-	Path   *string
-	Resume *bool
+	Path      *string
+	Resume    *bool
+	CompactMB *int64
 }
 
-// JournalGroup registers -journal and -resume on fs.
+// JournalGroup registers -journal, -resume, and -compact-mb on fs.
 func JournalGroup(fs *flag.FlagSet) *Journal {
 	return &Journal{
-		Path:   fs.String("journal", "", canon["journal"].Usage),
-		Resume: fs.Bool("resume", false, canon["resume"].Usage),
+		Path:      fs.String("journal", "", canon["journal"].Usage),
+		Resume:    fs.Bool("resume", false, canon["resume"].Usage),
+		CompactMB: fs.Int64("compact-mb", 0, canon["compact-mb"].Usage),
 	}
 }
 
@@ -80,9 +83,10 @@ func (j *Journal) Open(prog string, rec obs.Recorder, warn io.Writer) (*core.Jou
 		return nil, nil
 	}
 	store, err := core.OpenJournalStore(*j.Path, core.JournalStoreOptions{
-		Resume:   *j.Resume,
-		Recorder: rec,
-		Warn:     warn,
+		Resume:           *j.Resume,
+		Recorder:         rec,
+		Warn:             warn,
+		CompactOverBytes: *j.CompactMB << 20,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", prog, err)
@@ -142,6 +146,64 @@ func (l *Lease) Open(prog string, j *Journal, rec obs.Recorder, warn io.Writer) 
 		fmt.Fprintf(warn, "%s: joining shared journal; %d completed cell(s) will be adopted\n", prog, store.Completed())
 	}
 	return store, nil
+}
+
+// Fleet is the shared remote-fleet flag group (lrdsweep -fleet and
+// lrdcall): -fleet lists lrdserve replica base URLs, the rest tune the
+// resilient client — retry attempts, hedging, and the per-replica circuit
+// breakers.
+type Fleet struct {
+	Fleet           *string
+	Attempts        *int
+	HedgeAfter      *time.Duration
+	BreakerFails    *int
+	BreakerCooldown *time.Duration
+}
+
+// FleetGroup registers -fleet, -attempts, -hedge-after, -breaker-fails,
+// and -breaker-cooldown on fs.
+func FleetGroup(fs *flag.FlagSet) *Fleet {
+	return &Fleet{
+		Fleet:           fs.String("fleet", "", canon["fleet"].Usage),
+		Attempts:        fs.Int("attempts", 4, canon["attempts"].Usage),
+		HedgeAfter:      fs.Duration("hedge-after", 0, canon["hedge-after"].Usage),
+		BreakerFails:    fs.Int("breaker-fails", 5, canon["breaker-fails"].Usage),
+		BreakerCooldown: fs.Duration("breaker-cooldown", 5*time.Second, canon["breaker-cooldown"].Usage),
+	}
+}
+
+// Enabled reports whether -fleet was given.
+func (f *Fleet) Enabled() bool { return *f.Fleet != "" }
+
+// Replicas returns the parsed -fleet list (comma-separated base URLs).
+func (f *Fleet) Replicas() []string {
+	var out []string
+	for _, r := range strings.Split(*f.Fleet, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Policy returns the parsed group as a resilient.Policy.
+func (f *Fleet) Policy() resilient.Policy {
+	return resilient.Policy{
+		MaxAttempts:     *f.Attempts,
+		HedgeAfter:      *f.HedgeAfter,
+		BreakerFailures: *f.BreakerFails,
+		BreakerCooldown: *f.BreakerCooldown,
+	}
+}
+
+// Client builds the resilient fleet client for the parsed group; call only
+// when Enabled.
+func (f *Fleet) Client(prog string, rec obs.Recorder) (*resilient.Client, error) {
+	c, err := resilient.New(f.Replicas(), resilient.Options{Policy: f.Policy(), Recorder: rec})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", prog, err)
+	}
+	return c, nil
 }
 
 // StatusFlags is the shared fleet-status flag group (lrdsweep -status and
@@ -233,22 +295,28 @@ type FlagSpec struct {
 // drift tests check -h output against it, so no binary can drift from the
 // table.
 var canon = map[string]FlagSpec{
-	"metrics":       {"metrics", "", "write a JSON metrics snapshot to this file on exit"},
-	"trace":         {"trace", "", "write solver convergence points and trace spans to this file as JSONL"},
-	"progress":      {"progress", "", "print a periodic progress line to stderr"},
-	"pprof":         {"pprof", "", "serve net/http/pprof, expvar, and Prometheus /metrics on this address (e.g. localhost:6060)"},
-	"expect-cells":  {"expect-cells", "", "expected total grid cells, for a true completion percentage in fleet status (0 = unknown)"},
-	"journal":       {"journal", "", "checkpoint every completed cell to this append-only journal"},
-	"resume":        {"resume", "", "replay the -journal and skip its completed cells"},
-	"workers":       {"workers", "", "cap the in-process sweep worker pool (0 = one per CPU)"},
-	"worker-id":     {"worker-id", "", "join the -journal as this named worker of a distributed fleet (leases cells, adopts peers' results)"},
-	"lease-ttl":     {"lease-ttl", "(default 10s)", "lease duration before an unrenewed cell claim is presumed dead and re-leased"},
-	"retries":       {"retries", "(default 1)", "attempts per cell for transiently failed/degraded cells"},
-	"retry-backoff": {"retry-backoff", "(default 100ms)", "base backoff between per-cell retry attempts"},
-	"timeout":       {"timeout", "", "wall-clock budget for the whole run (0 = none)"},
-	"point-timeout": {"point-timeout", "", "wall-clock budget per solver cell (0 = none)"},
-	"model":         {"model", `(default "fluid")`, ""}, // usage is registry-derived; checked by name+default only
-	"model-params":  {"model-params", "", "model parameters as key=value,… applied to every -model entry"},
+	"metrics":          {"metrics", "", "write a JSON metrics snapshot to this file on exit"},
+	"trace":            {"trace", "", "write solver convergence points and trace spans to this file as JSONL"},
+	"progress":         {"progress", "", "print a periodic progress line to stderr"},
+	"pprof":            {"pprof", "", "serve net/http/pprof, expvar, and Prometheus /metrics on this address (e.g. localhost:6060)"},
+	"expect-cells":     {"expect-cells", "", "expected total grid cells, for a true completion percentage in fleet status (0 = unknown)"},
+	"journal":          {"journal", "", "checkpoint every completed cell to this append-only journal"},
+	"resume":           {"resume", "", "replay the -journal and skip its completed cells"},
+	"compact-mb":       {"compact-mb", "", "auto-compact a resumed -journal larger than this many MiB before replaying (0 = never; single-process journals only)"},
+	"workers":          {"workers", "", "cap the in-process sweep worker pool (0 = one per CPU)"},
+	"worker-id":        {"worker-id", "", "join the -journal as this named worker of a distributed fleet (leases cells, adopts peers' results)"},
+	"lease-ttl":        {"lease-ttl", "(default 10s)", "lease duration before an unrenewed cell claim is presumed dead and re-leased"},
+	"retries":          {"retries", "(default 1)", "attempts per cell for transiently failed/degraded cells"},
+	"retry-backoff":    {"retry-backoff", "(default 100ms)", "base backoff between per-cell retry attempts"},
+	"timeout":          {"timeout", "", "wall-clock budget for the whole run (0 = none)"},
+	"point-timeout":    {"point-timeout", "", "wall-clock budget per solver cell (0 = none)"},
+	"model":            {"model", `(default "fluid")`, ""}, // usage is registry-derived; checked by name+default only
+	"model-params":     {"model-params", "", "model parameters as key=value,… applied to every -model entry"},
+	"fleet":            {"fleet", "", "offload solves to these lrdserve replicas (comma-separated base URLs) via the resilient fleet client"},
+	"attempts":         {"attempts", "(default 4)", "total tries per fleet request, first attempt included"},
+	"hedge-after":      {"hedge-after", "", "duplicate a slow fleet request to a second replica after this delay (0 = no hedging)"},
+	"breaker-fails":    {"breaker-fails", "(default 5)", "consecutive failures that open a replica's circuit breaker"},
+	"breaker-cooldown": {"breaker-cooldown", "(default 5s)", "how long an open circuit breaker refuses a replica before a half-open probe"},
 }
 
 // Canon returns the canonical spec for each named shared flag, failing on

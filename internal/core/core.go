@@ -413,6 +413,19 @@ func solveCell(ctx context.Context, src source.Source, util, nbuf float64, cfg s
 // markov) surface their correlation-fit error through the
 // MetricSourceFitMaxError gauge.
 func realizeCell(ctx context.Context, cfg SweepConfig, ref fluid.Source, util, nbuf float64) (Point, error) {
+	if cfg.Remote != nil {
+		p, err := cfg.Remote(ctx, RemoteCell{
+			Ref: ref, Model: cfg.Model, Util: util, NormalizedBuffer: nbuf,
+			Config: cfg.Solver,
+		})
+		if err != nil {
+			return Point{}, err
+		}
+		if p.Degraded != "" && cfg.Solver.Recorder != nil {
+			cfg.Solver.Recorder.Add(obs.MetricCoreCellsDegraded, 1)
+		}
+		return p, nil
+	}
 	s, err := cfg.Model.Realize(ref)
 	if err != nil {
 		return Point{}, err

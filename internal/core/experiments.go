@@ -89,6 +89,9 @@ type RunOptions struct {
 	// Workers caps the in-process sweep worker pool (see
 	// SweepConfig.Workers). Zero means one worker per CPU.
 	Workers int
+	// Remote, when non-nil, sends each cell's realize+solve to a remote
+	// fleet instead of the in-process solver (see SweepConfig.Remote).
+	Remote RemoteSolveFunc
 }
 
 // solverConfig returns the effective per-point solver configuration with
@@ -116,6 +119,7 @@ func (o RunOptions) sweepConfig(id string) SweepConfig {
 		Retry:   o.Retry,
 		Prefix:  fmt.Sprintf("%s|seed=%d|quick=%t|cfg=%s|model=%s|", id, o.Seed, o.Quick, ConfigHash(cfg), o.Model.Key()),
 		Workers: o.Workers,
+		Remote:  o.Remote,
 	}
 }
 

@@ -151,34 +151,52 @@ func OpenLeaseStore(path string, opts LeaseStoreOptions) (*LeaseStore, error) {
 		return nil, err
 	}
 	s.w = w
-	s.mu.Lock()
-	err = s.refreshLocked()
-	s.mu.Unlock()
+	// Initial fold via LoadAndQuarantine rather than the tailing reader:
+	// opening is the once-per-process moment to preserve damaged lines in
+	// the .quarantine sidecar and classify them (every tailer re-reporting
+	// the same evidence would only duplicate it). Open(resume) above has
+	// already newline-terminated any torn tail, so stats.NextOffset is a
+	// line boundary the incremental ReadFrom tail can continue from.
+	recs, stats, err := journal.LoadAndQuarantine(path)
 	if err != nil {
 		w.Close()
 		return nil, err
 	}
+	warnCorrupt(path, stats, s.rec, s.warn)
+	s.mu.Lock()
+	s.offset = stats.NextOffset
+	for _, rec := range recs {
+		s.foldLocked(rec)
+	}
+	s.mu.Unlock()
 	return s, nil
 }
 
 // refreshLocked folds the journal records appended (by anyone, this worker
 // included) since the last refresh. Callers hold s.mu.
 func (s *LeaseStore) refreshLocked() error {
-	recs, corrupt, next, err := journal.ReadFrom(s.path, s.offset)
+	recs, tail, next, err := journal.ReadFrom(s.path, s.offset)
 	if err != nil {
 		return err
 	}
 	s.offset = next
-	if corrupt > 0 {
+	if tail.Total() > 0 {
 		// A complete-but-undecodable line in a live shared journal is
 		// interior corruption: appends never tear (single O_APPEND writes),
-		// so this is disk damage or a foreign writer.
+		// so this is disk damage or a foreign writer. CRC mismatches are the
+		// same damage caught at the content layer.
 		if s.warn != nil {
-			fmt.Fprintf(s.warn, "journal: skipped %d corrupt line(s) tailing %s — not a crash artifact, check the disk or concurrent writers\n", corrupt, s.path)
+			fmt.Fprintf(s.warn, "journal: skipped %d damaged line(s) tailing %s (%d undecodable, %d CRC-mismatched) — not a crash artifact, check the disk or concurrent writers\n",
+				tail.Total(), s.path, tail.Corrupt, tail.CrcMismatch)
 		}
 		if s.rec != nil {
-			s.rec.Add(obs.MetricCoreJournalCorrupt, float64(corrupt))
-			s.rec.Add(obs.MetricCoreJournalCorruptInterior, float64(corrupt))
+			if tail.Corrupt > 0 {
+				s.rec.Add(obs.MetricCoreJournalCorrupt, float64(tail.Corrupt))
+				s.rec.Add(obs.MetricCoreJournalCorruptInterior, float64(tail.Corrupt))
+			}
+			if tail.CrcMismatch > 0 {
+				s.rec.Add(obs.MetricCoreJournalCrcMismatch, float64(tail.CrcMismatch))
+			}
 		}
 	}
 	for _, rec := range recs {

@@ -7,10 +7,12 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"os"
 	"strconv"
 	"sync"
 	"time"
 
+	"lrd/internal/fluid"
 	"lrd/internal/journal"
 	"lrd/internal/obs"
 	"lrd/internal/solver"
@@ -57,6 +59,13 @@ type JournalStoreOptions struct {
 	// Warn receives human-readable warnings (corrupt journal lines). Nil
 	// silences them.
 	Warn io.Writer
+	// CompactOverBytes, when > 0 and Resume is set, compacts the journal
+	// (journal.Compact: one record per key, atomic rewrite) before replay
+	// if it exceeds this many bytes, bounding the growth of a long-lived
+	// single-process journal. Never enable it for a journal shared by a
+	// live fleet — compaction must not race appenders holding the old
+	// inode open.
+	CompactOverBytes int64
 }
 
 // OpenJournalStore opens (or creates) the cell journal at path. With
@@ -67,7 +76,23 @@ type JournalStoreOptions struct {
 func OpenJournalStore(path string, opts JournalStoreOptions) (*JournalStore, error) {
 	s := &JournalStore{rec: opts.Recorder, cached: map[string]json.RawMessage{}}
 	if opts.Resume {
-		recs, stats, err := journal.Load(path)
+		if opts.CompactOverBytes > 0 {
+			if fi, err := os.Stat(path); err == nil && fi.Size() > opts.CompactOverBytes {
+				cs, err := journal.Compact(path)
+				if err != nil {
+					return nil, err
+				}
+				if s.rec != nil {
+					s.rec.Add(obs.MetricCoreJournalCompactions, 1)
+					s.rec.Add(obs.MetricCoreJournalCompactedBytes, float64(cs.Reclaimed()))
+				}
+				if opts.Warn != nil {
+					fmt.Fprintf(opts.Warn, "journal: compacted %s: %d → %d records, %d → %d bytes\n",
+						path, cs.RecordsIn, cs.RecordsOut, cs.BytesBefore, cs.BytesAfter)
+				}
+			}
+		}
+		recs, stats, err := journal.LoadAndQuarantine(path)
 		if err != nil {
 			return nil, err
 		}
@@ -87,14 +112,24 @@ func OpenJournalStore(path string, opts JournalStoreOptions) (*JournalStore, err
 // produces — is called out distinctly from the tolerated torn trailing
 // line, and each kind feeds its own counter alongside the combined one.
 func warnCorrupt(path string, stats journal.LoadStats, rec obs.Recorder, warn io.Writer) {
-	if stats.Corrupt() == 0 {
+	if stats.Corrupt() == 0 && stats.CrcMismatch == 0 {
 		return
 	}
 	if warn != nil {
-		fmt.Fprintf(warn, "journal: skipped %d corrupt line(s) in %s (%d interior, %d trailing); their cells will be recomputed\n",
-			stats.Corrupt(), path, stats.CorruptInterior, stats.CorruptTrailing)
-		if stats.CorruptInterior > 0 {
+		if stats.Corrupt() > 0 {
+			fmt.Fprintf(warn, "journal: skipped %d corrupt line(s) in %s (%d interior, %d trailing); their cells will be recomputed\n",
+				stats.Corrupt(), path, stats.CorruptInterior, stats.CorruptTrailing)
+		}
+		if stats.CrcMismatch > 0 {
+			fmt.Fprintf(warn, "journal: %d record(s) in %s failed their CRC32C check and will not be trusted; their cells will be recomputed\n",
+				stats.CrcMismatch, path)
+		}
+		if stats.CorruptInterior > 0 || stats.CrcMismatch > 0 {
 			fmt.Fprintf(warn, "journal: interior corruption in %s is not a crash artifact — check the disk or concurrent writers\n", path)
+		}
+		if stats.Quarantined > 0 {
+			fmt.Fprintf(warn, "journal: preserved %d damaged line(s) in %s%s\n",
+				stats.Quarantined, path, journal.QuarantineSuffix)
 		}
 	}
 	if rec != nil {
@@ -104,6 +139,12 @@ func warnCorrupt(path string, stats journal.LoadStats, rec obs.Recorder, warn io
 		}
 		if stats.CorruptTrailing > 0 {
 			rec.Add(obs.MetricCoreJournalCorruptTrailing, float64(stats.CorruptTrailing))
+		}
+		if stats.CrcMismatch > 0 {
+			rec.Add(obs.MetricCoreJournalCrcMismatch, float64(stats.CrcMismatch))
+		}
+		if stats.Quarantined > 0 {
+			rec.Add(obs.MetricCoreJournalQuarantined, float64(stats.Quarantined))
 		}
 	}
 }
@@ -274,7 +315,28 @@ type SweepConfig struct {
 	// journal, see LeaseStore) set it so the fleet's total matches the
 	// machine instead of oversubscribing it NumCPU-fold.
 	Workers int
+	// Remote, when non-nil, delegates each cell's realize+solve to a remote
+	// fleet (lrdsweep -fleet wires it to lrdserve replicas through the
+	// resilient client) instead of the in-process solver. Journaling,
+	// leasing, and retries still run locally — only the numeric work moves.
+	Remote RemoteSolveFunc
 }
+
+// RemoteCell is one sweep cell handed to a RemoteSolveFunc: the reference
+// fluid source plus the model spec and solver configuration the remote end
+// must realize and solve it under — everything a SolveRequest needs.
+type RemoteCell struct {
+	Ref              fluid.Source
+	Model            source.Spec
+	Util             float64
+	NormalizedBuffer float64
+	Config           solver.Config
+}
+
+// RemoteSolveFunc computes one cell remotely. The returned Point must be
+// populated exactly as solveCell would (reference Hurst/Cutoff coordinates,
+// Scale 1, Streams 1) so remote sweeps stay bit-compatible with local ones.
+type RemoteSolveFunc func(ctx context.Context, cell RemoteCell) (Point, error)
 
 // Sweep wraps a bare solver configuration into a SweepConfig with no
 // durability layer — the zero-migration path for direct library callers.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"sort"
 	"sync"
 	"text/tabwriter"
@@ -68,6 +69,9 @@ type Aggregator struct {
 	mu      sync.Mutex
 	offset  int64
 	corrupt int
+	crcBad  int
+	reopens int
+	fi      os.FileInfo // identity of the file the offset belongs to
 	cells   map[string]*cellState
 	workers map[string]*workerAgg
 }
@@ -86,20 +90,44 @@ func New(path string, opts Options) *Aggregator {
 	}
 }
 
-// Refresh folds any records appended since the last call.
+// Refresh folds any records appended since the last call. If the journal
+// file was atomically replaced since then (compaction renames a rewritten
+// file over it) or truncated below the tail offset, the stale fold is
+// discarded and the new file re-folded from the start instead of erroring
+// out or silently reading garbage at the old offset.
 func (a *Aggregator) Refresh() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	records, corrupt, next, err := journal.ReadFrom(a.path, a.offset)
+	if fi, err := os.Stat(a.path); err == nil {
+		if a.fi != nil && (!os.SameFile(a.fi, fi) || fi.Size() < a.offset) {
+			a.resetLocked()
+		}
+		a.fi = fi
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	records, tail, next, err := journal.ReadFrom(a.path, a.offset)
 	if err != nil {
 		return err
 	}
 	a.offset = next
-	a.corrupt += corrupt
+	a.corrupt += tail.Corrupt
+	a.crcBad += tail.CrcMismatch
 	for _, rec := range records {
 		a.fold(rec)
 	}
 	return nil
+}
+
+// resetLocked discards the folded state so the (replaced) journal re-folds
+// from offset 0. The reopen count survives as the audit trail.
+func (a *Aggregator) resetLocked() {
+	a.offset = 0
+	a.corrupt = 0
+	a.crcBad = 0
+	a.reopens++
+	a.cells = map[string]*cellState{}
+	a.workers = map[string]*workerAgg{}
 }
 
 func (a *Aggregator) worker(name string) *workerAgg {
@@ -208,11 +236,16 @@ type Status struct {
 	CellsExpected int    `json:"cells_expected,omitempty"`
 	// CompletionPct is 100·done/expected when the expected grid size is
 	// known, else 100·done/(done+inflight) as a lower-bound estimate.
-	CompletionPct float64        `json:"completion_pct"`
-	Failures      int            `json:"failed_attempts"`
-	CorruptLines  int            `json:"corrupt_lines"`
-	Stragglers    int            `json:"stragglers"`
-	Workers       []WorkerStatus `json:"workers"`
+	CompletionPct float64 `json:"completion_pct"`
+	Failures      int     `json:"failed_attempts"`
+	CorruptLines  int     `json:"corrupt_lines"`
+	// CrcMismatches counts records dropped for failing their CRC32C check.
+	CrcMismatches int `json:"crc_mismatch_records,omitempty"`
+	// JournalReopens counts times the tail detected the journal file was
+	// atomically replaced (compaction) or truncated and re-folded it.
+	JournalReopens int            `json:"journal_reopens,omitempty"`
+	Stragglers     int            `json:"stragglers"`
+	Workers        []WorkerStatus `json:"workers"`
 }
 
 // Status refreshes from the journal and returns the folded snapshot.
@@ -224,10 +257,12 @@ func (a *Aggregator) Status() (Status, error) {
 	defer a.mu.Unlock()
 	now := a.opts.Now()
 	s := Status{
-		Journal:       a.path,
-		UnixMs:        now.UnixMilli(),
-		CellsExpected: a.opts.ExpectedCells,
-		CorruptLines:  a.corrupt,
+		Journal:        a.path,
+		UnixMs:         now.UnixMilli(),
+		CellsExpected:  a.opts.ExpectedCells,
+		CorruptLines:   a.corrupt,
+		CrcMismatches:  a.crcBad,
+		JournalReopens: a.reopens,
 	}
 	type liveAgg struct {
 		live        int
@@ -308,6 +343,12 @@ func (s Status) WriteText(w io.Writer) error {
 	}
 	if s.CorruptLines > 0 {
 		fmt.Fprintf(w, ", %d corrupt lines", s.CorruptLines)
+	}
+	if s.CrcMismatches > 0 {
+		fmt.Fprintf(w, ", %d CRC-mismatched records", s.CrcMismatches)
+	}
+	if s.JournalReopens > 0 {
+		fmt.Fprintf(w, ", %d journal reopen(s)", s.JournalReopens)
 	}
 	if s.Stragglers > 0 {
 		fmt.Fprintf(w, ", %d straggler(s)", s.Stragglers)

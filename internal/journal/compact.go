@@ -1,0 +1,160 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CompactStats reports what Compact did: the record and byte counts before
+// and after the rewrite, plus the replay stats of the journal it read
+// (whose Quarantined field counts damaged lines preserved in the sidecar —
+// compaction is also how a damaged journal is healed, since the rewrite
+// drops the bad lines the sidecar now holds).
+type CompactStats struct {
+	RecordsIn   int
+	RecordsOut  int
+	BytesBefore int64
+	BytesAfter  int64
+	Load        LoadStats
+}
+
+// Reclaimed returns the bytes the rewrite freed (never negative).
+func (s CompactStats) Reclaimed() int64 {
+	if d := s.BytesBefore - s.BytesAfter; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Compact rewrites the journal at path to its folded equivalent state:
+// one record per key instead of that key's whole history. For each key it
+// keeps the winning ok record (same epoch-fenced last-record-wins rule as
+// Completed), or the live lease claim if the key is still in flight, or —
+// when only superseded history remains — a released claim carrying the
+// key's highest observed fencing epoch, so post-compaction claims still
+// fence out any zombie holding a pre-compaction lease. Fail records and
+// damaged lines are dropped (damaged lines are first preserved in the
+// .quarantine sidecar); every surviving record is re-stamped with a fresh
+// CRC. The rewrite is atomic (WriteFileAtomic), so a crash mid-compaction
+// leaves the original journal intact.
+//
+// Compact must not race live appenders of the same journal: a writer
+// holding the old inode open would keep appending to the unlinked file and
+// lose those records. Compact a fleet journal only when the fleet is
+// quiesced; the single-process auto-compaction path compacts before the
+// journal is reopened for appending.
+func Compact(path string) (CompactStats, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return CompactStats{}, nil
+		}
+		return CompactStats{}, fmt.Errorf("journal: compacting %s: %w", path, err)
+	}
+	records, loadStats, err := LoadAndQuarantine(path)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	stats := CompactStats{
+		RecordsIn:   len(records),
+		BytesBefore: fi.Size(),
+		Load:        loadStats,
+	}
+	out := compactRecords(records)
+	stats.RecordsOut = len(out)
+	err = WriteFileAtomic(path, func(w io.Writer) error {
+		for _, rec := range out {
+			rec.Crc = 0
+			rec.Crc = Checksum(rec)
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return fmt.Errorf("journal: encoding record %q: %w", rec.Key, err)
+			}
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	if fi, err := os.Stat(path); err == nil {
+		stats.BytesAfter = fi.Size()
+	}
+	return stats, nil
+}
+
+// compactRecords folds a journal's history to one record per key,
+// mirroring the lease store's fencing rules. Keys appear in first-seen
+// file order, so compaction is deterministic.
+func compactRecords(records []Record) []Record {
+	type fold struct {
+		ok       *Record
+		claim    *Record // live lease (Deadline > 0), if any
+		maxEpoch int64
+	}
+	var order []string
+	folds := make(map[string]*fold)
+	for i := range records {
+		rec := &records[i]
+		f := folds[rec.Key]
+		if f == nil {
+			f = &fold{}
+			folds[rec.Key] = f
+			order = append(order, rec.Key)
+		}
+		if rec.Epoch > f.maxEpoch {
+			f.maxEpoch = rec.Epoch
+		}
+		switch rec.Status {
+		case StatusOK:
+			if f.ok == nil || rec.Epoch >= f.ok.Epoch {
+				f.ok = rec
+				// A completion at or above the claim's epoch consumes it.
+				if f.claim != nil && rec.Epoch >= f.claim.Epoch {
+					f.claim = nil
+				}
+			}
+		case StatusFail:
+			if f.ok != nil && rec.Epoch >= f.ok.Epoch {
+				f.ok = nil
+			}
+		case StatusClaimed:
+			if rec.Deadline <= 0 {
+				// A release clears the claim only when it comes from the
+				// holder at the claim's own epoch.
+				if f.claim != nil && f.claim.Worker == rec.Worker && f.claim.Epoch == rec.Epoch {
+					f.claim = nil
+				}
+				continue
+			}
+			switch {
+			case f.claim == nil || rec.Epoch > f.claim.Epoch:
+				f.claim = rec
+			case rec.Epoch == f.claim.Epoch && rec.Worker == f.claim.Worker:
+				if rec.Deadline > f.claim.Deadline { // renewal only extends
+					f.claim = rec
+				}
+			}
+		}
+	}
+	var out []Record
+	for _, key := range order {
+		f := folds[key]
+		switch {
+		case f.ok != nil:
+			out = append(out, *f.ok)
+		case f.claim != nil:
+			out = append(out, *f.claim)
+		case f.maxEpoch > 0:
+			// Only superseded lease history remains: preserve the fencing
+			// floor as a released claim so the next claim of this key still
+			// outranks every pre-compaction epoch.
+			out = append(out, Record{Key: key, Status: StatusClaimed, Epoch: f.maxEpoch})
+		}
+	}
+	return out
+}

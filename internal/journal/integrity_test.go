@@ -1,0 +1,293 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// corruptLine marshals rec with a deliberately wrong checksum: the bytes
+// parse cleanly but fail verification — content damage a structural check
+// cannot see.
+func corruptLine(t *testing.T, rec Record) []byte {
+	t.Helper()
+	rec.Crc = Checksum(rec) + 1
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(line, '\n')
+}
+
+// TestAppendStampsCrc: every appended record carries a checksum that
+// verifies on replay.
+func TestAppendStampsCrc(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, Record{Key: "a", Status: StatusOK, Value: json.RawMessage(`{"loss":0.25}`)})
+	w.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"crc":`)) {
+		t.Fatalf("appended line has no crc field: %s", raw)
+	}
+	recs, stats, err := Load(path)
+	if err != nil || stats.CrcMismatch != 0 || len(recs) != 1 {
+		t.Fatalf("replay: recs=%d stats=%+v err=%v", len(recs), stats, err)
+	}
+	if recs[0].Crc == 0 || recs[0].Crc != Checksum(recs[0]) {
+		t.Fatalf("stored crc %d does not verify", recs[0].Crc)
+	}
+}
+
+// TestCrcMismatchSkippedAndClassified: a record whose content was damaged
+// after writing (parses, wrong checksum) is dropped and counted as a CRC
+// mismatch — distinct from undecodable corruption — wherever it sits.
+func TestCrcMismatchSkippedAndClassified(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, Record{Key: "good", Status: StatusOK})
+	w.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(corruptLine(t, Record{Key: "bad", Status: StatusOK, Value: json.RawMessage(`{"loss":1}`)})); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	recs, stats, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Key != "good" {
+		t.Fatalf("records = %+v, want only the intact one", recs)
+	}
+	if stats.CrcMismatch != 1 || stats.Corrupt() != 0 {
+		t.Fatalf("stats = %+v, want CrcMismatch=1 and no corrupt lines", stats)
+	}
+
+	// The tail reader applies the same verification.
+	tailed, tail, _, err := ReadFrom(path, 0)
+	if err != nil || len(tailed) != 1 || tail.CrcMismatch != 1 || tail.Corrupt != 0 {
+		t.Fatalf("tail: recs=%d stats=%+v err=%v", len(tailed), tail, err)
+	}
+
+	// Completed never sees the damaged record.
+	if done := Completed(recs); len(done) != 1 {
+		t.Fatalf("completed = %v", done)
+	}
+}
+
+// TestLegacyRecordsWithoutCrcStillLoad: journals written before the crc
+// field replay unverified rather than being rejected.
+func TestLegacyRecordsWithoutCrcStillLoad(t *testing.T) {
+	path := tmpPath(t)
+	if err := os.WriteFile(path, []byte(`{"key":"old","status":"ok","value":{"loss":0.5}}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := Load(path)
+	if err != nil || len(recs) != 1 || stats.CrcMismatch != 0 {
+		t.Fatalf("legacy replay: recs=%d stats=%+v err=%v", len(recs), stats, err)
+	}
+}
+
+// TestLoadAndQuarantine: damaged lines (interior garbage, CRC mismatches)
+// land in the sidecar exactly once across repeated replays; the tolerated
+// torn trailing line does not.
+func TestLoadAndQuarantine(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, Record{Key: "a", Status: StatusOK})
+	w.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("interior garbage\n")
+	f.Write(corruptLine(t, Record{Key: "damaged", Status: StatusOK}))
+	f.WriteString(`{"key":"torn","status":"ok"`) // torn mid-append, no newline
+	f.Close()
+
+	recs, stats, err := LoadAndQuarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Key != "a" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if stats.CorruptInterior != 1 || stats.CorruptTrailing != 1 || stats.CrcMismatch != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Quarantined != 2 {
+		t.Fatalf("quarantined = %d, want 2 (garbage + crc mismatch, not the torn tail)", stats.Quarantined)
+	}
+	side, err := os.ReadFile(path + QuarantineSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(side, []byte("interior garbage")) || !bytes.Contains(side, []byte(`"damaged"`)) {
+		t.Fatalf("sidecar missing evidence: %s", side)
+	}
+	if bytes.Contains(side, []byte(`"torn"`)) {
+		t.Fatalf("torn tail wrongly quarantined: %s", side)
+	}
+
+	// Replay again: the sidecar must not grow (dedup), and NextOffset must
+	// cover the whole file so a tailer continues cleanly.
+	recs2, stats2, err := LoadAndQuarantine(path)
+	if err != nil || len(recs2) != 1 {
+		t.Fatalf("second replay: recs=%d err=%v", len(recs2), err)
+	}
+	if stats2.Quarantined != 0 {
+		t.Fatalf("second replay re-quarantined %d line(s)", stats2.Quarantined)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.NextOffset != fi.Size() {
+		t.Fatalf("NextOffset = %d, want file size %d", stats2.NextOffset, fi.Size())
+	}
+}
+
+// TestCompact: a finished multi-worker journal folds to one record per
+// key, shrinks, stays replayable with identical completed state, and
+// preserves fencing epochs — including for keys with only superseded
+// history.
+func TestCompact(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key "a": claimed, completed, with a zombie's stale completion after.
+	mustAppend(t, w, Record{Key: "a", Status: StatusClaimed, Worker: "w1", Epoch: 1, Deadline: 100})
+	mustAppend(t, w, Record{Key: "a", Status: StatusOK, Worker: "w1", Epoch: 1, Value: json.RawMessage(`1`)})
+	// Key "b": a long claim/renew/steal history ending completed at epoch 2.
+	mustAppend(t, w, Record{Key: "b", Status: StatusClaimed, Worker: "w1", Epoch: 1, Deadline: 100})
+	mustAppend(t, w, Record{Key: "b", Status: StatusClaimed, Worker: "w1", Epoch: 1, Deadline: 200})
+	mustAppend(t, w, Record{Key: "b", Status: StatusClaimed, Worker: "w2", Epoch: 2, Deadline: 300})
+	mustAppend(t, w, Record{Key: "b", Status: StatusOK, Worker: "w2", Epoch: 2, Value: json.RawMessage(`2`)})
+	// Key "c": still leased.
+	mustAppend(t, w, Record{Key: "c", Status: StatusClaimed, Worker: "w3", Epoch: 4, Deadline: 400})
+	// Key "d": failed and released — only the epoch floor must survive.
+	mustAppend(t, w, Record{Key: "d", Status: StatusClaimed, Worker: "w1", Epoch: 7, Deadline: 100})
+	mustAppend(t, w, Record{Key: "d", Status: StatusFail, Worker: "w1", Epoch: 7, Error: "boom"})
+	mustAppend(t, w, Record{Key: "d", Status: StatusClaimed, Worker: "w1", Epoch: 7}) // release
+	w.Close()
+
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Compact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BytesAfter >= before.Size() {
+		t.Fatalf("compaction did not shrink: %d → %d bytes", before.Size(), stats.BytesAfter)
+	}
+	if stats.RecordsIn != 10 || stats.RecordsOut != 4 {
+		t.Fatalf("records %d → %d, want 10 → 4", stats.RecordsIn, stats.RecordsOut)
+	}
+
+	recs, lstats, err := Load(path)
+	if err != nil || lstats.Corrupt() != 0 || lstats.CrcMismatch != 0 {
+		t.Fatalf("compacted journal replay: stats=%+v err=%v", lstats, err)
+	}
+	done := Completed(recs)
+	if string(done["a"]) != `1` || string(done["b"]) != `2` || len(done) != 2 {
+		t.Fatalf("completed after compaction = %v", done)
+	}
+	byKey := map[string]Record{}
+	for _, r := range recs {
+		byKey[r.Key] = r
+	}
+	if c := byKey["b"]; c.Epoch != 2 || c.Worker != "w2" {
+		t.Fatalf("winning record for b = %+v", c)
+	}
+	if c := byKey["c"]; c.Status != StatusClaimed || c.Worker != "w3" || c.Epoch != 4 || c.Deadline != 400 {
+		t.Fatalf("live claim for c not preserved: %+v", c)
+	}
+	if c := byKey["d"]; c.Status != StatusClaimed || c.Epoch != 7 || c.Deadline != 0 {
+		t.Fatalf("epoch floor for d not preserved: %+v", c)
+	}
+
+	// Compacting the compacted journal is a fixed point (same records).
+	again, err := Compact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.RecordsIn != again.RecordsOut {
+		t.Fatalf("second compaction changed records: %d → %d", again.RecordsIn, again.RecordsOut)
+	}
+}
+
+// TestCompactHealsDamage: compaction preserves damaged lines in the
+// sidecar and drops them from the rewritten journal.
+func TestCompactHealsDamage(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, w, Record{Key: "a", Status: StatusOK})
+	w.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Garbage first, then the mismatched record: a final undecodable line
+	// would classify as the tolerated trailing artifact instead.
+	f.WriteString("garbage\n")
+	f.Write(corruptLine(t, Record{Key: "bad", Status: StatusOK}))
+	f.Close()
+
+	stats, err := Compact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Load.CrcMismatch != 1 || stats.Load.Quarantined != 2 {
+		t.Fatalf("load stats = %+v", stats.Load)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "garbage") || strings.Contains(string(raw), `"bad"`) {
+		t.Fatalf("damage survived compaction: %s", raw)
+	}
+	if _, err := os.Stat(path + QuarantineSuffix); err != nil {
+		t.Fatalf("no quarantine sidecar: %v", err)
+	}
+}
+
+// TestCompactMissingFile: compacting a journal that does not exist is a
+// no-op, not an error, and must not create the file.
+func TestCompactMissingFile(t *testing.T) {
+	path := tmpPath(t)
+	stats, err := Compact(path)
+	if err != nil || stats != (CompactStats{}) {
+		t.Fatalf("stats=%+v err=%v", stats, err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("compact created the file: %v", err)
+	}
+}

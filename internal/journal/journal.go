@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -84,6 +85,39 @@ type Record struct {
 	// Deadline is the lease expiry as UnixNano wall-clock time (claimed
 	// records only). Renewals only ever extend it; <= 0 releases the lease.
 	Deadline int64 `json:"deadline,omitempty"`
+	// Crc is the CRC32C (Castagnoli) checksum of the record's JSON encoding
+	// with this field zeroed (see Checksum). Append stamps it automatically;
+	// Load and ReadFrom verify it and refuse to trust a record whose bytes
+	// decoded cleanly but whose content was damaged — the failure mode a
+	// torn-tail check cannot see. Zero means "absent" (legacy journals are
+	// trusted as-is), which sacrifices the 1-in-2³² record whose true
+	// checksum is zero to keep old journals replayable.
+	Crc uint32 `json:"crc,omitempty"`
+}
+
+// crcTable is the Castagnoli polynomial table; CRC32C has hardware support
+// on amd64/arm64 and better error-detection spread than IEEE for short
+// records like ours.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes rec's CRC32C: the checksum of the record's JSON
+// encoding with the Crc field zeroed. The encoding is canonical for a
+// given record value (encoding/json field order is fixed and RawMessage
+// bytes pass through verbatim), so decode→Checksum reproduces the value
+// Append stamped.
+func Checksum(rec Record) uint32 {
+	rec.Crc = 0
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return 0
+	}
+	return crc32.Checksum(b, crcTable)
+}
+
+// verified reports whether rec's checksum matches its content. Records
+// without one (legacy journals) are trusted as-is.
+func verified(rec Record) bool {
+	return rec.Crc == 0 || rec.Crc == Checksum(rec)
 }
 
 // Writer appends records to a journal file, fsync'ing after every append
@@ -163,6 +197,9 @@ func (w *Writer) Append(rec Record) (int, error) {
 	if rec.Key == "" {
 		return 0, errors.New("journal: record key must be non-empty")
 	}
+	if rec.Crc == 0 {
+		rec.Crc = Checksum(rec)
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return 0, fmt.Errorf("journal: encoding record %q: %w", rec.Key, err)
@@ -227,9 +264,22 @@ type LoadStats struct {
 	// CorruptTrailing counts the undecodable final line (0 or 1): the
 	// tolerated crash-window artifact.
 	CorruptTrailing int
+	// CrcMismatch counts records that decoded cleanly but failed their
+	// CRC32C check — content damage a structural parse cannot see. They are
+	// skipped (the cells recompute) and never trusted, wherever they sit in
+	// the file.
+	CrcMismatch int
+	// Quarantined counts damaged lines LoadAndQuarantine preserved in the
+	// .quarantine sidecar (always 0 for plain Load).
+	Quarantined int
+	// NextOffset is the byte offset just past the last line Load processed
+	// (the file size when the journal ends in a newline). An incremental
+	// follower can hand it to ReadFrom to continue where the replay ended.
+	NextOffset int64
 }
 
-// Corrupt returns the total number of skipped lines.
+// Corrupt returns the total number of undecodable skipped lines
+// (CRC-mismatched records are counted separately in CrcMismatch).
 func (s LoadStats) Corrupt() int { return s.CorruptInterior + s.CorruptTrailing }
 
 // Load replays the journal at path and returns its records in file order,
@@ -242,81 +292,179 @@ func (s LoadStats) Corrupt() int { return s.CorruptInterior + s.CorruptTrailing 
 // LoadStats), never fatal: the caller recomputes those cells, which is
 // always safe. Only I/O errors are returned.
 func Load(path string) (records []Record, stats LoadStats, err error) {
-	f, err := os.Open(path)
+	records, stats, _, err = load(path)
+	return records, stats, err
+}
+
+// QuarantineSuffix is appended to a journal's path to name its sidecar of
+// preserved damaged lines.
+const QuarantineSuffix = ".quarantine"
+
+// LoadAndQuarantine is Load plus evidence preservation: every damaged line
+// that would otherwise be silently skipped — interior corruption and
+// CRC-mismatched records, but not the tolerated torn trailing line — is
+// appended to the path+QuarantineSuffix sidecar before the replay
+// continues without it. The sidecar write is best-effort (a journal replay
+// must never fail because the quarantine could not be written) and
+// deduplicated, so repeated resumes of the same damaged journal do not
+// grow it. stats.Quarantined reports how many lines were newly preserved.
+func LoadAndQuarantine(path string) (records []Record, stats LoadStats, err error) {
+	records, stats, bad, err := load(path)
+	if err != nil || len(bad) == 0 {
+		return records, stats, err
+	}
+	stats.Quarantined = quarantine(path+QuarantineSuffix, bad)
+	return records, stats, nil
+}
+
+// maxLineBytes bounds a single journal line; anything longer is treated as
+// corrupt rather than decoded (a defensive cap — real records are < 1 KiB).
+const maxLineBytes = 16 * 1024 * 1024
+
+// load is the shared replay: records plus classified stats plus the
+// damaged lines themselves (interior corruption and CRC mismatches, in
+// file order) for callers that quarantine.
+func load(path string) (records []Record, stats LoadStats, bad [][]byte, err error) {
+	buf, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, LoadStats{}, nil
+			return nil, LoadStats{}, nil, nil
 		}
-		return nil, LoadStats{}, fmt.Errorf("journal: opening %s: %w", path, err)
+		return nil, LoadStats{}, nil, fmt.Errorf("journal: reading %s: %w", path, err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	corrupt, lastCorrupt := 0, false
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
+	// trailingCorrupt tracks whether the most recent non-blank line was
+	// undecodable: if that holds at EOF the line is the tolerated torn-tail
+	// crash artifact, not interior damage.
+	trailingCorrupt := false
+	for off := 0; off < len(buf); {
+		lineEnd, next := len(buf), len(buf)
+		if nl := bytes.IndexByte(buf[off:], '\n'); nl >= 0 {
+			lineEnd, next = off+nl, off+nl+1
+		}
+		line := bytes.TrimSpace(buf[off:lineEnd])
+		off = next
+		stats.NextOffset = int64(next)
 		if len(line) == 0 {
 			continue
 		}
 		var rec Record
-		if json.Unmarshal(line, &rec) != nil || rec.Key == "" || rec.Status == "" {
-			corrupt++
-			lastCorrupt = true
+		if len(line) > maxLineBytes || json.Unmarshal(line, &rec) != nil || rec.Key == "" || rec.Status == "" {
+			stats.CorruptInterior++
+			trailingCorrupt = true
+			bad = append(bad, line)
 			continue
 		}
-		lastCorrupt = false
+		if !verified(rec) {
+			// Structurally valid but content-damaged: never a torn-tail
+			// artifact (truncation cannot produce well-formed JSON with a
+			// checksum field), so it is damage wherever it sits.
+			stats.CrcMismatch++
+			trailingCorrupt = false
+			bad = append(bad, line)
+			continue
+		}
+		trailingCorrupt = false
 		records = append(records, rec)
 	}
-	if err := sc.Err(); err != nil {
-		// A final line longer than the scanner budget counts as corrupt
-		// rather than failing the whole replay.
-		if errors.Is(err, bufio.ErrTooLong) {
-			corrupt++
-			lastCorrupt = true
-		} else {
-			return nil, LoadStats{}, fmt.Errorf("journal: reading %s: %w", path, err)
-		}
-	}
-	stats = LoadStats{CorruptInterior: corrupt}
-	if lastCorrupt {
+	if trailingCorrupt {
 		stats.CorruptInterior--
 		stats.CorruptTrailing = 1
+		// The torn tail is an expected crash signature, not quarantine
+		// material, and Open(resume) will terminate it in place.
+		bad = bad[:len(bad)-1]
 	}
-	return records, stats, nil
+	return records, stats, bad, nil
 }
+
+// quarantine appends lines to the sidecar at path, skipping lines the
+// sidecar already holds, and returns how many were newly written. All
+// failures are swallowed: quarantining is evidence preservation, never a
+// reason to fail the replay that triggered it.
+func quarantine(path string, lines [][]byte) (written int) {
+	seen := make(map[string]bool)
+	if prev, err := os.ReadFile(path); err == nil {
+		for _, l := range bytes.Split(prev, []byte{'\n'}) {
+			if l = bytes.TrimSpace(l); len(l) > 0 {
+				seen[string(l)] = true
+			}
+		}
+	}
+	var f *os.File
+	for _, line := range lines {
+		if seen[string(line)] {
+			continue
+		}
+		seen[string(line)] = true
+		if f == nil {
+			var err error
+			f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return written
+			}
+			defer f.Close()
+		}
+		// Copy before appending the newline: line aliases the journal buffer.
+		entry := make([]byte, 0, len(line)+1)
+		entry = append(append(entry, line...), '\n')
+		if _, err := f.Write(entry); err != nil {
+			return written
+		}
+		written++
+	}
+	if f != nil {
+		f.Sync()
+	}
+	return written
+}
+
+// TailStats classifies the lines an incremental ReadFrom skipped:
+// complete-but-undecodable garbage, and records whose CRC32C check failed.
+// A tailer never quarantines (every fleet member tails the same file, and
+// N workers appending the same evidence N times helps no one) — the
+// journal's opener does that once via LoadAndQuarantine.
+type TailStats struct {
+	// Corrupt counts complete lines that could not be decoded.
+	Corrupt int
+	// CrcMismatch counts records that decoded but failed their checksum.
+	CrcMismatch int
+}
+
+// Total returns the number of skipped lines.
+func (s TailStats) Total() int { return s.Corrupt + s.CrcMismatch }
 
 // ReadFrom incrementally reads the records appended to the journal at path
 // since offset (a value previously returned by ReadFrom, or 0). Only
 // complete lines — terminated by a newline — are consumed: a trailing line
 // still being written by another worker is left for the next call, so next
-// always points at a line boundary. Complete-but-undecodable lines are
-// skipped and counted in corrupt. A missing file reads as empty.
+// always points at a line boundary. Complete-but-undecodable lines and
+// CRC-mismatched records are skipped and counted in stats. A missing file
+// reads as empty.
 //
 // This is the tail-following primitive of the shared-journal work queue:
 // each worker appends through its own Writer and observes every other
 // worker's claims and completions by periodically ReadFrom-ing the shared
 // file.
-func ReadFrom(path string, offset int64) (records []Record, corrupt int, next int64, err error) {
+func ReadFrom(path string, offset int64) (records []Record, stats TailStats, next int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, 0, offset, nil
+			return nil, TailStats{}, offset, nil
 		}
-		return nil, 0, offset, fmt.Errorf("journal: opening %s: %w", path, err)
+		return nil, TailStats{}, offset, fmt.Errorf("journal: opening %s: %w", path, err)
 	}
 	defer f.Close()
 	if _, err := f.Seek(offset, io.SeekStart); err != nil {
-		return nil, 0, offset, fmt.Errorf("journal: seeking %s: %w", path, err)
+		return nil, TailStats{}, offset, fmt.Errorf("journal: seeking %s: %w", path, err)
 	}
 	buf, err := io.ReadAll(f)
 	if err != nil {
-		return nil, 0, offset, fmt.Errorf("journal: reading %s: %w", path, err)
+		return nil, TailStats{}, offset, fmt.Errorf("journal: reading %s: %w", path, err)
 	}
 	// Consume only up to the last newline; an unterminated tail is an
 	// append in flight, not corruption.
 	end := bytes.LastIndexByte(buf, '\n')
 	if end < 0 {
-		return nil, 0, offset, nil
+		return nil, TailStats{}, offset, nil
 	}
 	next = offset + int64(end) + 1
 	for _, line := range bytes.Split(buf[:end+1], []byte{'\n'}) {
@@ -326,12 +474,16 @@ func ReadFrom(path string, offset int64) (records []Record, corrupt int, next in
 		}
 		var rec Record
 		if json.Unmarshal(line, &rec) != nil || rec.Key == "" || rec.Status == "" {
-			corrupt++
+			stats.Corrupt++
+			continue
+		}
+		if !verified(rec) {
+			stats.CrcMismatch++
 			continue
 		}
 		records = append(records, rec)
 	}
-	return records, corrupt, next, nil
+	return records, stats, next, nil
 }
 
 // Completed folds records into the per-key outcome a resumed sweep should

@@ -449,8 +449,8 @@ func TestReadFrom(t *testing.T) {
 
 	// Missing file reads as empty and does not advance the offset.
 	recs, corrupt, next, err := ReadFrom(path, 0)
-	if err != nil || len(recs) != 0 || corrupt != 0 || next != 0 {
-		t.Fatalf("missing file: recs=%v corrupt=%d next=%d err=%v", recs, corrupt, next, err)
+	if err != nil || len(recs) != 0 || corrupt.Total() != 0 || next != 0 {
+		t.Fatalf("missing file: recs=%v corrupt=%v next=%d err=%v", recs, corrupt, next, err)
 	}
 
 	w, err := Open(path, false)
@@ -462,8 +462,8 @@ func TestReadFrom(t *testing.T) {
 	mustAppend(t, w, Record{Key: "b", Status: StatusClaimed, Worker: "w1", Epoch: 1, Deadline: 99})
 
 	recs, corrupt, next, err = ReadFrom(path, 0)
-	if err != nil || corrupt != 0 {
-		t.Fatalf("first read: corrupt=%d err=%v", corrupt, err)
+	if err != nil || corrupt.Total() != 0 {
+		t.Fatalf("first read: corrupt=%v err=%v", corrupt, err)
 	}
 	if len(recs) != 2 || recs[0].Key != "a" || recs[1].Worker != "w1" {
 		t.Fatalf("first read records = %+v", recs)
@@ -496,8 +496,8 @@ func TestReadFrom(t *testing.T) {
 	}
 	f.Close()
 	recs, corrupt, next, err = ReadFrom(path, next)
-	if err != nil || corrupt != 0 || len(recs) != 1 || recs[0].Key != "c" {
-		t.Fatalf("completed tail: recs=%+v corrupt=%d err=%v", recs, corrupt, err)
+	if err != nil || corrupt.Total() != 0 || len(recs) != 1 || recs[0].Key != "c" {
+		t.Fatalf("completed tail: recs=%+v corrupt=%v err=%v", recs, corrupt, err)
 	}
 
 	// A complete-but-undecodable line is counted corrupt and skipped.
@@ -510,7 +510,7 @@ func TestReadFrom(t *testing.T) {
 	}
 	f.Close()
 	recs, corrupt, _, err = ReadFrom(path, next)
-	if err != nil || corrupt != 1 || len(recs) != 0 {
-		t.Fatalf("corrupt line: recs=%v corrupt=%d err=%v", recs, corrupt, err)
+	if err != nil || corrupt.Corrupt != 1 || len(recs) != 0 {
+		t.Fatalf("corrupt line: recs=%v corrupt=%v err=%v", recs, corrupt, err)
 	}
 }

@@ -75,6 +75,13 @@ const (
 	// records after it, i.e. damage no clean crash explains.
 	MetricCoreJournalCorruptInterior = "core_journal_corrupt_interior_lines_total"
 	MetricCoreJournalCorruptTrailing = "core_journal_corrupt_trailing_lines_total"
+	// Journal integrity: records whose CRC32C failed (content damage that
+	// still parses), damaged lines preserved in the .quarantine sidecar,
+	// and compaction activity.
+	MetricCoreJournalCrcMismatch    = "core_journal_crc_mismatch_records_total"
+	MetricCoreJournalQuarantined    = "core_journal_quarantined_records_total"
+	MetricCoreJournalCompactions    = "core_journal_compactions_total"
+	MetricCoreJournalCompactedBytes = "core_journal_compacted_bytes_total" // bytes reclaimed by compaction
 
 	// Distributed sweeps (internal/core.LeaseStore): lease-protocol
 	// accounting for the shared-journal work queue.
@@ -112,6 +119,24 @@ const (
 	MetricServeQueueDepth     = "serve_queue_depth"  // gauge
 	MetricServeSolveSeconds   = "serve_solve_seconds"
 	MetricServeRequestSeconds = "serve_request_seconds"
+	// Admission hardening: requests refused by the per-client token bucket,
+	// handler panics converted to 500s, and the readiness gauge (1 = ready,
+	// 0 = starting or draining) that /readyz reports to load balancers.
+	MetricServeRateLimited = "serve_rate_limited_total"
+	MetricServePanics      = "serve_panics_total"
+	MetricServeReady       = "serve_ready" // gauge
+
+	// Resilient fleet client (internal/resilient): retry, circuit-breaker,
+	// and hedging accounting for lrdcall and lrdsweep -fleet.
+	MetricResilientRequests        = "resilient_requests_total"
+	MetricResilientRetries         = "resilient_retries_total"
+	MetricResilientRetryAfter      = "resilient_retry_after_honored_total"
+	MetricResilientBreakerOpens    = "resilient_breaker_opens_total"
+	MetricResilientBreakerProbes   = "resilient_breaker_probes_total"
+	MetricResilientBreakerFastFail = "resilient_breaker_fastfail_total" // attempts refused: every breaker open
+	MetricResilientHedges          = "resilient_hedges_total"
+	MetricResilientHedgeWins       = "resilient_hedge_wins_total"
+	MetricResilientRequestSeconds  = "resilient_request_seconds"
 
 	// FFT (internal/fft): plan cache and transform telemetry.
 	MetricFFTPlanHits       = "fft_plan_cache_hits_total"

@@ -1,0 +1,107 @@
+package resilient
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit: closed (traffic flows,
+// failures counted), open (traffic refused until the cooldown elapses),
+// half-open (exactly one probe in flight decides reopen vs close).
+type breakerState uint8
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker guards one replica. All methods are safe for concurrent use; the
+// mutex is uncontended in the common closed path and the critical sections
+// never block on I/O or allocate.
+type breaker struct {
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe slot is reserved
+}
+
+// allow reports whether a request may proceed. probe is true when the
+// caller holds the half-open breaker's single probe slot — its outcome
+// decides the breaker's fate, so the caller must eventually call record
+// (or cancelProbe if the request never ran to completion on its own
+// merits).
+func (b *breaker) allow(now time.Time, cooldown time.Duration) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true, false
+	case stateOpen:
+		if now.Sub(b.openedAt) < cooldown {
+			return false, false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false // the in-flight probe owns the verdict
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// closed reports whether the breaker is fully closed — the only state a
+// hedge request may target (a half-open probe slot is too scarce to spend
+// on a duplicate).
+func (b *breaker) closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == stateClosed
+}
+
+// record applies a request outcome and reports whether this call tripped
+// the breaker open (for the opens counter — transitions, not rejections).
+func (b *breaker) record(success bool, threshold int, now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.state = stateClosed
+		b.failures = 0
+		b.probing = false
+		return false
+	}
+	switch b.state {
+	case stateClosed:
+		b.failures++
+		if b.failures >= threshold {
+			b.state = stateOpen
+			b.openedAt = now
+			b.failures = 0
+			return true
+		}
+	case stateHalfOpen:
+		// The probe failed: straight back to open, restarting the cooldown.
+		b.state = stateOpen
+		b.openedAt = now
+		b.probing = false
+		return true
+	case stateOpen:
+		// A stale outcome from before the trip; nothing to update.
+	}
+	return false
+}
+
+// cancelProbe releases a half-open probe slot whose request was canceled
+// by the caller (not failed by the replica), letting the next attempt
+// probe instead of deadlocking the breaker half-open forever.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.probing = false
+	}
+}

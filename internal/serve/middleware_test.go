@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lrd/internal/obs"
+)
+
+func getStatus(t *testing.T, ts *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 256)
+	n, _ := resp.Body.Read(buf)
+	return resp, string(buf[:n])
+}
+
+// TestReadinessLifecycle: /readyz is 503 before MarkReady, 200 when warm,
+// and 503 "draining" after StartDrain — while /healthz and the solve API
+// keep answering throughout (readiness gates routing, never requests that
+// already arrived).
+func TestReadinessLifecycle(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := getStatus(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Fatalf("cold /readyz = %d %s, want 503 starting", resp.StatusCode, body)
+	}
+
+	s.MarkReady()
+	resp, body = getStatus(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("warm /readyz = %d %s", resp.StatusCode, body)
+	}
+	if got, ok := s.reg.GaugeValue(obs.MetricServeReady); !ok || got != 1 {
+		t.Fatalf("ready gauge = %v (ok=%v), want 1", got, ok)
+	}
+
+	s.StartDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() false after StartDrain")
+	}
+	resp, body = getStatus(t, ts, "/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining /readyz = %d %s", resp.StatusCode, body)
+	}
+	if got, ok := s.reg.GaugeValue(obs.MetricServeReady); !ok || got != 0 {
+		t.Fatalf("ready gauge = %v (ok=%v), want 0 while draining", got, ok)
+	}
+
+	// Liveness and the solve API are unaffected.
+	if resp, _ := getStatus(t, ts, "/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d", resp.StatusCode)
+	}
+	if sresp, sbody := post(t, ts, solveBody(0.1)); sresp.StatusCode != http.StatusOK {
+		t.Fatalf("solve during drain = %d %s", sresp.StatusCode, sbody)
+	}
+}
+
+// TestRateLimitSheds: with a 1 req/s single-token bucket the second
+// immediate request is shed with 429 + Retry-After, a token refill lets
+// the client back in, and a different client is never affected.
+func TestRateLimitSheds(t *testing.T) {
+	s := New(Config{RateLimit: 1, RateBurst: 1})
+	clock := time.Unix(1_000_000, 0)
+	s.limiter.now = func() time.Time { return clock }
+	h := s.Handler()
+
+	do := func(addr string) *httptest.ResponseRecorder {
+		r := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(solveBody(0.1)))
+		r.RemoteAddr = addr
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		return w
+	}
+
+	if w := do("10.0.0.1:1111"); w.Code != http.StatusOK {
+		t.Fatalf("first request = %d %s", w.Code, w.Body)
+	}
+	w := do("10.0.0.1:2222") // same host, new port: same bucket
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", w.Code)
+	}
+	ra, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want >= 1 second", w.Header().Get("Retry-After"))
+	}
+	if got := s.reg.CounterValue(obs.MetricServeRateLimited); got != 1 {
+		t.Fatalf("rate-limited counter = %v, want 1", got)
+	}
+
+	// Another client is untouched (cache makes this instant).
+	if w := do("10.0.0.2:1111"); w.Code != http.StatusOK {
+		t.Fatalf("other client = %d", w.Code)
+	}
+
+	// A second of refill readmits the shed client.
+	clock = clock.Add(time.Second)
+	if w := do("10.0.0.1:3333"); w.Code != http.StatusOK {
+		t.Fatalf("after refill = %d", w.Code)
+	}
+
+	// Probes and metrics are never throttled.
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		r := httptest.NewRequest(http.MethodGet, path, nil)
+		r.RemoteAddr = "10.0.0.1:4444"
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code == http.StatusTooManyRequests {
+			t.Fatalf("%s rate-limited", path)
+		}
+	}
+}
+
+// TestRateRetryAfterQueueAware: a deeper solve queue lengthens the hint.
+func TestRateRetryAfterQueueAware(t *testing.T) {
+	s := New(Config{MaxQueue: 4, RetryAfter: 8 * time.Second})
+	empty := s.rateRetryAfter(0)
+	s.queue <- struct{}{}
+	s.queue <- struct{}{}
+	half := s.rateRetryAfter(0)
+	if empty != "1" {
+		t.Fatalf("empty-queue hint = %s, want the 1s floor", empty)
+	}
+	if half != "4" { // 8s · 2/4
+		t.Fatalf("half-queue hint = %s, want 4", half)
+	}
+}
+
+// TestPanicRecoveryMiddleware: a panicking handler yields a 500 and a
+// metric; the server survives to serve the next request.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s := New(Config{})
+	s.beforeSolve = func(key string) { panic("solver table corrupted") }
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, solveBody(0.1))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking solve = %d %s", resp.StatusCode, body)
+	}
+	if got := s.reg.CounterValue(obs.MetricServePanics); got != 1 {
+		t.Fatalf("panics counter = %v, want 1", got)
+	}
+
+	s.beforeSolve = nil
+	if resp, body := post(t, ts, solveBody(0.1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("server did not survive the panic: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestSweepCellPanicContained: a panic inside one sweep cell's goroutine
+// marks that cell 500 and leaves the rest of the batch (and the process)
+// intact.
+func TestSweepCellPanicContained(t *testing.T) {
+	s := New(Config{})
+	var fired atomic.Bool
+	s.beforeSolve = func(key string) {
+		if fired.CompareAndSwap(false, true) {
+			panic("one bad cell")
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"marginal":"0:0.5,2:0.5","hurst":0.8,"epoch":0.05,"cutoff":1,"util":0.8,"buffers":[0.1,0.2]}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("sweep with one panicked cell = %d, want 207", resp.StatusCode)
+	}
+	if got := s.reg.CounterValue(obs.MetricServePanics); got != 1 {
+		t.Fatalf("panics counter = %v, want 1", got)
+	}
+}
+
+// TestRateLimiterUnit exercises the bucket math and the bounded-table
+// eviction directly.
+func TestRateLimiterUnit(t *testing.T) {
+	clock := time.Unix(0, 0)
+	l := newRateLimiter(2, 0) // default burst = ceil(2·2) = 4
+	l.now = func() time.Time { return clock }
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.take("a"); !ok {
+			t.Fatalf("burst take %d refused", i)
+		}
+	}
+	ok, wait := l.take("a")
+	if ok || wait <= 0 || wait > 500*time.Millisecond {
+		t.Fatalf("post-burst take: ok=%v wait=%v, want refusal with <=0.5s wait", ok, wait)
+	}
+	clock = clock.Add(wait)
+	if ok, _ := l.take("a"); !ok {
+		t.Fatal("take after exact refill wait refused")
+	}
+
+	// Idle eviction keeps the table bounded.
+	for i := 0; i < maxRateClients; i++ {
+		l.take("client-" + strconv.Itoa(i))
+	}
+	clock = clock.Add(2 * rateClientIdleEvict)
+	l.take("fresh")
+	if n := len(l.clients); n > maxRateClients {
+		t.Fatalf("table grew to %d, want <= %d", n, maxRateClients)
+	}
+}

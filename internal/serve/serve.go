@@ -57,6 +57,12 @@ type Config struct {
 	RequestTimeout time.Duration
 	// RetryAfter is the Retry-After hint on 429 responses. Default 1s.
 	RetryAfter time.Duration
+	// RateLimit is the per-client request rate (req/s, keyed by remote IP)
+	// applied to /v1/ endpoints; 0 disables rate limiting. Excess requests
+	// are shed with 429 and a queue-depth-aware Retry-After.
+	RateLimit float64
+	// RateBurst is the per-client burst capacity. Default max(1, ⌈2·RateLimit⌉).
+	RateBurst int
 	// Solver is the default solver configuration; requests may override the
 	// convergence knobs (relgap, maxbins) per call.
 	Solver solver.Config
@@ -136,6 +142,12 @@ type Server struct {
 	mu      sync.Mutex
 	flights map[string]*flight
 
+	// ready/draining drive /readyz: advisory for load-balancer routing,
+	// never a gate on requests that already arrived.
+	ready    atomic.Bool
+	draining atomic.Bool
+	limiter  *rateLimiter
+
 	// solves counts solver invocations; the singleflight e2e asserts it.
 	solves atomic.Int64
 	// beforeSolve, when non-nil, runs on the leader after admission and
@@ -160,6 +172,9 @@ func New(cfg Config) *Server {
 	if cfg.CacheSize > 0 {
 		s.cache = newLRU(cfg.CacheSize)
 	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
+	}
 	if s.cache != nil && cfg.Journal != nil {
 		warmed := 0
 		cfg.Journal.Range(func(key string, value json.RawMessage) bool {
@@ -182,7 +197,9 @@ func New(cfg Config) *Server {
 
 // Handler returns the HTTP API: POST /v1/solve, POST /v1/sweep,
 // GET /metrics (Prometheus text; ?format=json for the JSON snapshot),
-// GET /v1/status (+ /v1/status/stream SSE), GET /healthz.
+// GET /v1/status (+ /v1/status/stream SSE), GET /healthz, GET /readyz.
+// The stack is wrapped by the admission perimeter: per-client rate
+// limiting on /v1/ paths, panic recovery outermost.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -190,11 +207,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/status/stream", s.handleStatusStream)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
-	return mux
+	return s.recoverMiddleware(s.rateLimitMiddleware(mux))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -408,6 +426,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// The middleware's recover cannot see this goroutine; guard it
+			// here or one bad cell kills the replica.
+			defer s.recoverCell(&results[i])
+			results[i].Buffer, results[i].Cutoff = jobs[i].req.Buffer, jobs[i].req.Cutoff
 			status, disposition, body := s.solveOne(ctx, jobs[i].req, jobs[i].job)
 			results[i] = SweepCellResult{
 				Buffer: jobs[i].req.Buffer,
@@ -481,11 +503,21 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest, job solveJob) (
 	s.mu.Unlock()
 
 	disposition := "miss"
+	// The flight teardown is deferred so a panicking leader (unwinding to
+	// the recover middleware) still releases its followers — otherwise the
+	// stale flight would absorb every future request for this key forever.
+	// No recover here: the panic keeps propagating; followers see a 500.
+	defer func() {
+		if f.status == 0 {
+			f.status = http.StatusInternalServerError
+			f.body, _ = json.Marshal(map[string]string{"error": "internal error"})
+		}
+		s.mu.Lock()
+		delete(s.flights, job.key)
+		s.mu.Unlock()
+		close(f.done)
+	}()
 	f.status, f.body = s.leaseAndSolve(ctx, req, job, &disposition)
-	s.mu.Lock()
-	delete(s.flights, job.key)
-	s.mu.Unlock()
-	close(f.done)
 	return f.status, disposition, f.body
 }
 

@@ -67,3 +67,23 @@ func ParseMarginal(s string) (dist.Marginal, error) {
 	}
 	return dist.NewMarginal(rates, probs)
 }
+
+// FormatMarginal renders a marginal back into the inline "rate:prob,…"
+// flag syntax, each float in shortest round-trippable form — the inverse
+// of ParseMarginal, used by the fleet client to ship a locally-built
+// source to an lrdserve replica through the same parser that validates
+// curl requests. Round-tripping a normalized marginal is value-exact:
+// its probabilities already sum to one, so ParseMarginal's
+// renormalization divides by exactly 1.0.
+func FormatMarginal(m dist.Marginal) string {
+	var b strings.Builder
+	for i := 0; i < m.Len(); i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(m.Rate(i), 'g', -1, 64))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatFloat(m.Prob(i), 'g', -1, 64))
+	}
+	return b.String()
+}
