@@ -14,7 +14,7 @@
 // gracefully (completed rows are kept, the run exits nonzero).
 //
 // Traffic models: -model realizes every experiment's sources as one
-// registered model (fluid, onoff, markov, mmfq — see internal/source) and
+// registered model (fluid, onoff, markov, mmfq, ams — see internal/source) and
 // -model-params passes key=value model parameters; the default fluid model
 // reproduces the paper's figures bit-identically.
 //

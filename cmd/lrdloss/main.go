@@ -12,7 +12,7 @@
 //	        -util 0.8 -buffer 0.5
 //
 // Traffic models: -model realizes the source as one registered model
-// (fluid, onoff, markov, mmfq — see internal/source) before solving, and
+// (fluid, onoff, markov, mmfq, ams — see internal/source) before solving, and
 // -model-params passes key=value model parameters. The flags above always
 // describe the reference cutoff-Pareto source that the chosen model is
 // fitted to; the default fluid model solves it directly.

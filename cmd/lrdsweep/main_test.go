@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -362,5 +363,73 @@ func TestRunRejectsUnknownModel(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "unknown model") {
 		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+// TestBatchTSVByteIdentical is the command-level golden check for exact
+// batch mode: -batch must produce a TSV byte-identical to the unbatched
+// run.
+func TestBatchTSVByteIdentical(t *testing.T) {
+	code, plain, stderr := runCapture("-exp", "fig4", "-quick")
+	if code != 0 {
+		t.Fatalf("plain run exit %d: %s", code, stderr)
+	}
+	code, batched, stderr := runCapture("-exp", "fig4", "-quick", "-batch")
+	if code != 0 {
+		t.Fatalf("batch run exit %d: %s", code, stderr)
+	}
+	if batched != plain {
+		t.Fatalf("-batch TSV differs from unbatched run:\n--- batch ---\n%s\n--- plain ---\n%s", batched, plain)
+	}
+}
+
+// TestWarmTSVDeterministicAndBracketed: -warm output is reproducible run to
+// run, and every warm row still brackets its loss (the valid-bounds
+// contract); it is allowed to differ from the cold TSV only in bound
+// digits.
+func TestWarmTSVDeterministicAndBracketed(t *testing.T) {
+	code, first, stderr := runCapture("-exp", "fig4", "-quick", "-warm")
+	if code != 0 {
+		t.Fatalf("warm run exit %d: %s", code, stderr)
+	}
+	code, second, stderr := runCapture("-exp", "fig4", "-quick", "-warm")
+	if code != 0 {
+		t.Fatalf("second warm run exit %d: %s", code, stderr)
+	}
+	if first != second {
+		t.Fatalf("warm TSVs differ between runs:\n%s\n%s", first, second)
+	}
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("warm TSV too short:\n%s", first)
+	}
+	header := strings.Split(lines[1], "\t")
+	col := map[string]int{}
+	for i, h := range header {
+		col[h] = i
+	}
+	for _, name := range []string{"loss", "lower", "upper"} {
+		if _, ok := col[name]; !ok {
+			t.Fatalf("warm TSV header missing %q: %v", name, header)
+		}
+	}
+	for _, line := range lines[2:] {
+		f := strings.Split(line, "\t")
+		var loss, lo, hi float64
+		for name, dst := range map[string]*float64{"loss": &loss, "lower": &lo, "upper": &hi} {
+			v, err := strconv.ParseFloat(f[col[name]], 64)
+			if err != nil {
+				t.Fatalf("row %q: parsing %s: %v", line, name, err)
+			}
+			*dst = v
+		}
+		if lo > hi {
+			t.Fatalf("warm row has inverted bounds [%g, %g]: %q", lo, hi, line)
+		}
+		// Loss 0 with positive bounds is the loss-floor clamp (upper below
+		// 1e-10 reports zero loss), not a bracket violation.
+		if loss != 0 && !(lo <= loss && loss <= hi) {
+			t.Fatalf("warm row has invalid bracket [%g, %g] around %g: %q", lo, hi, loss, line)
+		}
 	}
 }

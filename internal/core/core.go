@@ -440,23 +440,59 @@ func realizeCell(ctx context.Context, cfg SweepConfig, ref fluid.Source, util, n
 // loss rate over a (normalized buffer, cutoff lag) grid at fixed
 // utilization. On context cancellation it returns the completed cells
 // alongside the context error, so a sweep always yields its partial rows.
+//
+// This is the batch-first sweep: with cfg.Batch the cells share one solver
+// arena and each cutoff column's realized source (bit-identical results);
+// with cfg.WarmStarts each column additionally runs as an ascending-buffer
+// warm-start chain (valid bounds, different low-order digits, namespaced
+// journal — see SweepConfig).
 func LossVsBufferAndCutoff(ctx context.Context, tm TraceModel, util float64, buffers, cutoffs []float64, cfg SweepConfig) ([]Point, error) {
 	if len(buffers) == 0 || len(cutoffs) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
-	return gridSweep(ctx, cfg, len(buffers)*len(cutoffs),
-		func(i int) string {
-			return "bufcut|u=" + fkey(util) + "|b=" + fkey(buffers[i/len(cutoffs)]) + "|tc=" + fkey(cutoffs[i%len(cutoffs)])
-		},
-		func(ctx context.Context, i int) (Point, error) {
-			b := buffers[i/len(cutoffs)]
-			tc := cutoffs[i%len(cutoffs)]
-			src, err := tm.Source(tc)
+	cfg = cfg.withBatchArena()
+	nc := len(cutoffs)
+	n := len(buffers) * nc
+	key := func(i int) string {
+		return "bufcut|u=" + fkey(util) + "|b=" + fkey(buffers[i/nc]) + "|tc=" + fkey(cutoffs[i%nc])
+	}
+	var realized func(int) (source.Source, error)
+	if cfg.batchLocal() {
+		realized = newColumnCache(nc, func(c int) (source.Source, error) {
+			ref, err := tm.Source(cutoffs[c])
 			if err != nil {
-				return Point{}, err
+				return nil, err
 			}
-			return realizeCell(ctx, cfg, src, util, b)
+			return realizeModel(cfg, ref)
 		})
+	}
+	compute := func(ctx context.Context, i int, seed *solver.Seed) (Point, *solver.Seed, error) {
+		b := buffers[i/nc]
+		if realized == nil {
+			src, err := tm.Source(cutoffs[i%nc])
+			if err != nil {
+				return Point{}, nil, err
+			}
+			p, err := realizeCell(ctx, cfg, src, util, b)
+			return p, nil, err
+		}
+		s, err := realized(i % nc)
+		if err != nil {
+			return Point{}, nil, err
+		}
+		return solveCellSeeded(ctx, s, util, b, cfg.Solver, seed)
+	}
+	if cfg.WarmStarts && cfg.Remote == nil {
+		// Warm results differ from cold ones in their low-order digits, so
+		// they journal under their own namespace: a warm run never replays an
+		// exact journal and vice versa.
+		cfg.Prefix += "warm=1|"
+		return gridSweepChained(ctx, cfg, n, bufferChains(buffers, nc), key, compute)
+	}
+	return gridSweep(ctx, cfg, n, key, func(ctx context.Context, i int) (Point, error) {
+		p, _, err := compute(ctx, i, nil)
+		return p, err
+	})
 }
 
 // LossVsCutoffFixedTheta reproduces Fig. 9: loss rate versus cutoff lag
@@ -466,6 +502,7 @@ func LossVsCutoffFixedTheta(ctx context.Context, marginal dist.Marginal, util, n
 	if len(cutoffs) == 0 {
 		return nil, errors.New("core: empty cutoff grid")
 	}
+	cfg = cfg.withBatchArena()
 	alpha := dist.AlphaFromHurst(hurst)
 	keyBase := "cutfix|u=" + fkey(util) + "|b=" + fkey(nbuf) + "|th=" + fkey(theta) + "|h=" + fkey(hurst)
 	return gridSweep(ctx, cfg, len(cutoffs),
@@ -486,6 +523,7 @@ func LossVsHurstAndScale(ctx context.Context, tm TraceModel, util, nbuf float64,
 	if len(hursts) == 0 || len(scales) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
+	cfg = cfg.withBatchArena()
 	keyBase := "hscale|u=" + fkey(util) + "|b=" + fkey(nbuf)
 	return gridSweep(ctx, cfg, len(hursts)*len(scales),
 		func(i int) string {
@@ -516,6 +554,7 @@ func LossVsHurstAndStreams(ctx context.Context, tm TraceModel, util, nbuf float6
 	if len(hursts) == 0 || len(streams) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
+	cfg = cfg.withBatchArena()
 	// Precompute superposed marginals (shared across Hurst values).
 	margs := make([]dist.Marginal, len(streams))
 	for j, n := range streams {
@@ -556,6 +595,7 @@ func LossVsBufferAndScale(ctx context.Context, tm TraceModel, util float64, buff
 	if len(buffers) == 0 || len(scales) == 0 {
 		return nil, errors.New("core: empty parameter grid")
 	}
+	cfg = cfg.withBatchArena()
 	return gridSweep(ctx, cfg, len(buffers)*len(scales),
 		func(i int) string {
 			return "bscale|u=" + fkey(util) + "|b=" + fkey(buffers[i/len(scales)]) + "|a=" + fkey(scales[i%len(scales)])

@@ -31,6 +31,27 @@ type Interarrival interface {
 	Validate() error
 }
 
+// CCDFBoth returns Pr{T > t} and Pr{T >= t} in one evaluation. The two
+// differ only at the law's atoms (t = 0 and t = Cutoff); everywhere else
+// they share one power-law evaluation, so callers tabulating both (the
+// solver's strict and non-strict work-increment cdfs) pay half the pow
+// calls. Each component is bitwise equal to the corresponding CCDF /
+// CCDFAtLeast call.
+func (p TruncatedPareto) CCDFBoth(t float64) (gt, ge float64) {
+	switch {
+	case t <= 0:
+		// CCDF(0) = ((0+θ)/θ)^(−α) = 1 exactly; CCDFAtLeast(0) = 1.
+		return 1, 1
+	case t < p.Cutoff:
+		v := math.Pow((t+p.Theta)/p.Theta, -p.Alpha)
+		return v, v
+	case t == p.Cutoff:
+		return 0, p.AtomMass()
+	default:
+		return 0, 0
+	}
+}
+
 // CCDFAtLeast returns Pr{T >= t}, accounting for the atom at the cutoff.
 func (p TruncatedPareto) CCDFAtLeast(t float64) float64 {
 	if t <= 0 {
@@ -63,6 +84,28 @@ func (p TruncatedPareto) IntegralCCDF(a float64) float64 {
 		tail = math.Pow((p.Cutoff+p.Theta)/p.Theta, 1-p.Alpha)
 	}
 	return p.Theta / (p.Alpha - 1) * (head - tail)
+}
+
+// IntegralCCDFFunc returns IntegralCCDF with the law's constants — the
+// cutoff tail term and the θ/(α−1) scale — hoisted out of the per-point
+// evaluation, for callers tabulating the integral at many points (the
+// solver's loss table). Bitwise equal to IntegralCCDF at every point.
+func (p TruncatedPareto) IntegralCCDFFunc() func(a float64) float64 {
+	tail := 0.0
+	if !math.IsInf(p.Cutoff, 1) {
+		tail = math.Pow((p.Cutoff+p.Theta)/p.Theta, 1-p.Alpha)
+	}
+	scale := p.Theta / (p.Alpha - 1)
+	return func(a float64) float64 {
+		if a < 0 {
+			a = 0
+		}
+		if a >= p.Cutoff {
+			return 0
+		}
+		head := math.Pow((a+p.Theta)/p.Theta, 1-p.Alpha)
+		return scale * (head - tail)
+	}
 }
 
 // Upper returns the essential supremum of T, i.e. the cutoff lag.
@@ -143,6 +186,20 @@ func (h Hyperexponential) CCDF(t float64) float64 {
 	return numerics.Clamp(acc.Sum(), 0, 1)
 }
 
+// CCDFBoth returns Pr{T > t} and Pr{T >= t} in one evaluation; the law is
+// continuous, so the components differ only at t = 0 and otherwise share
+// one exponential-mixture sum. Bitwise equal to CCDF / CCDFAtLeast.
+func (h Hyperexponential) CCDFBoth(t float64) (gt, ge float64) {
+	if t < 0 {
+		return 1, 1
+	}
+	v := h.CCDF(t)
+	if t == 0 {
+		return v, 1
+	}
+	return v, v
+}
+
 // CCDFAtLeast returns Pr{T >= t}; the law is continuous, so it equals CCDF
 // except at t = 0.
 func (h Hyperexponential) CCDFAtLeast(t float64) float64 {
@@ -165,6 +222,25 @@ func (h Hyperexponential) IntegralCCDF(a float64) float64 {
 		acc.Add(h.Weights[i] * h.Scales[i] * math.Exp(-a/h.Scales[i]))
 	}
 	return acc.Sum()
+}
+
+// IntegralCCDFFunc returns IntegralCCDF with the per-mode w_k·τ_k products
+// precomputed. Bitwise equal to IntegralCCDF at every point.
+func (h Hyperexponential) IntegralCCDFFunc() func(a float64) float64 {
+	ws := make([]float64, len(h.Weights))
+	for i := range h.Weights {
+		ws[i] = h.Weights[i] * h.Scales[i]
+	}
+	return func(a float64) float64 {
+		if a < 0 {
+			a = 0
+		}
+		var acc numerics.Accumulator
+		for i := range ws {
+			acc.Add(ws[i] * math.Exp(-a/h.Scales[i]))
+		}
+		return acc.Sum()
+	}
 }
 
 // Mean returns E[T] = Σ_k w_k·τ_k.

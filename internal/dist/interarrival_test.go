@@ -51,6 +51,59 @@ func TestTruncatedParetoCCDFAtLeast(t *testing.T) {
 	}
 }
 
+// TestCCDFBothBitwise is the fused-evaluation contract: each component of
+// CCDFBoth must be bitwise equal to the corresponding separate call, at
+// every regime boundary (negative, zero, continuous region, the cutoff
+// atom, beyond the cutoff) — the solver's cdf tabulation relies on this to
+// halve law evaluations without perturbing results.
+func TestCCDFBothBitwise(t *testing.T) {
+	p := TruncatedPareto{Theta: 0.5, Alpha: 1.5, Cutoff: 3}
+	pinf := TruncatedPareto{Theta: 0.5, Alpha: 1.5, Cutoff: math.Inf(1)}
+	h, err := NewHyperexponential([]float64{0.3, 0.7}, []float64{0.1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	laws := []interface {
+		CCDF(float64) float64
+		CCDFAtLeast(float64) float64
+		CCDFBoth(float64) (float64, float64)
+	}{p, pinf, h}
+	points := []float64{-1, 0, 1e-9, 0.5, 1, 2.999, 3, 3.1, 100}
+	for _, law := range laws {
+		for _, x := range points {
+			gt, ge := law.CCDFBoth(x)
+			if gt != law.CCDF(x) || ge != law.CCDFAtLeast(x) {
+				t.Errorf("%T CCDFBoth(%v) = (%v, %v), want (%v, %v)",
+					law, x, gt, ge, law.CCDF(x), law.CCDFAtLeast(x))
+			}
+		}
+	}
+}
+
+// TestIntegralCCDFFuncBitwise: the curried integral must be bitwise equal
+// to IntegralCCDF everywhere, including clamped and beyond-cutoff inputs.
+func TestIntegralCCDFFuncBitwise(t *testing.T) {
+	p := TruncatedPareto{Theta: 0.5, Alpha: 1.5, Cutoff: 3}
+	pinf := TruncatedPareto{Theta: 0.5, Alpha: 1.5, Cutoff: math.Inf(1)}
+	h, err := NewHyperexponential([]float64{0.3, 0.7}, []float64{0.1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	laws := []interface {
+		IntegralCCDF(float64) float64
+		IntegralCCDFFunc() func(float64) float64
+	}{p, pinf, h}
+	points := []float64{-1, 0, 1e-9, 0.5, 1, 2.999, 3, 3.1, 100}
+	for _, law := range laws {
+		f := law.IntegralCCDFFunc()
+		for _, x := range points {
+			if f(x) != law.IntegralCCDF(x) {
+				t.Errorf("%T IntegralCCDFFunc()(%v) = %v, want %v", law, x, f(x), law.IntegralCCDF(x))
+			}
+		}
+	}
+}
+
 func TestNewHyperexponentialValidation(t *testing.T) {
 	if _, err := NewHyperexponential(nil, nil); err == nil {
 		t.Fatal("want error on empty mixture")

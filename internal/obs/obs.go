@@ -54,6 +54,16 @@ const (
 	MetricSolverConvolveDirect  = "solver_convolve_direct_total"
 	MetricSolverConvolveFFT     = "solver_convolve_fft_total"
 
+	// Batched solving (solver.Arena / solver.Batch): scratch-buffer reuse
+	// and cross-cell warm-start accounting.
+	MetricSolverArenaReuse    = "solver_arena_reuse_total"           // scratch sets served from the arena pool
+	MetricSolverArenaAlloc    = "solver_arena_alloc_total"           // scratch sets newly allocated
+	MetricSolverWarmSolves    = "solver_warm_solves_total"           // solves seeded from a neighbor's occupancy vectors
+	MetricSolverWarmRejected  = "solver_warm_rejected_total"         // incompatible seeds solved cold instead
+	MetricSolverWarmIterSaved = "solver_warm_iterations_saved_total" // iterations saved vs. the seeding neighbor
+	MetricCoreWarmChains      = "core_warm_chains_total"             // neighbor-ordered warm chains planned
+	MetricCoreWarmChainBreaks = "core_warm_chain_breaks_total"       // chains reset by resumed/adopted cells
+
 	// Sweeps (internal/core): parallelMap worker-pool telemetry.
 	MetricCoreCellsPlanned     = "core_cells_planned_total"
 	MetricCoreCellsStarted     = "core_cells_started_total"

@@ -1,0 +1,152 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Batch is the batch-first entry point: a set of related cells solved
+// through one shared Arena (FFT workspaces, step buffers, grid tables),
+// optionally chained with cross-cell warm starts.
+//
+// Two modes:
+//
+//   - Exact (the default): buffers and plans are shared but every cell
+//     starts cold, so each result is bit-identical to a standalone
+//     SolveModel call. Sweep TSVs, caches, and journals produced through an
+//     exact batch are byte-interchangeable with the per-cell path.
+//   - Warm (BatchOptions.WarmStarts): chainable cells additionally seed
+//     each other's bound iterations (see Seed). Brackets stay valid at
+//     every step — verified at runtime by the bound-order watchdog — but
+//     bounds land elsewhere inside the bracket than a cold solve's, so
+//     warm results are not bitwise-comparable with cold ones.
+type Batch struct {
+	cfg  Config
+	warm bool
+}
+
+// BatchOptions tunes a Batch.
+type BatchOptions struct {
+	// WarmStarts enables cross-cell warm-start chaining in SolveAll and
+	// seeded solving in SolveSeeded. See Batch and Seed for the exactness
+	// trade-off.
+	WarmStarts bool
+}
+
+// NewBatch prepares a batch around cfg, attaching a fresh Arena unless cfg
+// already carries one.
+func NewBatch(cfg Config, opts BatchOptions) *Batch {
+	if cfg.Arena == nil {
+		cfg.Arena = NewArena()
+	}
+	return &Batch{cfg: cfg, warm: opts.WarmStarts}
+}
+
+// Config returns the batch's arena-attached solver config; callers wiring
+// the batch into existing per-cell plumbing can solve with it directly.
+func (b *Batch) Config() Config { return b.cfg }
+
+// WarmStarts reports whether the batch chains cross-cell warm starts.
+func (b *Batch) WarmStarts() bool { return b.warm }
+
+// Solve solves one cell cold through the shared arena; bit-identical to
+// SolveModelContext without the batch.
+func (b *Batch) Solve(ctx context.Context, m Model) (Result, error) {
+	return SolveModelContext(ctx, m, b.cfg)
+}
+
+// SolveSeeded solves one cell — warm-started from seed when warm mode is on
+// and the seed is compatible, cold otherwise — and returns the seed for the
+// cell's next larger-buffer neighbor. A nil seed is always a cold solve.
+func (b *Batch) SolveSeeded(ctx context.Context, m Model, seed *Seed) (Result, *Seed, error) {
+	var (
+		r   Result
+		err error
+	)
+	if b.warm && seed != nil {
+		r, err = SolveModelSeeded(ctx, m, b.cfg, seed)
+	} else {
+		r, err = SolveModelContext(ctx, m, b.cfg)
+	}
+	if err != nil {
+		return Result{}, nil, err
+	}
+	next := SeedFromResult(m, r)
+	if next != nil && seed != nil && seed.Iterations > next.Iterations {
+		// Keep the chain head's cost as the running cold-cost estimate for
+		// the iterations-saved metric.
+		next.Iterations = seed.Iterations
+	}
+	return r, next, nil
+}
+
+// SolveAll solves every cell and returns results in input order. In warm
+// mode, chainable cells (identical marginal, interarrival law, and service
+// rate — only the buffer differs) are grouped into ascending-buffer chains,
+// each cell seeding the next; in exact mode every cell solves cold and each
+// result is bit-identical to a standalone SolveModel call. Chains run
+// sequentially and deterministically: two SolveAll calls over the same
+// cells produce identical output.
+func (b *Batch) SolveAll(ctx context.Context, models []Model) ([]Result, error) {
+	out := make([]Result, len(models))
+	for _, chain := range chainModels(models, b.warm) {
+		var seed *Seed
+		for _, i := range chain {
+			r, next, err := b.SolveSeeded(ctx, models[i], seed)
+			if err != nil {
+				return nil, fmt.Errorf("solver: batch cell %d: %w", i, err)
+			}
+			out[i] = r
+			seed = next
+		}
+	}
+	return out, nil
+}
+
+// chainModels partitions cell indices into solve chains: singletons in
+// exact mode; same-source groups ordered by ascending buffer in warm mode
+// (the direction the Seed coupling argument requires).
+func chainModels(models []Model, warm bool) [][]int {
+	if !warm {
+		chains := make([][]int, len(models))
+		for i := range models {
+			chains[i] = []int{i}
+		}
+		return chains
+	}
+	groups := make(map[string][]int)
+	var order []string
+	for i, m := range models {
+		k := chainKey(m)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	chains := make([][]int, 0, len(order))
+	for _, k := range order {
+		idx := groups[k]
+		sort.SliceStable(idx, func(a, b int) bool {
+			return models[idx[a]].Buffer < models[idx[b]].Buffer
+		})
+		chains = append(chains, idx)
+	}
+	return chains
+}
+
+// chainKey fingerprints the buffer-independent part of a model — marginal,
+// interarrival law, service rate — so cells differing only in buffer size
+// land in the same warm chain. Bit-exact float encoding avoids formatting
+// collisions.
+func chainKey(m Model) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "c=%x|", math.Float64bits(m.ServiceRate))
+	for i := 0; i < m.Marginal.Len(); i++ {
+		fmt.Fprintf(&sb, "%x:%x,", math.Float64bits(m.Marginal.Rate(i)), math.Float64bits(m.Marginal.Prob(i)))
+	}
+	fmt.Fprintf(&sb, "|%#v", m.Interarrival)
+	return sb.String()
+}

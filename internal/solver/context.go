@@ -111,6 +111,7 @@ func (it *Iterator) RunContext(ctx context.Context) (Result, error) {
 	ctx, finish := obs.StartSpan(ctx, "solver.solve")
 	r, err := it.runContext(ctx)
 	it.observeFinish(r, err)
+	it.release() // recycle batch-mode scratch; no-op without an Arena
 	if obs.Traced(ctx) {
 		finish(map[string]string{
 			"solve":      strconv.FormatUint(it.id, 10),
@@ -140,6 +141,15 @@ func (it *Iterator) observeFinish(r Result, err error) {
 			// Labeled allocates; degradation is a per-solve event, not
 			// per-step, so the cost is negligible.
 			rec.Add(obs.Labeled(obs.MetricSolverDegraded, "reason", string(r.Degraded)), 1)
+		}
+		if it.warm {
+			rec.Add(obs.MetricSolverWarmSolves, 1)
+			if saved := it.seedIters - it.iterations; saved > 0 {
+				// The seeding neighbor's iteration count is the natural
+				// estimate of what this near-identical cell would have cost
+				// cold.
+				rec.Add(obs.MetricSolverWarmIterSaved, float64(saved))
+			}
 		}
 	}
 	if trace := it.cfg.Trace; trace != nil && err == nil {

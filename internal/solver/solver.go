@@ -225,6 +225,14 @@ type Config struct {
 	// finishes). The CLIs' -trace flag wires this to a JSONL writer. Like
 	// Recorder, a nil Trace changes nothing about the solve.
 	Trace func(TracePoint)
+	// Arena, when non-nil, lends the solve reusable scratch memory (FFT
+	// workspaces, step buffers, grid tables) shared with the other solves
+	// of a batch. Like Recorder it is excluded from ConfigHash and changes
+	// no result bit: every pooled buffer is zeroed or fully overwritten
+	// before use. The iterator borrows one scratch set for its lifetime and
+	// returns it when RunContext finishes — do not keep calling Step on an
+	// arena-backed iterator after RunContext has returned.
+	Arena *Arena
 }
 
 // TracePoint is one record of a solve's convergence trace: the bracketing
@@ -396,6 +404,24 @@ type Iterator struct {
 	// tolerates (monotoneRelTol) but a strict trace reader would not.
 	traceLo float64
 	traceHi float64
+
+	// Batch-mode state (zero outside batch mode). scratch is the arena
+	// scratch set borrowed for this solve's lifetime; qlNext/qhNext are the
+	// step output double-buffers; cl/cc retain the work-increment cdf
+	// tables so a Refine recomputes only the odd grid points (the even ones
+	// coincide bitwise with the coarse grid's).
+	arena          *Arena
+	scratch        *arenaScratch
+	qlNext, qhNext []float64
+	cl, cc         []float64
+
+	// Warm-start state: warm marks a solve seeded from a neighbor cell's
+	// occupancy vectors (see Seed). Seeded vectors are valid stochastic
+	// bounds but not sub-fixed-points of the Lindley map, so the per-step
+	// monotonicity watchdog is gated off for warm solves; the bracket-order
+	// watchdog stays on and verifies Prop. II.1 validity every iteration.
+	warm      bool
+	seedIters int // the seeding solve's iteration count, for saved-work metrics
 }
 
 // NewIterator validates the queue and prepares the initial resolution.
@@ -409,10 +435,29 @@ func NewIterator(q Queue, cfg Config) (*Iterator, error) {
 // NewModelIterator validates a general model and prepares the initial
 // resolution.
 func NewModelIterator(m Model, cfg Config) (*Iterator, error) {
+	it, err := newIterator(m, cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	it.ql[0] = 1       // Q_L(0) = 0: start empty
+	it.qh[it.bins] = 1 // Q_H(0) = B: start full
+	it.lowerLoss = it.lossOf(it.ql)
+	it.upperLoss = it.lossOf(it.qh)
+	return it, nil
+}
+
+// newIterator builds the iterator shell and its grid tables at the given
+// start resolution (0 means Config.InitialBins), leaving the occupancy
+// vectors zeroed; NewModelIterator and NewModelIteratorSeeded finish the
+// construction by choosing the start distributions.
+func newIterator(m Model, cfg Config, bins int) (*Iterator, error) {
 	if _, err := NewModel(m.Marginal, m.Interarrival, m.ServiceRate, m.Buffer); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	if bins <= 0 {
+		bins = cfg.InitialBins
+	}
 	it := &Iterator{
 		model:       m,
 		cfg:         cfg,
@@ -420,19 +465,21 @@ func NewModelIterator(m Model, cfg Config) (*Iterator, error) {
 		id:          solveSeq.Add(1),
 		start:       time.Now(),
 	}
-	it.setResolution(cfg.InitialBins)
+	if cfg.Arena != nil {
+		it.arena = cfg.Arena
+		it.scratch = cfg.Arena.borrow(cfg.Recorder)
+	}
+	it.setResolution(bins)
 	if err := it.validatePMF("lower increment", it.wl, cfg.MassDriftTol); err != nil {
+		it.release()
 		return nil, err
 	}
 	if err := it.validatePMF("upper increment", it.wh, cfg.MassDriftTol); err != nil {
+		it.release()
 		return nil, err
 	}
-	it.ql = make([]float64, it.bins+1)
-	it.qh = make([]float64, it.bins+1)
-	it.ql[0] = 1       // Q_L(0) = 0: start empty
-	it.qh[it.bins] = 1 // Q_H(0) = B: start full
-	it.lowerLoss = it.lossOf(it.ql)
-	it.upperLoss = it.lossOf(it.qh)
+	it.ql = it.scratch.getFloat(it.bins + 1)
+	it.qh = it.scratch.getFloat(it.bins + 1)
 	it.traceLo = 0
 	it.traceHi = math.Inf(1)
 	if rec := cfg.Recorder; rec != nil {
@@ -441,12 +488,59 @@ func NewModelIterator(m Model, cfg Config) (*Iterator, error) {
 	return it, nil
 }
 
-// setResolution (re)builds the grid-dependent tables for M bins.
+// release returns the borrowed arena scratch set, recycling this solve's
+// internal buffers for the batch's next cell. It runs when RunContext
+// finishes; afterwards the iterator must not be stepped again (results
+// already returned are unaffected — they hold copies). Idempotent, and a
+// no-op for iterators without an arena.
+func (it *Iterator) release() {
+	s := it.scratch
+	if s == nil {
+		return
+	}
+	it.scratch = nil
+	s.putFloat(it.ql)
+	s.putFloat(it.qh)
+	s.putFloat(it.qlNext)
+	s.putFloat(it.qhNext)
+	s.putFloat(it.wl)
+	s.putFloat(it.wh)
+	s.putFloat(it.loss)
+	s.putFloat(it.cl)
+	s.putFloat(it.cc)
+	it.ql, it.qh, it.qlNext, it.qhNext = nil, nil, nil, nil
+	it.wl, it.wh, it.loss, it.cl, it.cc = nil, nil, nil, nil, nil
+	it.arena.release(s)
+}
+
+// setResolution (re)builds the grid-dependent tables for M bins. In batch
+// mode the previous rung's tables are recycled through the arena scratch,
+// and a resolution doubling copies the coarse grid's cdf/loss entries into
+// the even fine-grid slots instead of recomputing them: the evaluation
+// points coincide bitwise (B/(2M) rounds to exactly half of B/M, and
+// float64(2j)·(B/(2M)) to exactly float64(j)·(B/M)), so the copied entries
+// equal what recomputation would produce and results stay bit-identical.
 func (it *Iterator) setResolution(m int) {
+	prevBins := it.bins
+	prevCl, prevCc, prevLoss := it.cl, it.cc, it.loss
+	prevWl, prevWh := it.wl, it.wh
 	it.bins = m
 	it.d = it.model.Buffer / float64(m)
-	it.wl, it.wh = it.incrementPMFs(m)
-	it.loss = it.lossTable(m)
+	reuseCl, reuseCc, reuseLoss := prevCl, prevCc, prevLoss
+	if prevBins <= 0 || m != 2*prevBins {
+		reuseCl, reuseCc, reuseLoss = nil, nil, nil
+	}
+	cl, cc := it.cdfTables(m, reuseCl, reuseCc)
+	it.wl, it.wh = it.incrementPMFs(m, cl, cc)
+	it.loss = it.lossTable(m, reuseLoss)
+	if it.scratch != nil {
+		it.cl, it.cc = cl, cc
+		it.scratch.putFloat(prevCl)
+		it.scratch.putFloat(prevCc)
+		it.scratch.putFloat(prevWl)
+		it.scratch.putFloat(prevWh)
+		it.scratch.putFloat(prevLoss)
+	}
 }
 
 // Bins returns the current resolution M.
@@ -483,8 +577,21 @@ func (it *Iterator) Step() error {
 	if it.cfg.Recorder != nil {
 		stepStart = time.Now()
 	}
-	ql, driftL := lindleyStep(it.ql, it.wl, it.bins)
-	qh, driftH := lindleyStep(it.qh, it.wh, it.bins)
+	var conv *fft.Scratch
+	var outL, outH []float64
+	if s := it.scratch; s != nil {
+		conv = &s.conv
+		n := it.bins + 1
+		if cap(it.qlNext) < n {
+			it.qlNext = make([]float64, n)
+		}
+		if cap(it.qhNext) < n {
+			it.qhNext = make([]float64, n)
+		}
+		outL, outH = it.qlNext[:n], it.qhNext[:n]
+	}
+	ql, driftL := lindleyStepInto(it.ql, it.wl, it.bins, conv, outL)
+	qh, driftH := lindleyStepInto(it.qh, it.wh, it.bins, conv, outH)
 	newLo, newHi := it.lossOf(ql), it.lossOf(qh)
 	if faultinject.Active() {
 		pair := []float64{newLo, newHi}
@@ -497,7 +604,14 @@ func (it *Iterator) Step() error {
 		}
 		return err
 	}
-	it.ql, it.qh = ql, qh
+	if it.scratch != nil {
+		// Double-buffer: the displaced vectors become the next step's
+		// output buffers.
+		it.ql, it.qlNext = ql, it.ql
+		it.qh, it.qhNext = qh, it.qh
+	} else {
+		it.ql, it.qh = ql, qh
+	}
 	it.lowerLoss, it.upperLoss = newLo, newHi
 	it.iterations++
 	if rec := it.cfg.Recorder; rec != nil {
@@ -568,14 +682,17 @@ func (it *Iterator) Refine() bool {
 		return false
 	}
 	old := it.bins
+	oldQl, oldQh := it.ql, it.qh
 	it.setResolution(old * 2)
-	ql := make([]float64, it.bins+1)
-	qh := make([]float64, it.bins+1)
+	ql := it.scratch.getFloat(it.bins + 1)
+	qh := it.scratch.getFloat(it.bins + 1)
 	for j := 0; j <= old; j++ {
-		ql[2*j] = it.ql[j]
-		qh[2*j] = it.qh[j]
+		ql[2*j] = oldQl[j]
+		qh[2*j] = oldQh[j]
 	}
 	it.ql, it.qh = ql, qh
+	it.scratch.putFloat(oldQl)
+	it.scratch.putFloat(oldQh)
 	it.lowerLoss = it.lossOf(it.ql)
 	it.upperLoss = it.lossOf(it.qh)
 	if rec := it.cfg.Recorder; rec != nil {
@@ -637,10 +754,20 @@ func relChange(prev, cur float64) float64 {
 // values FFT convolution can produce). The pre-renormalization drift
 // (total−1) is returned for the numeric-health watchdog.
 func lindleyStep(q, w []float64, m int) (out []float64, drift float64) {
+	return lindleyStepInto(q, w, m, nil, nil)
+}
+
+// lindleyStepInto is lindleyStep with optional caller-owned buffers: conv
+// supplies the convolution workspace and out (length m+1, fully
+// overwritten) receives the stepped pmf. Either may be nil, in which case
+// fresh slices are allocated; results are bit-identical both ways.
+func lindleyStepInto(q, w []float64, m int, conv *fft.Scratch, out []float64) ([]float64, float64) {
 	// u[k] corresponds to occupancy position (k−m)·d, k = 0..3m.
-	u := fft.ConvolveReal(q, w)
+	u := fft.ConvolveRealInto(q, w, conv)
 	faultinject.Apply(faultinject.SolverConvolution, u)
-	out = make([]float64, m+1)
+	if out == nil {
+		out = make([]float64, m+1)
+	}
 	var under, over numerics.Accumulator
 	for k := 0; k <= m; k++ { // positions −m·d … 0
 		under.Add(math.Max(u[k], 0))
@@ -670,20 +797,12 @@ func lindleyStep(q, w []float64, m int) (out []float64, drift float64) {
 //
 // with the tails beyond ±B lumped into the end bins (any step ≤ −B empties
 // and ≥ +B fills the buffer regardless of the starting occupancy). The
-// returned slices have length 2M+1; index i+M holds w(i).
-func (it *Iterator) incrementPMFs(m int) (wl, wh []float64) {
-	d := it.model.Buffer / float64(m)
-	wl = make([]float64, 2*m+1)
-	wh = make([]float64, 2*m+1)
+// returned slices have length 2M+1; index i+M holds w(i). cl and cc are the
+// cdf tables from cdfTables at the same resolution.
+func (it *Iterator) incrementPMFs(m int, cl, cc []float64) (wl, wh []float64) {
+	wl = it.scratch.getFloat(2*m + 1)
+	wh = it.scratch.getFloat(2*m + 1)
 	// Lower: w_L(i) = P{W < (i+1)d} − P{W < i·d}; end bins lump the tails.
-	// cdfStrict(x) = Pr{W < x}; cdf(x) = Pr{W <= x}.
-	cl := make([]float64, 2*m+2) // cdfStrict at i·d for i = −M..M+1
-	cc := make([]float64, 2*m+2) // cdf at i·d
-	for i := -m; i <= m+1; i++ {
-		x := float64(i) * d
-		cl[i+m] = it.workCDF(x, true)
-		cc[i+m] = it.workCDF(x, false)
-	}
 	for i := -m; i <= m; i++ {
 		switch {
 		case i == -m:
@@ -711,12 +830,95 @@ func (it *Iterator) incrementPMFs(m int) (wl, wh []float64) {
 	return wl, wh
 }
 
+// cdfTables evaluates the work-increment cdfs at the 2m+2 grid points i·d
+// for i = −m..m+1: cl holds the strict cdf Pr{W < i·d}, cc the non-strict
+// Pr{W <= i·d}. When the previous rung's tables at resolution m/2 are
+// supplied (a batch-mode resolution doubling), the even-index entries are
+// copied instead of recomputed — the evaluation points coincide bitwise, so
+// the copies equal what recomputation would produce.
+func (it *Iterator) cdfTables(m int, prevCl, prevCc []float64) (cl, cc []float64) {
+	d := it.model.Buffer / float64(m)
+	cl = it.scratch.getFloat(2*m + 2)
+	cc = it.scratch.getFloat(2*m + 2)
+	reuse := len(prevCl) == m+2 && len(prevCc) == m+2
+	both, fused := it.model.Interarrival.(ccdfBoth)
+	for i := -m; i <= m+1; i++ {
+		idx := i + m
+		if reuse && idx%2 == 0 {
+			cl[idx] = prevCl[idx/2]
+			cc[idx] = prevCc[idx/2]
+			continue
+		}
+		x := float64(i) * d
+		if fused {
+			cl[idx], cc[idx] = it.workCDFBoth(x, both)
+		} else {
+			cl[idx] = it.workCDF(x, true)
+			cc[idx] = it.workCDF(x, false)
+		}
+	}
+	return cl, cc
+}
+
+// ccdfBoth is the optional law contract behind the fused cdf tabulation:
+// one call yields Pr{T > t} and Pr{T >= t}, each bitwise equal to the
+// separate CCDF / CCDFAtLeast evaluations, at roughly half the cost (the
+// components share their power-law or exponential-sum evaluation except at
+// atoms). Both built-in laws implement it.
+type ccdfBoth interface {
+	CCDFBoth(t float64) (gt, ge float64)
+}
+
 func clampNonneg(xs []float64) {
 	for i, v := range xs {
 		if v < 0 {
 			xs[i] = 0
 		}
 	}
+}
+
+// workCDFBoth evaluates Pr{W < x} and Pr{W <= x} in one pass over the
+// marginal, using the law's fused CCDFBoth. Each accumulator receives, in
+// the same order, bitwise the same contributions the two separate workCDF
+// passes would add, so the results are bit-identical to the unfused path —
+// at half the law-evaluation cost, which dominates grid (re)construction.
+func (it *Iterator) workCDFBoth(x float64, p ccdfBoth) (strict, nonstrict float64) {
+	c := it.model.ServiceRate
+	marg := it.model.Marginal
+	var accS, accN numerics.Accumulator
+	for i := 0; i < marg.Len(); i++ {
+		lam := marg.Rate(i)
+		pi := marg.Prob(i)
+		drift := lam - c
+		switch {
+		case drift == 0:
+			// W_i ≡ 0.
+			if x > 0 {
+				accS.Add(pi)
+				accN.Add(pi)
+			} else if x == 0 {
+				accN.Add(pi)
+			}
+		case drift > 0:
+			// W_i = T·drift > 0 a.s.
+			if x <= 0 {
+				continue
+			}
+			gt, ge := p.CCDFBoth(x / drift)
+			accS.Add(pi * (1 - ge)) // Pr{W_i < x} = 1 − Pr{T >= t}
+			accN.Add(pi * (1 - gt)) // Pr{W_i <= x} = 1 − Pr{T > t}
+		default: // drift < 0: W_i < 0 a.s.
+			if x >= 0 {
+				accS.Add(pi)
+				accN.Add(pi)
+				continue
+			}
+			gt, ge := p.CCDFBoth(x / drift)
+			accS.Add(pi * gt) // Pr{W_i < x} = Pr{T > t}
+			accN.Add(pi * ge) // Pr{W_i <= x} = Pr{T >= t}
+		}
+	}
+	return numerics.Clamp(accS.Sum(), 0, 1), numerics.Clamp(accN.Sum(), 0, 1)
 }
 
 // workCDF evaluates the mixture distribution of the per-epoch work
@@ -775,19 +977,44 @@ func (it *Iterator) workCDF(x float64, strict bool) float64 {
 //
 // which for the truncated Pareto reduces to the paper's
 // θ/(α−1)·Σ π_i(λ_i−c)[((B−x)/(θ(λ_i−c))+1)^(1−α) − (Tc/θ+1)^(1−α)].
-func (it *Iterator) lossTable(m int) []float64 {
-	out := make([]float64, m+1)
+// When the previous rung's table at resolution m/2 is supplied (batch-mode
+// doubling), the even entries are copied — same bitwise-coincidence
+// argument as cdfTables.
+func (it *Iterator) lossTable(m int, prev []float64) []float64 {
+	out := it.scratch.getFloat(m + 1)
 	d := it.model.Buffer / float64(m)
+	reuse := m%2 == 0 && len(prev) == m/2+1
+	integral := it.model.Interarrival.IntegralCCDF
+	if c, ok := it.model.Interarrival.(integralCCDFCurried); ok {
+		// Hoist the law constants (cutoff tail pow, scale) out of the
+		// m+1-point tabulation; the curried form is bitwise equal.
+		integral = c.IntegralCCDFFunc()
+	}
 	for j := 0; j <= m; j++ {
-		out[j] = it.ExpectedLossGivenOccupancy(float64(j) * d)
+		if reuse && j%2 == 0 {
+			out[j] = prev[j/2]
+			continue
+		}
+		out[j] = it.expectedLossGiven(float64(j)*d, integral)
 	}
 	return out
+}
+
+// integralCCDFCurried is the optional law contract behind the hoisted loss
+// tabulation: IntegralCCDFFunc returns IntegralCCDF with per-law constants
+// precomputed, bitwise equal at every point. Both built-in laws implement
+// it.
+type integralCCDFCurried interface {
+	IntegralCCDFFunc() func(a float64) float64
 }
 
 // ExpectedLossGivenOccupancy returns E[W_l | Q = x], the expected work lost
 // in one interarrival interval starting from occupancy x.
 func (it *Iterator) ExpectedLossGivenOccupancy(x float64) float64 {
-	p := it.model.Interarrival
+	return it.expectedLossGiven(x, it.model.Interarrival.IntegralCCDF)
+}
+
+func (it *Iterator) expectedLossGiven(x float64, integral func(a float64) float64) float64 {
 	c := it.model.ServiceRate
 	marg := it.model.Marginal
 	b := it.model.Buffer
@@ -801,7 +1028,7 @@ func (it *Iterator) ExpectedLossGivenOccupancy(x float64) float64 {
 			continue
 		}
 		// E[(W_i − (B−x))⁺] = drift·∫_{(B−x)/drift}^∞ Pr{T > t} dt.
-		acc.Add(marg.Prob(i) * drift * p.IntegralCCDF((b-x)/drift))
+		acc.Add(marg.Prob(i) * drift * integral((b-x)/drift))
 	}
 	return acc.Sum()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"lrd/internal/ams"
 	"lrd/internal/dist"
 	"lrd/internal/fluid"
 	"lrd/internal/markov"
@@ -11,7 +12,7 @@ import (
 	"lrd/internal/onoff"
 )
 
-// The built-in registry: four ways of modeling the same fitted traffic.
+// The built-in registry: five ways of modeling the same fitted traffic.
 //
 //	fluid  — the paper's cutoff-Pareto renewal fluid, unchanged (identity).
 //	onoff  — the paper's on/off specialization: two-level marginal, same
@@ -23,6 +24,10 @@ import (
 //	mmfq   — exponential epochs: the renewal fluid that IS a CTMC-modulated
 //	         fluid, with the Anick–Mitra–Sondhi spectral solution as an
 //	         exact infinite-buffer oracle (footnote 2 upper-bounds loss).
+//	ams    — the classical Anick–Mitra–Sondhi baseline itself: exponential
+//	         on/off with a {0, peak} marginal preserving the mean rate, and
+//	         the 1982 closed form as its overflow oracle. The short-range-
+//	         dependent straw man the paper contrasts LRD traffic against.
 func init() {
 	MustRegister(Model{
 		Name: "fluid",
@@ -57,6 +62,15 @@ func init() {
 			"epoch": "mean epoch length in seconds (default: the reference mean epoch)",
 		},
 		Build: buildMMFQ,
+	})
+	MustRegister(Model{
+		Name: "ams",
+		Doc:  "exponential on/off (Anick–Mitra–Sondhi 1982): {0, peak} marginal preserving the mean rate, closed-form overflow oracle",
+		ParamDoc: map[string]string{
+			"peak":  "on-state rate (default 2·mean rate; P(on)=mean/peak keeps the mean)",
+			"epoch": "mean epoch length in seconds (default: the reference mean epoch)",
+		},
+		Build: buildAMS,
 	})
 }
 
@@ -197,6 +211,74 @@ func buildMMFQ(ref fluid.Source, p Params) (Source, error) {
 			hurst:  ref.Hurst(),
 			cutoff: ref.Interarrival.Cutoff,
 		},
+		epoch: epoch,
+	}, nil
+}
+
+// amsSource is the exponential on/off source: a {0, peak} marginal with
+// P(on) = mean/peak (so the reference mean rate is preserved) redrawn at
+// exponential epochs. With two levels and memoryless epochs the renewal
+// construction is exactly the two-state CTMC of Anick–Mitra–Sondhi: the
+// on-state sojourn is exponential with rate (1−p)/τ and the off-state
+// sojourn exponential with rate p/τ, so the 1982 closed form
+// Pr{Q > x} = ρ·exp(−ηx) is this source's exact overflow law.
+type amsSource struct {
+	generic
+	peak, pOn, epoch float64
+}
+
+// Queue returns the closed-form AMS fluid queue this source feeds at the
+// given service rate.
+func (s amsSource) Queue(serviceRate float64) ams.OnOffQueue {
+	return ams.OnOffQueue{
+		OnRate:      s.peak,
+		OffToOn:     s.pOn / s.epoch,
+		OnToOff:     (1 - s.pOn) / s.epoch,
+		ServiceRate: serviceRate,
+	}
+}
+
+// ExactOverflow implements OverflowOracle via the AMS closed form — an
+// independent check on the mmfq spectral solution (same CTMC, different
+// derivation) and, per footnote 2 of the paper, an upper bound on the
+// finite-buffer loss rate the bounded solver brackets.
+func (s amsSource) ExactOverflow(serviceRate, buffer float64) (float64, error) {
+	q := s.Queue(serviceRate)
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	return q.OverflowProbability(buffer), nil
+}
+
+func buildAMS(ref fluid.Source, p Params) (Source, error) {
+	mean := ref.MeanRate()
+	peak := take(p, "peak", 2*mean)
+	if !(peak > mean) || math.IsInf(peak, 1) {
+		return nil, fmt.Errorf("source: ams peak %v must be finite and exceed the mean rate %v", peak, mean)
+	}
+	epoch := take(p, "epoch", ref.Interarrival.Mean())
+	if !(epoch > 0) || math.IsInf(epoch, 1) {
+		return nil, fmt.Errorf("source: ams epoch %v must be finite and positive", epoch)
+	}
+	pOn := mean / peak
+	m, err := dist.NewMarginal([]float64{0, peak}, []float64{1 - pOn, pOn})
+	if err != nil {
+		return nil, err
+	}
+	iv, err := dist.NewHyperexponential([]float64{1}, []float64{epoch})
+	if err != nil {
+		return nil, err
+	}
+	return amsSource{
+		generic: generic{
+			name:   fmt.Sprintf("ams{peak=%g, p(on)=%g, epoch=%gs}", peak, pOn, epoch),
+			marg:   m,
+			iv:     iv,
+			hurst:  ref.Hurst(),
+			cutoff: ref.Interarrival.Cutoff,
+		},
+		peak:  peak,
+		pOn:   pOn,
 		epoch: epoch,
 	}, nil
 }

@@ -27,7 +27,7 @@ func testRef(t *testing.T) fluid.Source {
 
 func TestRegistryHasAllModels(t *testing.T) {
 	names := source.Names()
-	for _, want := range []string{"fluid", "onoff", "markov", "mmfq"} {
+	for _, want := range []string{"fluid", "onoff", "markov", "mmfq", "ams"} {
 		found := false
 		for _, n := range names {
 			if n == want {
