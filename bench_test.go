@@ -321,11 +321,11 @@ func BenchmarkHurstWhittle(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		est, err := lrd.EstimateHurst(x)
-		if err != nil {
-			b.Fatal(err)
+		est := lrd.EstimateHurst(x)
+		if est.LocalWhittle.Err != nil {
+			b.Fatal(est.LocalWhittle.Err)
 		}
-		if math.IsNaN(est.LocalWhittle) {
+		if math.IsNaN(est.LocalWhittle.H) {
 			b.Fatal("estimator returned NaN")
 		}
 	}

@@ -1,17 +1,23 @@
-// Command lrdcall talks to an lrdserve fleet through the resilient client:
+// Command lrdcall talks to an lrdserve fleet through the typed /v1 client:
 // every request gets exponential backoff with full jitter (honoring
 // Retry-After), per-replica circuit breakers, and optional hedging — the
 // same machinery lrdsweep -fleet rides, packaged as a curl replacement that
-// understands replica sets.
+// understands replica sets and the /v1 wire contract.
 //
 // The last argument names the call:
 //
-//	solve    POST /v1/solve   — request body read from stdin (JSON)
-//	sweep    POST /v1/sweep   — request body read from stdin (JSON)
-//	readyz   GET  /readyz     — readiness probe
-//	healthz  GET  /healthz    — liveness probe
-//	status   GET  /v1/status  — journal-derived fleet status
-//	metrics  GET  /metrics    — Prometheus exposition
+//	solve      POST /v1/solve      — request body read from stdin (JSON)
+//	sweep      POST /v1/sweep      — request body read from stdin (JSON)
+//	fit        POST /v1/fit        — request body read from stdin (JSON)
+//	provision  POST /v1/provision  — request body read from stdin (JSON)
+//	readyz     GET  /readyz        — readiness probe
+//	healthz    GET  /healthz       — liveness probe
+//	status     GET  /v1/status     — journal-derived fleet status
+//	metrics    GET  /metrics       — Prometheus exposition
+//
+// Bodies for the /v1 POST calls are validated against the internal/api wire
+// types before anything goes on the network, so a typo'd field fails fast
+// with a client-side error instead of a server round trip.
 //
 // The response body is written to stdout; the replica that answered, the
 // attempt count, and the status go to stderr as a log line. The exit code
@@ -26,34 +32,86 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
 
+	"lrd/internal/api"
 	"lrd/internal/cliflags"
 	"lrd/internal/obs"
+	"lrd/internal/resilient"
 )
 
-// calls maps the positional call name to its method and path.
+// calls maps the positional call name to its method and path. Typed /v1
+// calls additionally decode the body for client-side validation (see
+// typedCall).
 var calls = map[string]struct {
 	method, path string
 	body         bool // read the request body from stdin
 }{
-	"solve":   {"POST", "/v1/solve", true},
-	"sweep":   {"POST", "/v1/sweep", true},
-	"readyz":  {"GET", "/readyz", false},
-	"healthz": {"GET", "/healthz", false},
-	"status":  {"GET", "/v1/status", false},
-	"metrics": {"GET", "/metrics", false},
+	"solve":     {"POST", "/v1/solve", true},
+	"sweep":     {"POST", "/v1/sweep", true},
+	"fit":       {"POST", "/v1/fit", true},
+	"provision": {"POST", "/v1/provision", true},
+	"readyz":    {"GET", "/readyz", false},
+	"healthz":   {"GET", "/healthz", false},
+	"status":    {"GET", "/v1/status", false},
+	"metrics":   {"GET", "/metrics", false},
 }
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	os.Exit(run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// typedCall decodes body into the call's api request type (strict: unknown
+// fields are errors) and dispatches it through the typed client, returning
+// the raw response for byte-exact output. A nil first return means the
+// call has no wire type and should go through Raw.
+func typedCall(ctx context.Context, client *api.Client, name string, body []byte) (*resilient.Response, error, bool) {
+	dec := func(v any) error {
+		d := json.NewDecoder(bytes.NewReader(body))
+		d.DisallowUnknownFields()
+		return d.Decode(v)
+	}
+	switch name {
+	case "solve":
+		var req api.SolveRequest
+		if err := dec(&req); err != nil {
+			return nil, fmt.Errorf("invalid solve request: %w", err), true
+		}
+		_, res, err := client.Solve(ctx, req)
+		return res, err, true
+	case "sweep":
+		var req api.SweepRequest
+		if err := dec(&req); err != nil {
+			return nil, fmt.Errorf("invalid sweep request: %w", err), true
+		}
+		_, res, err := client.Sweep(ctx, req)
+		return res, err, true
+	case "fit":
+		var req api.FitRequest
+		if err := dec(&req); err != nil {
+			return nil, fmt.Errorf("invalid fit request: %w", err), true
+		}
+		_, res, err := client.Fit(ctx, req)
+		return res, err, true
+	case "provision":
+		var req api.ProvisionRequest
+		if err := dec(&req); err != nil {
+			return nil, fmt.Errorf("invalid provision request: %w", err), true
+		}
+		_, res, err := client.Provision(ctx, req)
+		return res, err, true
+	}
+	return nil, nil, false
 }
 
 // run is the testable body of main: it parses args with its own FlagSet,
@@ -84,15 +142,16 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	name := fs.Arg(0)
 	call, ok := calls[name]
 	if !ok {
-		logger.Error(fmt.Sprintf("lrdcall: unknown call %q (want solve, sweep, readyz, healthz, status, or metrics)", name))
+		logger.Error(fmt.Sprintf("lrdcall: unknown call %q (want solve, sweep, fit, provision, readyz, healthz, status, or metrics)", name))
 		return 1
 	}
 
-	client, err := fleet.Client("lrdcall", cli.Recorder())
+	rc, err := fleet.Client("lrdcall", cli.Recorder())
 	if err != nil {
 		logger.Error(fmt.Sprintf("lrdcall: %v", err))
 		return 1
 	}
+	client := api.NewClient(rc)
 
 	var body []byte
 	if call.body {
@@ -104,19 +163,37 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 
 	ctx, cancel := budget.Context(ctx)
 	defer cancel()
-	res, err := client.Do(ctx, call.method, call.path, body)
+	res, err, typed := typedCall(ctx, client, name, body)
+	if !typed {
+		res, err = client.Raw(ctx, call.method, call.path, body)
+	}
 	if err != nil {
+		var aerr *api.Error
+		if errors.As(err, &aerr) && res != nil {
+			// The server answered with a typed error envelope: surface the
+			// body on stdout like any other response, plus the decoded
+			// code in the log line.
+			logger.Error(fmt.Sprintf("lrdcall: %s: %v", name, aerr),
+				"replica", res.Replica, "status", res.Status)
+			writeBody(stdout, res.Body)
+			return 1
+		}
 		logger.Error(fmt.Sprintf("lrdcall: %s: %v", name, err))
 		return 1
 	}
 	logger.Info(fmt.Sprintf("%s %s: %d", call.method, call.path, res.Status),
 		"replica", res.Replica, "attempt", res.Attempt, "hedged", res.Hedged)
-	stdout.Write(res.Body)
-	if len(res.Body) > 0 && res.Body[len(res.Body)-1] != '\n' {
-		fmt.Fprintln(stdout)
-	}
+	writeBody(stdout, res.Body)
 	if res.Status < 200 || res.Status > 299 {
 		return 1
 	}
 	return 0
+}
+
+// writeBody copies a response body to stdout, newline-terminated.
+func writeBody(stdout io.Writer, body []byte) {
+	stdout.Write(body)
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		fmt.Fprintln(stdout)
+	}
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lrd/internal/traces"
+)
+
+// runCapture invokes run with captured stdout/stderr.
+func runCapture(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	code, _, stderr := runCapture("-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "flag provided but not defined") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	code, _, stderr := runCapture()
+	if code != 1 || !strings.Contains(stderr, "one of -csv or -gen") {
+		t.Fatalf("code = %d, stderr = %q", code, stderr)
+	}
+	code, _, stderr = runCapture("-csv", "x.csv", "-gen", "fgn")
+	if code != 1 || !strings.Contains(stderr, "not both") {
+		t.Fatalf("code = %d, stderr = %q", code, stderr)
+	}
+	code, _, stderr = runCapture("-gen", "pcap")
+	if code != 1 || !strings.Contains(stderr, "unknown generator") {
+		t.Fatalf("code = %d, stderr = %q", code, stderr)
+	}
+}
+
+// TestFitOnly: -gen fgn with no prediction flags prints the fit report with
+// per-estimator diagnostics and recovers the generator's Hurst parameter.
+func TestFitOnly(t *testing.T) {
+	code, stdout, stderr := runCapture("-gen", "fgn", "-gen-hurst", "0.8", "-bins", "4096", "-json")
+	if code != 0 {
+		t.Fatalf("code = %d, stderr = %s", code, stderr)
+	}
+	var out output
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatalf("unparseable -json output: %v\n%s", err, stdout)
+	}
+	if out.Fit.Samples != 4096 || out.Fit.Estimator != "median" {
+		t.Fatalf("fit = %+v", out.Fit)
+	}
+	if out.Fit.Hurst < 0.7 || out.Fit.Hurst > 0.9 {
+		t.Fatalf("fitted H = %g for an H=0.8 trace", out.Fit.Hurst)
+	}
+	if out.Solve != nil || out.Provision != nil {
+		t.Fatal("prediction sections present without prediction flags")
+	}
+
+	// The human report carries the same facts plus estimator lines.
+	code, stdout, _ = runCapture("-gen", "fgn", "-gen-hurst", "0.8", "-bins", "4096")
+	if code != 0 {
+		t.Fatalf("human report exit %d", code)
+	}
+	for _, want := range []string{"trace", "fit", "wavelet", "model      fluid"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report lacks %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestCSVRoundTrip: a trace written by lrdtrace's CSV writer feeds the fit.
+func TestCSVRoundTrip(t *testing.T) {
+	tr, err := traces.Synthesize(traces.Config{
+		Name: "csv", Hurst: 0.8, Bins: 2048, BinWidth: 0.02,
+		Quantile: traces.LognormalQuantile(2, 0.4),
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	code, stdout, stderr := runCapture("-csv", path, "-json")
+	if code != 0 {
+		t.Fatalf("code = %d, stderr = %s", code, stderr)
+	}
+	var out output
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Fit.Samples != 2048 {
+		t.Fatalf("samples = %d", out.Fit.Samples)
+	}
+}
+
+// TestForwardSolve: the full trace→loss pipeline in one command.
+func TestForwardSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real solve")
+	}
+	code, stdout, stderr := runCapture("-gen", "fgn", "-gen-hurst", "0.8", "-bins", "4096",
+		"-cutoff", "1", "-util", "0.8", "-buffer", "0.1", "-json")
+	if code != 0 {
+		t.Fatalf("code = %d, stderr = %s", code, stderr)
+	}
+	var out output
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Solve == nil {
+		t.Fatal("no solve section")
+	}
+	if !(out.Solve.Loss > 0 && out.Solve.Loss < 1) || !(out.Solve.Lower <= out.Solve.Loss && out.Solve.Loss <= out.Solve.Upper) {
+		t.Fatalf("implausible solve: %+v", out.Solve)
+	}
+}
+
+// TestProvisionPipeline: trace → fit → minimal buffer for an SLO, with the
+// bracket reported alongside.
+func TestProvisionPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a chain of real solves")
+	}
+	code, stdout, stderr := runCapture("-gen", "fgn", "-gen-hurst", "0.8", "-bins", "4096",
+		"-cutoff", "1", "-util", "0.8", "-slo", "0.05", "-slo-max", "2", "-json")
+	if code != 0 {
+		t.Fatalf("code = %d, stderr = %s", code, stderr)
+	}
+	var out output
+	if err := json.Unmarshal([]byte(stdout), &out); err != nil {
+		t.Fatal(err)
+	}
+	p := out.Provision
+	if p == nil {
+		t.Fatal("no provision section")
+	}
+	if p.Target != "buffer" || p.SLO != 0.05 {
+		t.Fatalf("provision = %+v", p)
+	}
+	if p.Loss > p.SLO {
+		t.Fatalf("provisioned loss %g > SLO", p.Loss)
+	}
+	if p.Bracket != 0 && (p.Bracket >= p.Value || p.BracketLoss <= p.SLO) {
+		t.Fatalf("bracket shape: %+v", p)
+	}
+}
+
+// TestProvisionNeedsQueue: -slo without a utilization or service rate is a
+// validation error from the inverse layer, not a hang.
+func TestProvisionNeedsQueue(t *testing.T) {
+	code, _, stderr := runCapture("-gen", "fgn", "-bins", "4096", "-slo", "1e-3")
+	if code != 1 || !strings.Contains(stderr, "provision") {
+		t.Fatalf("code = %d, stderr = %q", code, stderr)
+	}
+}

@@ -5,30 +5,32 @@ import (
 	"fmt"
 	"math"
 
+	"lrd/internal/api"
 	"lrd/internal/core"
 	"lrd/internal/resilient"
-	"lrd/internal/serve"
 	"lrd/internal/solver"
 	"lrd/internal/source"
 )
 
-// remoteSolver adapts the resilient fleet client into a core.RemoteSolveFunc:
+// remoteSolver adapts the typed /v1 fleet client into a core.RemoteSolveFunc:
 // each sweep cell becomes a POST /v1/solve against the -fleet replicas, with
-// retries, circuit breaking, and hedging handled by the client. The request
-// ships the reference source's exact parameters (alpha rather than the
-// derived Hurst, the normalized marginal in shortest round-trippable form),
-// so the replica reconstructs bit-identical solver inputs; the returned
-// Point is populated exactly as the local solveCell would populate it.
+// retries, circuit breaking, and hedging handled by the underlying resilient
+// client. The request ships the reference source's exact parameters (alpha
+// rather than the derived Hurst, the normalized marginal in shortest
+// round-trippable form), so the replica reconstructs bit-identical solver
+// inputs; the returned Point is populated exactly as the local solveCell
+// would populate it.
 func remoteSolver(client *resilient.Client) core.RemoteSolveFunc {
+	typed := api.NewClient(client)
 	return func(ctx context.Context, cell core.RemoteCell) (core.Point, error) {
-		req := serve.SolveRequest{
+		req := api.SolveRequest{
 			Marginal: source.FormatMarginal(cell.Ref.Marginal),
 			Alpha:    cell.Ref.Interarrival.Alpha,
 			Theta:    cell.Ref.Interarrival.Theta,
 			Util:     cell.Util,
 			Buffer:   cell.NormalizedBuffer,
 			Model:    cell.Model,
-			Solver: serve.SolverParams{
+			Solver: api.SolverParams{
 				RelGap:  cell.Config.RelGap,
 				MaxBins: cell.Config.MaxBins,
 			},
@@ -38,8 +40,8 @@ func remoteSolver(client *resilient.Client) core.RemoteSolveFunc {
 		if !math.IsInf(cell.Ref.Interarrival.Cutoff, 1) {
 			req.Cutoff = cell.Ref.Interarrival.Cutoff
 		}
-		var res serve.SolveResponse
-		if _, err := client.DoJSON(ctx, "POST", "/v1/solve", req, &res); err != nil {
+		res, _, err := typed.Solve(ctx, req)
+		if err != nil {
 			return core.Point{}, fmt.Errorf("remote solve: %w", err)
 		}
 		// Realize the model locally (cheap: no solving) so the Point carries

@@ -173,13 +173,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if ep, err := tr.MeanEpoch(50); err == nil {
 		fmt.Fprintf(stdout, "mean epoch %.4g s\n", ep)
 	}
-	est, err := lrdest.EstimateAll(tr.Rates)
-	if err != nil {
+	est := lrdest.EstimateAll(tr.Rates)
+	fmt.Fprintf(stdout, "Hurst      aggvar %.3f | R/S %.3f | Whittle %.3f | wavelet %.3f | GPH %.3f\n",
+		est.AggregatedVariance.Value(), est.RescaledRange.Value(), est.LocalWhittle.Value(),
+		est.AbryVeitch.Value(), est.GPH.Value())
+	for _, ne := range est.ByName() {
+		if ne.Err != nil {
+			fmt.Fprintf(stdout, "           %s failed: %v\n", ne.Name, ne.Err)
+		}
+	}
+	if _, err := est.Median(); err != nil {
 		fail("Hurst estimation: %v", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "Hurst      aggvar %.3f | R/S %.3f | Whittle %.3f | wavelet %.3f | GPH %.3f\n",
-		est.AggregatedVariance, est.RescaledRange, est.LocalWhittle, est.AbryVeitch, est.GPH)
 	return 0
 }
 

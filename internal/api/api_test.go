@@ -1,0 +1,160 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The compatibility contract: these byte-for-byte goldens pin the wire
+// encoding that pre-package servers produced and cached. If one of them
+// breaks, cached response bodies stop replaying bit-identically and every
+// fleet cache key shifts — treat a failure here as an API break, not a
+// test to update.
+
+func TestSolveResponseGoldenBytes(t *testing.T) {
+	got, err := json.Marshal(SolveResponse{
+		Loss: 0.5, Lower: 0.25, Upper: 0.75, RelativeGap: 0.1,
+		Bins: 1024, Iterations: 12, Converged: true, GridStep: 0.001, Key: "v1|test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"loss":0.5,"lower":0.25,"upper":0.75,"relative_gap":0.1,"bins":1024,"iterations":12,"converged":true,"grid_step":0.001,"key":"v1|test"}`
+	if string(got) != want {
+		t.Fatalf("SolveResponse wire bytes changed:\n got  %s\n want %s", got, want)
+	}
+	// Degraded joins the encoding only when set (it was omitempty before the
+	// package existed too).
+	got, _ = json.Marshal(SolveResponse{Degraded: "deadline"})
+	if !strings.Contains(string(got), `"degraded":"deadline"`) {
+		t.Fatalf("degraded not encoded when set: %s", got)
+	}
+}
+
+func TestSolveRequestGoldenBytes(t *testing.T) {
+	body := `{"marginal":"0:0.5,2:0.5","hurst":0.8,"epoch":0.05,"util":0.8,"buffer":0.5}`
+	dec := json.NewDecoder(strings.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req SolveRequest
+	if err := dec.Decode(&req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero model spec renders as the fluid default and the zero solver
+	// params as {} — exactly what the pre-package encoder emitted.
+	want := `{"marginal":"0:0.5,2:0.5","hurst":0.8,"epoch":0.05,"util":0.8,"buffer":0.5,"model":{"name":"fluid"},"solver":{}}`
+	if string(got) != want {
+		t.Fatalf("SolveRequest wire bytes changed:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestErrorEnvelopeGoldenBytes(t *testing.T) {
+	// A code-less Error must match the legacy map encoding byte for byte:
+	// the /v1/solve and /v1/sweep error bodies never carried a code.
+	legacy, _ := json.Marshal(map[string]string{"error": "boom"})
+	got, err := json.Marshal(Error{Message: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(legacy) {
+		t.Fatalf("code-less envelope diverged from legacy bytes:\n got  %s\n want %s", got, legacy)
+	}
+	got, _ = json.Marshal(Error{Message: "slo unreachable", Code: CodeInfeasible})
+	want := `{"error":"slo unreachable","code":"infeasible"}`
+	if string(got) != want {
+		t.Fatalf("coded envelope bytes:\n got  %s\n want %s", got, want)
+	}
+}
+
+func TestErrorInterface(t *testing.T) {
+	if got := Errorf("", "plain %d", 7).Error(); got != "plain 7" {
+		t.Errorf("code-less Error() = %q", got)
+	}
+	if got := Errorf(CodeBadRequest, "missing field").Error(); got != "bad_request: missing field" {
+		t.Errorf("coded Error() = %q", got)
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	var p SolverParams
+	if err := json.Unmarshal([]byte(`{"timeout":"1500ms"}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(p.Timeout) != 1500*time.Millisecond {
+		t.Errorf("string form: %v", time.Duration(p.Timeout))
+	}
+	if err := json.Unmarshal([]byte(`{"timeout":2.5}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(p.Timeout) != 2500*time.Millisecond {
+		t.Errorf("numeric form: %v", time.Duration(p.Timeout))
+	}
+	if err := json.Unmarshal([]byte(`{"timeout":"soon"}`), &p); err == nil {
+		t.Error("bogus duration accepted")
+	}
+	// Marshal renders the Go duration string (the pre-package form).
+	b, _ := json.Marshal(Duration(2 * time.Second))
+	if string(b) != `"2s"` {
+		t.Errorf("duration marshal = %s", b)
+	}
+}
+
+func TestSweepCellsRowMajor(t *testing.T) {
+	r := SweepRequest{
+		SolveRequest: SolveRequest{Marginal: "0:0.5,2:0.5", Buffer: 9},
+		Buffers:      []float64{1, 2},
+		Cutoffs:      []float64{10, 20, 30},
+	}
+	cells, err := r.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	// Row-major: buffer-outer, cutoff-inner.
+	wantB := []float64{1, 1, 1, 2, 2, 2}
+	wantC := []float64{10, 20, 30, 10, 20, 30}
+	for i, c := range cells {
+		if c.Buffer != wantB[i] || c.Cutoff != wantC[i] {
+			t.Errorf("cell %d = (%g, %g), want (%g, %g)", i, c.Buffer, c.Cutoff, wantB[i], wantC[i])
+		}
+	}
+}
+
+func TestSweepCellsScalarFallbackAndCap(t *testing.T) {
+	r := SweepRequest{SolveRequest: SolveRequest{Buffer: 0.5, Cutoff: 3}}
+	cells, err := r.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Buffer != 0.5 || cells[0].Cutoff != 3 {
+		t.Fatalf("scalar fallback: %+v", cells)
+	}
+	big := SweepRequest{
+		Buffers: make([]float64, 65),
+		Cutoffs: make([]float64, 64),
+	}
+	if _, err := big.Cells(); err == nil {
+		t.Fatalf("%d-cell grid accepted (limit %d)", 65*64, MaxSweepCells)
+	}
+}
+
+func TestFitResponseSolveRequest(t *testing.T) {
+	f := FitResponse{
+		Marginal: "0:0.5,2:0.5", Alpha: 1.4, Theta: 0.02, Cutoff: 10,
+	}
+	req := f.SolveRequest(0.8, 0.5)
+	if req.Marginal != f.Marginal || req.Alpha != 1.4 || req.Theta != 0.02 ||
+		req.Cutoff != 10 || req.Util != 0.8 || req.Buffer != 0.5 {
+		t.Fatalf("SolveRequest = %+v", req)
+	}
+	if req.Hurst != 0 || req.Epoch != 0 {
+		t.Fatalf("derived request must use the resolved alpha/theta form, got hurst=%g epoch=%g", req.Hurst, req.Epoch)
+	}
+}

@@ -1,0 +1,113 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"lrd/internal/resilient"
+)
+
+// Client is the typed /v1 fleet client: every endpoint as a method taking
+// and returning the wire types of this package, riding internal/resilient
+// for retries, per-replica circuit breakers, and hedging. All three remote
+// consumers (lrdcall, lrdsweep -fleet, lrdfit -fleet style flows) go
+// through it, so a request they send is well-formed by construction.
+type Client struct {
+	rc *resilient.Client
+}
+
+// NewClient wraps a resilient fleet client.
+func NewClient(rc *resilient.Client) *Client { return &Client{rc: rc} }
+
+// do posts req to path and decodes a 2xx reply into out. On a non-2xx
+// final response it decodes the body's Error envelope and returns it as a
+// typed *Error (falling back to a code-less Error carrying the raw body
+// when the body is not an envelope), alongside the raw response so callers
+// can still see status, replica, and bytes.
+func (c *Client) do(ctx context.Context, method, path string, req, out any) (*resilient.Response, error) {
+	res, err := c.rc.DoJSON(ctx, method, path, req, out)
+	var serr *resilient.StatusError
+	if errors.As(err, &serr) {
+		return res, decodeError(serr.Body, serr.Status)
+	}
+	return res, err
+}
+
+// decodeError turns a non-2xx body into the typed envelope. Statuses map
+// to codes when the body carries none, so callers can switch on Code even
+// against servers predating the envelope.
+func decodeError(body []byte, status int) *Error {
+	var e Error
+	if jerr := json.Unmarshal(body, &e); jerr == nil && e.Message != "" {
+		if e.Code == "" {
+			e.Code = codeForStatus(status)
+		}
+		return &e
+	}
+	return &Error{Message: string(body), Code: codeForStatus(status)}
+}
+
+// codeForStatus is the fallback status→code mapping for envelope-less
+// error bodies.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusTooManyRequests:
+		return CodeOverloaded
+	case http.StatusUnprocessableEntity:
+		return CodeInfeasible
+	case http.StatusServiceUnavailable:
+		return CodeCanceled
+	default:
+		return CodeInternal
+	}
+}
+
+// Solve posts a /v1/solve request and returns the typed reply.
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (SolveResponse, *resilient.Response, error) {
+	var out SolveResponse
+	res, err := c.do(ctx, "POST", "/v1/solve", req, &out)
+	return out, res, err
+}
+
+// Sweep posts a /v1/sweep grid request. A 207 (some cells failed) is
+// returned as a typed reply with err nil — per-cell status lives in
+// Cells[i].Status, matching the server's partial-failure contract.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepResponse, *resilient.Response, error) {
+	var out SweepResponse
+	res, err := c.do(ctx, "POST", "/v1/sweep", req, &out)
+	var apiErr *Error
+	if err != nil && errors.As(err, &apiErr) && res != nil && res.Status == http.StatusMultiStatus {
+		// 207 carries a full SweepResponse body, not an error envelope.
+		if jerr := json.Unmarshal(res.Body, &out); jerr == nil {
+			return out, res, nil
+		}
+	}
+	return out, res, err
+}
+
+// Fit posts a /v1/fit trace-fitting request and returns the typed reply.
+func (c *Client) Fit(ctx context.Context, req FitRequest) (FitResponse, *resilient.Response, error) {
+	var out FitResponse
+	res, err := c.do(ctx, "POST", "/v1/fit", req, &out)
+	return out, res, err
+}
+
+// Provision posts a /v1/provision inverse-solve request. An unreachable
+// SLO surfaces as a typed *Error with Code CodeInfeasible.
+func (c *Client) Provision(ctx context.Context, req ProvisionRequest) (ProvisionResponse, *resilient.Response, error) {
+	var out ProvisionResponse
+	res, err := c.do(ctx, "POST", "/v1/provision", req, &out)
+	return out, res, err
+}
+
+// Raw sends an arbitrary request through the same resilient path and
+// returns the raw response — for the probe and exposition endpoints
+// (/readyz, /healthz, /v1/status, /metrics) whose bodies are not /v1 wire
+// types, and for callers that need byte-exact passthrough.
+func (c *Client) Raw(ctx context.Context, method, path string, body []byte) (*resilient.Response, error) {
+	return c.rc.Do(ctx, method, path, body)
+}

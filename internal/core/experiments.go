@@ -511,12 +511,9 @@ func runHurst(_ context.Context, o RunOptions) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		est, err := lrdest.EstimateAll(tm.Trace.Rates)
-		if err != nil {
-			return Table{}, err
-		}
-		t.Add(tm.Trace.Name, f(est.AggregatedVariance), f(est.RescaledRange),
-			f(est.LocalWhittle), f(est.AbryVeitch), f(est.GPH), f(tc.paper))
+		est := lrdest.EstimateAll(tm.Trace.Rates)
+		t.Add(tm.Trace.Name, f(est.AggregatedVariance.Value()), f(est.RescaledRange.Value()),
+			f(est.LocalWhittle.Value()), f(est.AbryVeitch.Value()), f(est.GPH.Value()), f(tc.paper))
 	}
 	return t, nil
 }

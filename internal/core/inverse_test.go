@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"lrd/internal/dist"
+	"lrd/internal/fluid"
+	"lrd/internal/obs"
+	"lrd/internal/solver"
+	"lrd/internal/source"
+)
+
+// provisionSource is the shared two-state test queue: a 0/2 marginal with a
+// cutoff-Pareto interarrival, small enough that each forward solve is
+// milliseconds.
+func provisionSource(t *testing.T) source.Source {
+	t.Helper()
+	m, err := dist.NewMarginal([]float64{0, 2}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := fluid.New(m, dist.TruncatedPareto{Theta: 0.02, Alpha: 1.4, Cutoff: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return source.NewFluid(src)
+}
+
+func provisionCfg() solver.Config {
+	return solver.Config{RelGap: 0.2, MaxBins: 1 << 13}
+}
+
+// forwardSolve solves the queue at one operating point, cold and unseeded —
+// the independent check of the bracket invariant. The returned bounds
+// bracket the true loss (Prop. II.1), so they are the bit-robust way to
+// check Provision's verdicts: a warm-seeded probe chain and a cold solve
+// may disagree bitwise on midpoints, but both must bracket the same truth.
+func forwardSolve(t *testing.T, src source.Source, util, nbuf float64, cfg solver.Config) solver.Result {
+	t.Helper()
+	m, err := solver.NewModelNormalized(src, util, nbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.SolveModelContext(context.Background(), m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestProvisionBufferBracketInvariant is the acceptance criterion: the
+// provisioned buffer provably meets the SLO (and a cold forward solve
+// brackets a loss at or below it), while the reported bracket point below
+// it provably does not.
+func TestProvisionBufferBracketInvariant(t *testing.T) {
+	src := provisionSource(t)
+	// The heavy tail (alpha 1.4) makes loss decay slowly in buffer, so the
+	// test pins the bracket to [default min, 2] where every forward solve is
+	// fast; SLO 0.05 sits strictly inside that bracket's loss range.
+	const util, slo = 0.8, 0.05
+	p, err := Provision(context.Background(), src, ProvisionOptions{
+		SLO: slo, Util: util, Max: 2, Solver: provisionCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Target != TargetBuffer {
+		t.Errorf("target = %q", p.Target)
+	}
+	if p.Loss > slo {
+		t.Errorf("reported loss %g > SLO %g at value %g", p.Loss, slo, p.Value)
+	}
+	if p.Bracket <= 0 || p.Bracket >= p.Value {
+		t.Fatalf("bracket %g not below value %g", p.Bracket, p.Value)
+	}
+	if p.BracketLoss <= slo {
+		t.Errorf("reported bracket loss %g <= SLO", p.BracketLoss)
+	}
+	if p.Value/p.Bracket-1 > DefaultProvisionTol*1.0001 {
+		t.Errorf("bracket width %g exceeds tol %g", p.Value/p.Bracket-1, DefaultProvisionTol)
+	}
+	// Independent cold forward solves confirm both sides of the bracket.
+	// Provision proved true loss <= SLO at Value, so any valid forward
+	// bracket there must reach down to the SLO; at Bracket the true loss
+	// exceeds it, so any valid forward bracket must reach above it. (The
+	// midpoints are not compared exactly: a 20%-gap midpoint can sit either
+	// side of the SLO even when the verdict is proven.)
+	fv := forwardSolve(t, src, util, p.Value, provisionCfg())
+	if fv.Lower > slo {
+		t.Errorf("forward solve at value %g: lower bound %g > SLO %g", p.Value, fv.Lower, slo)
+	}
+	if fv.Loss > slo*(1+provisionCfg().RelGap) {
+		t.Errorf("forward solve at value %g: loss %g far above SLO %g", p.Value, fv.Loss, slo)
+	}
+	fb := forwardSolve(t, src, util, p.Bracket, provisionCfg())
+	if fb.Upper <= slo {
+		t.Errorf("forward solve at bracket %g: upper bound %g <= SLO %g (not a bracket)", p.Bracket, fb.Upper, slo)
+	}
+	if p.Solves > DefaultMaxProvisionSolves {
+		t.Errorf("spent %d solves, cap %d", p.Solves, DefaultMaxProvisionSolves)
+	}
+	if p.WarmSolves == 0 {
+		t.Errorf("no warm-seeded solves in a %d-solve ascending chain", p.Solves)
+	}
+}
+
+// TestProvisionServiceTarget provisions the other dimension: minimal
+// service rate at a fixed buffer, verified by a forward solve at the
+// resulting utilization.
+func TestProvisionServiceTarget(t *testing.T) {
+	src := provisionSource(t)
+	const nbuf, slo = 0.1, 1e-3
+	p, err := Provision(context.Background(), src, ProvisionOptions{
+		Target: TargetService, SLO: slo, Buffer: nbuf, Solver: provisionCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value <= src.MeanRate() {
+		t.Fatalf("provisioned service %g below mean rate %g", p.Value, src.MeanRate())
+	}
+	if p.Util <= 0 || p.Util >= 1 {
+		t.Fatalf("util = %g", p.Util)
+	}
+	if p.Loss > slo {
+		t.Errorf("reported loss %g > SLO", p.Loss)
+	}
+	if got := forwardSolve(t, src, p.Util, nbuf, provisionCfg()); got.Lower > slo {
+		t.Errorf("forward solve at util %g: lower bound %g > SLO %g", p.Util, got.Lower, slo)
+	}
+	if p.Bracket != 0 {
+		// A bracket was found: it must be the cheaper (smaller service) side
+		// and must violate the SLO.
+		if p.Bracket >= p.Value {
+			t.Errorf("bracket service %g not below value %g", p.Bracket, p.Value)
+		}
+		if p.BracketLoss <= slo {
+			t.Errorf("bracket loss %g <= SLO", p.BracketLoss)
+		}
+	}
+}
+
+// TestProvisionInfeasibleSLO is the satellite requirement: an SLO below
+// anything the bracket can reach returns the typed infeasible error — with
+// the probed bracket end as evidence — instead of iterating forever.
+func TestProvisionInfeasibleSLO(t *testing.T) {
+	src := provisionSource(t)
+	reg := obs.NewRegistry()
+	cfg := provisionCfg()
+	cfg.Recorder = reg
+	// Max buffer pinned to a tiny value: even the "best case" end of the
+	// bracket loses far more than the absurd 1e-300 SLO.
+	_, err := Provision(context.Background(), src, ProvisionOptions{
+		SLO: 1e-300, Util: 0.95, Max: 0.002, Solver: cfg,
+	})
+	var inf *InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Fatalf("err = %v, want *InfeasibleError", err)
+	}
+	if inf.Target != TargetBuffer || inf.Best != 0.002 || inf.BestLoss <= 1e-300 {
+		t.Errorf("infeasible evidence: %+v", inf)
+	}
+	if got := reg.Snapshot().Counters[obs.MetricCoreProvisionInfeasible]; got != 1 {
+		t.Errorf("infeasible metric = %v", got)
+	}
+
+	// Service target: even the bracket's most generous service rate (lowest
+	// utilization) cannot hit the SLO with a near-zero buffer. Min stays
+	// above 0.5: at util 0.5 the service rate equals the 0/2 marginal's peak
+	// rate, the queue never builds, and loss is exactly zero — feasible for
+	// any SLO.
+	_, err = Provision(context.Background(), src, ProvisionOptions{
+		Target: TargetService, SLO: 1e-300, Buffer: 1e-6, Min: 0.7, Solver: provisionCfg(),
+	})
+	if !errors.As(err, &inf) {
+		t.Fatalf("service target err = %v, want *InfeasibleError", err)
+	}
+	if inf.Target != TargetService {
+		t.Errorf("infeasible target = %q", inf.Target)
+	}
+}
+
+// TestProvisionAlreadyFeasible: an SLO met at the bracket minimum returns
+// that minimum with no bracket point (Bracket 0).
+func TestProvisionAlreadyFeasible(t *testing.T) {
+	src := provisionSource(t)
+	p, err := Provision(context.Background(), src, ProvisionOptions{
+		SLO: 0.9, Util: 0.6, Solver: provisionCfg(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Value != DefaultMinBuffer {
+		t.Errorf("value = %g, want bracket minimum %g", p.Value, DefaultMinBuffer)
+	}
+	if p.Bracket != 0 || p.BracketLoss != 0 {
+		t.Errorf("bracket = (%g, %g), want none", p.Bracket, p.BracketLoss)
+	}
+	if p.Solves != 1 {
+		t.Errorf("spent %d solves for an immediately feasible SLO", p.Solves)
+	}
+}
+
+// TestProvisionValidation covers the argument errors.
+func TestProvisionValidation(t *testing.T) {
+	src := provisionSource(t)
+	ctx := context.Background()
+	cases := []ProvisionOptions{
+		{SLO: 0, Util: 0.8},                                   // SLO required
+		{SLO: 1.5, Util: 0.8},                                 // SLO out of range
+		{SLO: 1e-3, Util: 0.8, Target: "latency"},             // unknown target
+		{SLO: 1e-3},                                           // buffer target needs util or service
+		{SLO: 1e-3, Util: 0.8, Service: 3},                    // not both
+		{SLO: 1e-3, Util: 1.2},                                // util out of range
+		{SLO: 1e-3, Service: 0.5},                             // service below mean rate
+		{SLO: 1e-3, Util: 0.8, Min: 5, Max: 1},                // inverted bracket
+		{SLO: 1e-3, Util: 0.8, Tol: 2},                        // tol out of range
+		{SLO: 1e-3, Target: TargetService},                    // service target needs buffer
+		{SLO: 1e-3, Target: TargetService, Buffer: 1, Max: 2}, // util bracket must stay < 1
+	}
+	for i, opts := range cases {
+		opts.Solver = provisionCfg()
+		if _, err := Provision(ctx, src, opts); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, opts)
+		} else {
+			var inf *InfeasibleError
+			if errors.As(err, &inf) {
+				t.Errorf("case %d: validation error reported as infeasible: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestProvisionSolveBudget: a pathologically tight tolerance terminates at
+// the solve cap with an error instead of iterating forever.
+func TestProvisionSolveBudget(t *testing.T) {
+	src := provisionSource(t)
+	_, err := Provision(context.Background(), src, ProvisionOptions{
+		SLO: 0.05, Util: 0.8, Max: 2, Tol: 1e-15, MaxSolves: 6, Solver: provisionCfg(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "solve budget") {
+		t.Fatalf("err = %v, want solve-budget error", err)
+	}
+}
+
+// TestProvisionCancellation: a canceled context aborts the root-find with
+// the context error.
+func TestProvisionCancellation(t *testing.T) {
+	src := provisionSource(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Provision(ctx, src, ProvisionOptions{SLO: 0.05, Util: 0.8, Max: 2, Solver: provisionCfg()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"lrd/internal/fft"
 	"lrd/internal/numerics"
@@ -211,10 +212,16 @@ func LocalWhittle(x []float64, m int) (float64, error) {
 		return 0, ErrTooShort
 	}
 	lambda := make([]float64, m)
-	var meanLog float64
+	var meanLog, totalPower float64
 	for j := 0; j < m; j++ {
 		lambda[j] = 2 * math.Pi * float64(j+1) / float64(n)
 		meanLog += math.Log(lambda[j])
+		totalPower += per[j]
+	}
+	if totalPower <= 0 {
+		// A constant (or otherwise spectrally empty) series: the objective is
+		// +Inf everywhere and any returned H would be fabricated.
+		return 0, errors.New("lrdest: zero-variance series")
 	}
 	meanLog /= float64(m)
 	objective := func(h float64) float64 {
@@ -272,6 +279,16 @@ func AbryVeitch(x []float64, opts AbryVeitchOptions) (float64, error) {
 	if len(x) < 256 {
 		return 0, ErrTooShort
 	}
+	mn, mx := x[0], x[0]
+	for _, v := range x {
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	if mn == mx {
+		// A constant series leaves only roundoff in the detail energies; a
+		// regression over those would fabricate an estimate.
+		return 0, errors.New("lrdest: zero-variance series")
+	}
 	w := opts.Wavelet
 	if w.Name() == "" {
 		w = wavelet.Daubechies4()
@@ -317,41 +334,89 @@ func AbryVeitch(x []float64, opts AbryVeitchOptions) (float64, error) {
 
 func clampH(h float64) float64 { return numerics.Clamp(h, 0.01, 0.99) }
 
-// Estimates bundles the estimators' outputs for one series.
-type Estimates struct {
-	AggregatedVariance float64
-	RescaledRange      float64
-	LocalWhittle       float64
-	AbryVeitch         float64
-	GPH                float64
+// Estimate is one estimator's outcome: the Hurst estimate when Err is
+// nil, the reason the estimator rejected the series otherwise (too short,
+// zero variance, …).
+type Estimate struct {
+	H   float64
+	Err error
 }
 
-// EstimateAll runs every estimator on x, returning partial results and the
-// first error encountered (estimators that fail leave NaN in their slot).
-func EstimateAll(x []float64) (Estimates, error) {
-	out := Estimates{
-		AggregatedVariance: math.NaN(),
-		RescaledRange:      math.NaN(),
-		LocalWhittle:       math.NaN(),
-		AbryVeitch:         math.NaN(),
-		GPH:                math.NaN(),
+// Value returns the estimate, or NaN when the estimator failed — the
+// plotting-friendly form of the outcome.
+func (e Estimate) Value() float64 {
+	if e.Err != nil {
+		return math.NaN()
 	}
-	var firstErr error
-	keep := func(v float64, err error) float64 {
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return math.NaN()
+	return e.H
+}
+
+// Estimates bundles every estimator's outcome for one series. Each slot is
+// independent: one estimator rejecting a short trace never hides the
+// others.
+type Estimates struct {
+	AggregatedVariance Estimate
+	RescaledRange      Estimate
+	LocalWhittle       Estimate
+	AbryVeitch         Estimate
+	GPH                Estimate
+}
+
+// NamedEstimate pairs an estimator's canonical wire name with its outcome.
+type NamedEstimate struct {
+	Name string
+	Estimate
+}
+
+// ByName returns the outcomes in canonical order under the names the CLI
+// and /v1/fit wire use: aggvar, rs, whittle, wavelet, gph.
+func (e Estimates) ByName() []NamedEstimate {
+	return []NamedEstimate{
+		{"aggvar", e.AggregatedVariance},
+		{"rs", e.RescaledRange},
+		{"whittle", e.LocalWhittle},
+		{"wavelet", e.AbryVeitch},
+		{"gph", e.GPH},
+	}
+}
+
+// Median returns the median of the estimators that succeeded — the robust
+// consensus estimate the fit pipeline defaults to. It fails only when every
+// estimator failed, carrying the per-estimator reasons.
+func (e Estimates) Median() (float64, error) {
+	var ok []float64
+	var errs []error
+	for _, ne := range e.ByName() {
+		if ne.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", ne.Name, ne.Err))
+			continue
 		}
-		return v
+		ok = append(ok, ne.H)
 	}
-	out.AggregatedVariance = keep(AggregatedVariance(x))
-	out.RescaledRange = keep(RescaledRange(x))
-	out.LocalWhittle = keep(LocalWhittle(x, 0))
-	out.AbryVeitch = keep(AbryVeitch(x, AbryVeitchOptions{}))
-	out.GPH = keep(GPH(x, 0))
-	return out, firstErr
+	if len(ok) == 0 {
+		return 0, fmt.Errorf("lrdest: no estimator succeeded: %w", errors.Join(errs...))
+	}
+	sort.Float64s(ok)
+	mid := len(ok) / 2
+	if len(ok)%2 == 1 {
+		return ok[mid], nil
+	}
+	return (ok[mid-1] + ok[mid]) / 2, nil
+}
+
+// EstimateAll runs every estimator on x. It always returns: estimators
+// that reject the series (too short, degenerate) record their error in
+// their slot while the rest still report. Use Median for the consensus
+// estimate, ByName to enumerate outcomes.
+func EstimateAll(x []float64) Estimates {
+	mk := func(v float64, err error) Estimate { return Estimate{H: v, Err: err} }
+	var out Estimates
+	out.AggregatedVariance = mk(AggregatedVariance(x))
+	out.RescaledRange = mk(RescaledRange(x))
+	out.LocalWhittle = mk(LocalWhittle(x, 0))
+	out.AbryVeitch = mk(AbryVeitch(x, AbryVeitchOptions{}))
+	out.GPH = mk(GPH(x, 0))
+	return out
 }
 
 // GPH estimates H with the log-periodogram regression of Geweke &

@@ -187,28 +187,86 @@ func TestEstimatorsTooShort(t *testing.T) {
 
 func TestEstimateAll(t *testing.T) {
 	x := fgnSeries(t, 0.85, 1<<15, 8)
-	est, err := EstimateAll(x)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for name, v := range map[string]float64{
+	est := EstimateAll(x)
+	for name, e := range map[string]Estimate{
 		"aggvar":  est.AggregatedVariance,
 		"rs":      est.RescaledRange,
 		"whittle": est.LocalWhittle,
 		"av":      est.AbryVeitch,
 	} {
-		if math.IsNaN(v) {
+		if e.Err != nil {
+			t.Errorf("%s failed: %v", name, e.Err)
+			continue
+		}
+		if math.IsNaN(e.H) {
 			t.Errorf("%s returned NaN", name)
 		}
-		if v < 0.55 || v > 0.99 {
-			t.Errorf("%s = %v, implausible for H=0.85", name, v)
+		if e.H < 0.55 || e.H > 0.99 {
+			t.Errorf("%s = %v, implausible for H=0.85", name, e.H)
 		}
+	}
+	med, err := est.Median()
+	if err != nil {
+		t.Fatalf("Median: %v", err)
+	}
+	if med < 0.55 || med > 0.99 {
+		t.Errorf("Median = %v, implausible for H=0.85", med)
 	}
 }
 
-func TestEstimateAllPropagatesError(t *testing.T) {
-	if _, err := EstimateAll(whiteNoise(16, 9)); err == nil {
-		t.Fatal("want error for too-short input")
+func TestEstimateAllPartial(t *testing.T) {
+	// 100 samples clears the aggregated-variance minimum (64) but stays
+	// below everything else (128/256): the slot-level errors must not hide
+	// the estimator that can still run.
+	est := EstimateAll(whiteNoise(100, 9))
+	if est.AggregatedVariance.Err != nil {
+		t.Errorf("aggvar failed on n=100: %v", est.AggregatedVariance.Err)
+	}
+	for _, ne := range []NamedEstimate{
+		{"rs", est.RescaledRange},
+		{"whittle", est.LocalWhittle},
+		{"wavelet", est.AbryVeitch},
+		{"gph", est.GPH},
+	} {
+		if ne.Err == nil {
+			t.Errorf("%s accepted n=100", ne.Name)
+		}
+		if !math.IsNaN(ne.Value()) {
+			t.Errorf("%s Value() = %v for a failed slot, want NaN", ne.Name, ne.Value())
+		}
+	}
+	if med, err := est.Median(); err != nil || math.IsNaN(med) {
+		t.Fatalf("Median with one live estimator = (%v, %v), want value", med, err)
+	}
+}
+
+func TestEstimateAllAllFail(t *testing.T) {
+	est := EstimateAll(whiteNoise(16, 9))
+	for _, ne := range est.ByName() {
+		if ne.Err == nil {
+			t.Errorf("%s accepted a 16-sample series", ne.Name)
+		}
+	}
+	if _, err := est.Median(); err == nil {
+		t.Fatal("Median succeeded with zero live estimators")
+	}
+}
+
+func TestEstimateAllConstantSeries(t *testing.T) {
+	// A constant-rate trace has zero variance everywhere: every estimator
+	// must reject it with an error, not return a fabricated H.
+	flat := make([]float64, 1<<12)
+	for i := range flat {
+		flat[i] = 3.5
+	}
+	est := EstimateAll(flat)
+	for _, ne := range est.ByName() {
+		if ne.Err == nil && (ne.H <= 0 || ne.H >= 1 || math.IsNaN(ne.H)) {
+			t.Errorf("%s returned invalid H=%v without error on constant series", ne.Name, ne.H)
+		}
+	}
+	if med, err := est.Median(); err == nil && (math.IsNaN(med) || med <= 0) {
+		t.Errorf("Median on constant series = %v with nil error", med)
 	}
 }
 

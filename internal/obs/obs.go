@@ -64,6 +64,13 @@ const (
 	MetricCoreWarmChains      = "core_warm_chains_total"             // neighbor-ordered warm chains planned
 	MetricCoreWarmChainBreaks = "core_warm_chain_breaks_total"       // chains reset by resumed/adopted cells
 
+	// Inverse capacity-planning solves (internal/core Provision).
+	MetricCoreProvisions           = "core_provisions_total"            // inverse solves completed
+	MetricCoreProvisionInfeasible  = "core_provision_infeasible_total"  // SLOs unreachable in the bracket
+	MetricCoreProvisionSolves      = "core_provision_solves_total"      // forward solves spent by inverse solves
+	MetricCoreProvisionWarmSolves  = "core_provision_warm_solves_total" // of which warm-seeded
+	MetricCoreProvisionSolveBudget = "core_provision_solve_budget_hits_total"
+
 	// Sweeps (internal/core): parallelMap worker-pool telemetry.
 	MetricCoreCellsPlanned     = "core_cells_planned_total"
 	MetricCoreCellsStarted     = "core_cells_started_total"

@@ -27,11 +27,11 @@ func FuzzCanonicalCacheKey(f *testing.F) {
 			Hurst:    hurst, Epoch: epoch, Cutoff: cutoff,
 			Util: util, Buffer: buffer,
 		}
-		j1, err := r1.build(base) // must not panic on any input
+		j1, err := buildSolve(r1, base) // must not panic on any input
 		if err != nil {
 			return // rejected: fine, nothing more to check
 		}
-		j1b, err := r1.build(base)
+		j1b, err := buildSolve(r1, base)
 		if err != nil || j1b.key != j1.key {
 			t.Fatalf("key not deterministic: %q vs %q (err %v)", j1.key, j1b.key, err)
 		}
@@ -40,7 +40,7 @@ func FuzzCanonicalCacheKey(f *testing.F) {
 		// the key byte for byte.
 		r2 := *r1
 		r2.Hurst, r2.Alpha = 0, dist.AlphaFromHurst(hurst)
-		j2, err := r2.build(base)
+		j2, err := buildSolve(&r2, base)
 		if err != nil {
 			t.Fatalf("alpha form of an accepted hurst form rejected: %v", err)
 		}
@@ -52,7 +52,7 @@ func FuzzCanonicalCacheKey(f *testing.F) {
 		r3 := *r1
 		r3.Buffer = buffer * 2
 		if r3.Buffer != buffer && !math.IsInf(r3.Buffer, 0) {
-			if j3, err := r3.build(base); err == nil && j3.key == j1.key {
+			if j3, err := buildSolve(&r3, base); err == nil && j3.key == j1.key {
 				t.Fatalf("buffers %v and %v collide on key %q", buffer, r3.Buffer, j1.key)
 			}
 		}

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"net"
@@ -81,10 +80,9 @@ func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 			}
 			// Best effort: if the handler already wrote, this is a no-op on
 			// the status but still ends the response.
-			body, _ := json.Marshal(map[string]string{"error": "internal error"})
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusInternalServerError)
-			w.Write(body)
+			w.Write(errBody("", "internal error"))
 		}()
 		next.ServeHTTP(w, r)
 	})
@@ -99,9 +97,8 @@ func (s *Server) recoverCell(result *SweepCellResult) {
 	}
 	s.reg.Add(obs.MetricServePanics, 1)
 	s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "panic"), 1)
-	body, _ := json.Marshal(map[string]string{"error": "internal error"})
 	result.Status = http.StatusInternalServerError
-	result.Result = body
+	result.Result = errBody("", "internal error")
 }
 
 // maxRateClients bounds the limiter's per-client table; beyond it the

@@ -1,97 +1,40 @@
 package serve
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"strconv"
 	"strings"
-	"time"
 
+	"lrd/internal/api"
 	"lrd/internal/dist"
 	"lrd/internal/fluid"
 	"lrd/internal/solver"
 	"lrd/internal/source"
 )
 
-// Duration is a time.Duration that unmarshals from either a Go duration
-// string ("2s", "500ms") or a number of seconds, so curl-friendly request
-// bodies can write whichever is natural.
-type Duration time.Duration
-
-// UnmarshalJSON implements json.Unmarshaler.
-func (d *Duration) UnmarshalJSON(data []byte) error {
-	var s string
-	if err := json.Unmarshal(data, &s); err == nil {
-		parsed, perr := time.ParseDuration(s)
-		if perr != nil {
-			return fmt.Errorf("invalid duration %q: %w", s, perr)
-		}
-		*d = Duration(parsed)
-		return nil
-	}
-	var secs float64
-	if err := json.Unmarshal(data, &secs); err != nil {
-		return fmt.Errorf("duration must be a string like \"2s\" or a number of seconds")
-	}
-	*d = Duration(secs * float64(time.Second))
-	return nil
-}
-
-// MarshalJSON implements json.Marshaler.
-func (d Duration) MarshalJSON() ([]byte, error) {
-	return json.Marshal(time.Duration(d).String())
-}
-
-// SolverParams is the per-request subset of the solver configuration a
-// client may override. Everything else comes from the server's -relgap and
-// -maxbins style defaults; resource-protection knobs (iteration caps, the
-// numeric watchdog) stay server-side.
-type SolverParams struct {
-	// RelGap is the bound convergence target (paper: 0.2).
-	RelGap float64 `json:"relgap,omitempty"`
-	// MaxBins caps the resolution ladder (default 32768).
-	MaxBins int `json:"maxbins,omitempty"`
-	// Timeout is the per-request wall-clock solve budget. It is clamped to
-	// the server's request timeout and mapped onto the solver's MaxDuration
-	// budget machinery, so an expired budget degrades gracefully to the
-	// best-so-far bracket instead of failing.
-	Timeout Duration `json:"timeout,omitempty"`
-}
-
-// SolveRequest is the POST /v1/solve body: the same queue description the
-// lrdloss command takes, as JSON. The marginal uses the CLI's inline
-// rate:prob syntax; the correlation structure is given by -hurst-or-alpha,
-// -theta-or-epoch, and the cutoff lag; the queue by -util-or-service and
-// the normalized buffer; and the optional model is a registered traffic
-// model spec ({"name": ..., "params": {...}}).
-type SolveRequest struct {
-	// Marginal is the rate marginal as rate:prob pairs, e.g. "0:0.5,2:0.5".
-	Marginal string `json:"marginal"`
-	// Hurst in (0.5, 1) sets the tail index alpha = 3−2H; Alpha in (1, 2) is
-	// the alternative. Exactly one must be set.
-	Hurst float64 `json:"hurst,omitempty"`
-	Alpha float64 `json:"alpha,omitempty"`
-	// Theta is the Pareto scale in seconds; Epoch is the mean epoch duration
-	// that calibrates it. Exactly one must be set.
-	Theta float64 `json:"theta,omitempty"`
-	Epoch float64 `json:"epoch,omitempty"`
-	// Cutoff is the correlation cutoff lag Tc in seconds; 0 or absent means
-	// infinite (the pure heavy-tailed source).
-	Cutoff float64 `json:"cutoff,omitempty"`
-	// Util in (0, 1) sets the service rate from the marginal mean; Service
-	// gives the rate directly. Exactly one must be set.
-	Util    float64 `json:"util,omitempty"`
-	Service float64 `json:"service,omitempty"`
-	// Buffer is the normalized buffer size B/c in seconds. Required.
-	Buffer float64 `json:"buffer"`
-	// Model realizes the reference source as a registered traffic model
-	// before solving (fluid, onoff, markov, mmfq). Absent means fluid, the
-	// paper's model.
-	Model source.Spec `json:"model,omitempty"`
-	// Solver overrides the server's default solver knobs for this request.
-	Solver SolverParams `json:"solver,omitempty"`
-}
+// The /v1 wire contract lives in internal/api — one definition shared by
+// the server, the typed fleet client, lrdcall, and lrdsweep -fleet. The
+// aliases below keep this package's exported surface (and its tests)
+// unchanged; the request *semantics* — validation, model realization, and
+// the canonical cache key — stay here, since they depend on the solver
+// stack the wire package deliberately does not import.
+type (
+	// Duration aliases api.Duration (accepts "2s" or bare seconds).
+	Duration = api.Duration
+	// SolverParams aliases the per-request solver overrides.
+	SolverParams = api.SolverParams
+	// SolveRequest aliases the POST /v1/solve body.
+	SolveRequest = api.SolveRequest
+	// SolveResponse aliases the POST /v1/solve reply.
+	SolveResponse = api.SolveResponse
+	// SweepRequest aliases the POST /v1/sweep body.
+	SweepRequest = api.SweepRequest
+	// SweepCellResult aliases one cell of a sweep reply.
+	SweepCellResult = api.SweepCellResult
+	// SweepResponse aliases the POST /v1/sweep reply.
+	SweepResponse = api.SweepResponse
+)
 
 // solveJob is a validated, realized request: the model to solve and the
 // canonical cache key that identifies its result.
@@ -100,33 +43,45 @@ type solveJob struct {
 	key   string
 }
 
-// build validates the request, realizes its traffic model, and computes the
-// canonical cache key. Every error is a client error (HTTP 400).
-func (r *SolveRequest) build(base solver.Config) (solveJob, error) {
+// builtSource is a validated queue description short of the buffer/service
+// realization: the realized traffic source plus the resolved reference
+// parameters. It is the shared front half of /v1/solve and /v1/provision.
+type builtSource struct {
+	src    source.Source
+	marg   dist.Marginal
+	alpha  float64
+	theta  float64
+	cutoff float64
+}
+
+// buildSource validates the request's source description (marginal,
+// correlation structure, model) and realizes the traffic model. Every
+// error is a client error (HTTP 400).
+func buildSource(r *SolveRequest) (builtSource, error) {
 	if r.Marginal == "" {
-		return solveJob{}, fmt.Errorf("marginal is required (rate:prob pairs)")
+		return builtSource{}, fmt.Errorf("marginal is required (rate:prob pairs)")
 	}
 	m, err := source.ParseMarginal(r.Marginal)
 	if err != nil {
-		return solveJob{}, err
+		return builtSource{}, err
 	}
 	alpha := r.Alpha
 	switch {
 	case r.Hurst != 0 && r.Alpha != 0:
-		return solveJob{}, fmt.Errorf("give either hurst or alpha, not both")
+		return builtSource{}, fmt.Errorf("give either hurst or alpha, not both")
 	case r.Hurst != 0:
 		alpha = dist.AlphaFromHurst(r.Hurst)
 	case r.Alpha == 0:
-		return solveJob{}, fmt.Errorf("one of hurst or alpha is required")
+		return builtSource{}, fmt.Errorf("one of hurst or alpha is required")
 	}
 	theta := r.Theta
 	if theta == 0 {
 		if r.Epoch == 0 {
-			return solveJob{}, fmt.Errorf("one of theta or epoch is required")
+			return builtSource{}, fmt.Errorf("one of theta or epoch is required")
 		}
 		theta, err = dist.CalibrateTheta(alpha, r.Epoch)
 		if err != nil {
-			return solveJob{}, err
+			return builtSource{}, err
 		}
 	}
 	cutoff := r.Cutoff
@@ -135,9 +90,20 @@ func (r *SolveRequest) build(base solver.Config) (solveJob, error) {
 	}
 	ref, err := fluid.New(m, dist.TruncatedPareto{Theta: theta, Alpha: alpha, Cutoff: cutoff})
 	if err != nil {
-		return solveJob{}, err
+		return builtSource{}, err
 	}
 	src, err := r.Model.Realize(ref)
+	if err != nil {
+		return builtSource{}, err
+	}
+	return builtSource{src: src, marg: m, alpha: alpha, theta: theta, cutoff: cutoff}, nil
+}
+
+// buildSolve validates the request, realizes its traffic model, and
+// computes the canonical cache key. Every error is a client error (HTTP
+// 400).
+func buildSolve(r *SolveRequest, base solver.Config) (solveJob, error) {
+	bs, err := buildSource(r)
 	if err != nil {
 		return solveJob{}, err
 	}
@@ -149,22 +115,22 @@ func (r *SolveRequest) build(base solver.Config) (solveJob, error) {
 	case r.Util != 0 && r.Service != 0:
 		return solveJob{}, fmt.Errorf("give either util or service, not both")
 	case r.Util != 0:
-		mdl, err = solver.NewModelNormalized(src, r.Util, r.Buffer)
+		mdl, err = solver.NewModelNormalized(bs.src, r.Util, r.Buffer)
 	case r.Service != 0:
-		mdl, err = solver.NewModelFromSource(src, r.Service, r.Buffer*r.Service)
+		mdl, err = solver.NewModelFromSource(bs.src, r.Service, r.Buffer*r.Service)
 	default:
 		return solveJob{}, fmt.Errorf("one of util or service is required")
 	}
 	if err != nil {
 		return solveJob{}, err
 	}
-	return solveJob{model: mdl, key: cacheKey(m, alpha, theta, cutoff, mdl, r.Model, r.solverConfig(base))}, nil
+	return solveJob{model: mdl, key: cacheKey(bs.marg, bs.alpha, bs.theta, bs.cutoff, mdl, r.Model, solverConfig(r, base))}, nil
 }
 
 // solverConfig merges the request's overrides onto the server defaults.
 // The per-request budget is applied by the serving loop, not here, so the
 // returned config is budget-free and safe to hash into the cache key.
-func (r *SolveRequest) solverConfig(base solver.Config) solver.Config {
+func solverConfig(r *SolveRequest, base solver.Config) solver.Config {
 	if r.Solver.RelGap > 0 {
 		base.RelGap = r.Solver.RelGap
 	}
@@ -207,86 +173,4 @@ func gfmt(v float64) string {
 		return "inf"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
-}
-
-// SweepRequest is the POST /v1/sweep body: a grid of cells over one queue
-// description. Buffers and Cutoffs are the grid axes (each pair is one
-// cell); when an axis is absent the embedded request's scalar Buffer or
-// Cutoff is the single value. Cells are returned in row-major
-// (buffer-outer, cutoff-inner) order, matching the lrdsweep TSV layout.
-type SweepRequest struct {
-	SolveRequest
-	// Buffers are the normalized buffer sizes B/c in seconds swept by this
-	// request; empty means the scalar Buffer field.
-	Buffers []float64 `json:"buffers,omitempty"`
-	// Cutoffs are the correlation cutoff lags Tc in seconds; empty means
-	// the scalar Cutoff field (0 = infinite).
-	Cutoffs []float64 `json:"cutoffs,omitempty"`
-}
-
-// maxSweepCells bounds one batch request's grid: a request is cheap to
-// send, so an unbounded grid would be an amplification hazard.
-const maxSweepCells = 4096
-
-// cells expands the grid into one SolveRequest per cell, row-major.
-func (r *SweepRequest) cells() ([]SolveRequest, error) {
-	buffers := r.Buffers
-	if len(buffers) == 0 {
-		buffers = []float64{r.Buffer}
-	}
-	cutoffs := r.Cutoffs
-	if len(cutoffs) == 0 {
-		cutoffs = []float64{r.Cutoff}
-	}
-	if n := len(buffers) * len(cutoffs); n > maxSweepCells {
-		return nil, fmt.Errorf("sweep grid has %d cells, limit %d", n, maxSweepCells)
-	}
-	out := make([]SolveRequest, 0, len(buffers)*len(cutoffs))
-	for _, b := range buffers {
-		for _, tc := range cutoffs {
-			cell := r.SolveRequest
-			cell.Buffer = b
-			cell.Cutoff = tc
-			out = append(out, cell)
-		}
-	}
-	return out, nil
-}
-
-// SweepCellResult is one cell of a POST /v1/sweep reply. Status is the
-// cell's own HTTP status; Result is the /v1/solve body for that cell (a
-// SolveResponse on 200, an error object otherwise). Source is the cell's
-// cache disposition (hit, miss, coalesced, or adopted — the last meaning
-// another replica of a lease-sharing fleet computed it).
-type SweepCellResult struct {
-	Buffer float64         `json:"buffer"`
-	Cutoff float64         `json:"cutoff,omitempty"`
-	Status int             `json:"status"`
-	Source string          `json:"source,omitempty"`
-	Result json.RawMessage `json:"result"`
-}
-
-// SweepResponse is the POST /v1/sweep reply: one result per cell, in the
-// request's row-major grid order. The response status is 200 when every
-// cell succeeded and 207 when any cell carries its own error status.
-type SweepResponse struct {
-	Cells []SweepCellResult `json:"cells"`
-}
-
-// SolveResponse is the POST /v1/solve reply: the loss-rate bracket and
-// solve diagnostics, plus the canonical cache key the result is stored
-// under. Cache disposition travels in the X-Lrd-Cache header (hit, miss, or
-// coalesced), never in the body — cached, coalesced, and fresh replies for
-// the same key are bit-identical.
-type SolveResponse struct {
-	Loss        float64 `json:"loss"`
-	Lower       float64 `json:"lower"`
-	Upper       float64 `json:"upper"`
-	RelativeGap float64 `json:"relative_gap"`
-	Bins        int     `json:"bins"`
-	Iterations  int     `json:"iterations"`
-	Converged   bool    `json:"converged"`
-	Degraded    string  `json:"degraded,omitempty"`
-	GridStep    float64 `json:"grid_step"`
-	Key         string  `json:"key"`
 }

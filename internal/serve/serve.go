@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lrd/internal/api"
 	"lrd/internal/core"
 	"lrd/internal/fleetstatus"
 	"lrd/internal/obs"
@@ -208,7 +209,7 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the HTTP API: POST /v1/solve, POST /v1/sweep,
-// GET /metrics (Prometheus text; ?format=json for the JSON snapshot),
+// POST /v1/fit, POST /v1/provision, GET /metrics (Prometheus text; ?format=json for the JSON snapshot),
 // GET /v1/status (+ /v1/status/stream SSE), GET /healthz, GET /readyz.
 // The stack is wrapped by the admission perimeter: per-client rate
 // limiting on /v1/ paths, panic recovery outermost.
@@ -216,6 +217,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/fit", s.handleFit)
+	mux.HandleFunc("POST /v1/provision", s.handleProvision)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/status/stream", s.handleStatusStream)
@@ -319,10 +322,30 @@ func writeJSON(w http.ResponseWriter, status int, disposition string, body []byt
 	w.Write(body)
 }
 
+// errBody marshals the shared api.Error envelope. An empty code yields the
+// legacy {"error":"..."} bytes — the /v1/solve and /v1/sweep paths pass ""
+// so their wire encoding is unchanged; the fit/provision endpoints carry a
+// machine-readable code.
+func errBody(code, msg string) []byte {
+	body, _ := json.Marshal(api.Error{Message: msg, Code: code})
+	return body
+}
+
 func (s *Server) fail(w http.ResponseWriter, status int, kind string, err error) {
+	s.failCode(w, status, kind, "", err)
+}
+
+// failCode is fail with a machine-readable envelope code. When err is
+// already an *api.Error its own code wins, so typed errors from the
+// provisioning layer pass through intact.
+func (s *Server) failCode(w http.ResponseWriter, status int, kind, code string, err error) {
 	s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", kind), 1)
-	body, _ := json.Marshal(map[string]string{"error": err.Error()})
-	writeJSON(w, status, "", body)
+	msg := err.Error()
+	var aerr *api.Error
+	if errors.As(err, &aerr) {
+		msg, code = aerr.Message, aerr.Code
+	}
+	writeJSON(w, status, "", errBody(code, msg))
 }
 
 // traceRequest mints (or adopts, from an incoming X-Lrd-Trace header) the
@@ -374,7 +397,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	job, err := req.build(s.cfg.Solver)
+	job, err := buildSolve(&req, s.cfg.Solver)
 	if err != nil {
 		finish(http.StatusBadRequest, "")
 		s.fail(w, http.StatusBadRequest, "bad_request", err)
@@ -410,7 +433,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	cells, err := req.cells()
+	cells, err := req.Cells()
 	if err != nil {
 		finish(http.StatusBadRequest, "")
 		s.fail(w, http.StatusBadRequest, "bad_request", err)
@@ -422,7 +445,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	jobs := make([]built, len(cells))
 	for i, cr := range cells {
-		job, err := cr.build(s.cfg.Solver)
+		job, err := buildSolve(&cr, s.cfg.Solver)
 		if err != nil {
 			finish(http.StatusBadRequest, "")
 			s.fail(w, http.StatusBadRequest, "bad_request",
@@ -506,8 +529,7 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest, job solveJob) (
 			return f.status, "coalesced", f.body
 		case <-ctx.Done():
 			s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "client_gone"), 1)
-			body, _ := json.Marshal(map[string]string{"error": ctx.Err().Error()})
-			return http.StatusServiceUnavailable, "", body
+			return http.StatusServiceUnavailable, "", errBody("", ctx.Err().Error())
 		}
 	}
 	f := &flight{done: make(chan struct{})}
@@ -522,7 +544,7 @@ func (s *Server) solveOne(ctx context.Context, req SolveRequest, job solveJob) (
 	defer func() {
 		if f.status == 0 {
 			f.status = http.StatusInternalServerError
-			f.body, _ = json.Marshal(map[string]string{"error": "internal error"})
+			f.body = errBody("", "internal error")
 		}
 		s.mu.Lock()
 		delete(s.flights, job.key)
@@ -549,8 +571,7 @@ func (s *Server) leaseAndSolve(ctx context.Context, req SolveRequest, job solveJ
 		}
 		if err != nil {
 			s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "lease"), 1)
-			body, _ := json.Marshal(map[string]string{"error": "acquiring fleet lease: " + err.Error()})
-			return http.StatusServiceUnavailable, body
+			return http.StatusServiceUnavailable, errBody("", "acquiring fleet lease: "+err.Error())
 		}
 		if !acquired {
 			body := append([]byte(nil), raw...)
@@ -571,12 +592,13 @@ func (s *Server) leaseAndSolve(ctx context.Context, req SolveRequest, job solveJ
 	return s.admitAndSolve(ctx, req, job)
 }
 
-// admitAndSolve runs stages 3 and 4 for a singleflight leader: bounded
-// admission, then the budgeted solve. It returns the status and body that
-// both the leader and its coalesced followers receive — including shed
-// (429) and canceled-while-queued outcomes, which followers share.
-func (s *Server) admitAndSolve(ctx context.Context, req SolveRequest, job solveJob) (int, []byte) {
-	// Stage 3: admission. Fast path: a free solve slot.
+// admit claims a solve slot: fast path a free slot, else a bounded queue
+// wait, else an immediate 429 shed. On success it returns a non-nil
+// release closure and zero status; on failure release is nil and status/
+// body carry the ready-to-send error. The provision handler holds one
+// admission for its whole root-find, so an inverse solve consumes exactly
+// one slot no matter how many forward solves it spends.
+func (s *Server) admit(ctx context.Context) (release func(), status int, body []byte) {
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -585,8 +607,7 @@ func (s *Server) admitAndSolve(ctx context.Context, req SolveRequest, job solveJ
 		case s.queue <- struct{}{}:
 		default:
 			s.reg.Add(obs.MetricServeShed, 1)
-			body, _ := json.Marshal(map[string]string{"error": "overloaded: solve queue is full"})
-			return http.StatusTooManyRequests, body
+			return nil, http.StatusTooManyRequests, errBody("", "overloaded: solve queue is full")
 		}
 		s.reg.Add(obs.MetricServeQueued, 1)
 		s.reg.Set(obs.MetricServeQueueDepth, float64(len(s.queue)))
@@ -597,17 +618,29 @@ func (s *Server) admitAndSolve(ctx context.Context, req SolveRequest, job solveJ
 		case <-ctx.Done():
 			<-s.queue
 			s.reg.Set(obs.MetricServeQueueDepth, float64(len(s.queue)))
-			body, _ := json.Marshal(map[string]string{"error": "canceled while queued: " + ctx.Err().Error()})
 			s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "client_gone"), 1)
-			return http.StatusServiceUnavailable, body
+			return nil, http.StatusServiceUnavailable, errBody("", "canceled while queued: "+ctx.Err().Error())
 		}
 	}
 	s.reg.Add(obs.MetricServeAdmitted, 1)
 	s.reg.Set(obs.MetricServeInflight, float64(len(s.sem)))
-	defer func() {
+	return func() {
 		<-s.sem
 		s.reg.Set(obs.MetricServeInflight, float64(len(s.sem)))
-	}()
+	}, 0, nil
+}
+
+// admitAndSolve runs stages 3 and 4 for a singleflight leader: bounded
+// admission, then the budgeted solve. It returns the status and body that
+// both the leader and its coalesced followers receive — including shed
+// (429) and canceled-while-queued outcomes, which followers share.
+func (s *Server) admitAndSolve(ctx context.Context, req SolveRequest, job solveJob) (int, []byte) {
+	// Stage 3: admission.
+	release, status, body := s.admit(ctx)
+	if release == nil {
+		return status, body
+	}
+	defer release()
 
 	if s.beforeSolve != nil {
 		s.beforeSolve(job.key)
@@ -616,7 +649,7 @@ func (s *Server) admitAndSolve(ctx context.Context, req SolveRequest, job solveJ
 	// Stage 4: the budgeted solve. The request budget (clamped to the
 	// server cap) becomes the solver's MaxDuration; the context cancels
 	// the solve when the client goes away.
-	cfg := req.solverConfig(s.cfg.Solver)
+	cfg := solverConfig(&req, s.cfg.Solver)
 	cfg.Recorder = s.reg
 	// Hash-invisible and bit-invisible: cache keys and response bodies are
 	// unchanged by the shared arena (nil when batching is off).
@@ -638,11 +671,10 @@ func (s *Server) admitAndSolve(ctx context.Context, req SolveRequest, job solveJ
 			kind = "numeric"
 		}
 		s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", kind), 1)
-		body, _ := json.Marshal(map[string]string{"error": err.Error()})
-		return status, body
+		return status, errBody("", err.Error())
 	}
 
-	body, err := json.Marshal(SolveResponse{
+	body, merr := json.Marshal(SolveResponse{
 		Loss:        res.Loss,
 		Lower:       res.Lower,
 		Upper:       res.Upper,
@@ -654,10 +686,9 @@ func (s *Server) admitAndSolve(ctx context.Context, req SolveRequest, job solveJ
 		GridStep:    res.GridStep,
 		Key:         job.key,
 	})
-	if err != nil {
+	if merr != nil {
 		s.reg.Add(obs.Labeled(obs.MetricServeErrors, "kind", "encode"), 1)
-		body, _ = json.Marshal(map[string]string{"error": "encoding response: " + err.Error()})
-		return http.StatusInternalServerError, body
+		return http.StatusInternalServerError, errBody("", "encoding response: "+merr.Error())
 	}
 
 	// Only converged, non-degraded results enter the cache: a degraded

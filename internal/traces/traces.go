@@ -229,6 +229,11 @@ func ReadCSV(r io.Reader) (Trace, error) {
 		if err != nil {
 			return Trace{}, fmt.Errorf("traces: bad rate %q: %w", ratePart, err)
 		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			// A NaN or Inf bin silently poisons every downstream statistic
+			// (marginal, variance, periodogram); reject it at the boundary.
+			return Trace{}, fmt.Errorf("traces: non-finite rate %q at row %d", ratePart, len(t.Rates)+1)
+		}
 		t.Rates = append(t.Rates, v)
 	}
 	if err := sc.Err(); err != nil {

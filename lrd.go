@@ -47,6 +47,8 @@
 //   - internal/fgn      — exact fractional Gaussian noise
 //   - internal/lrdest   — Hurst estimators (R/S, variance-time, Whittle, wavelet)
 //   - internal/traces   — synthetic MTV/Bellcore stand-in traces
+//   - internal/fit      — the trace→model pipeline (marginal, θ, Hurst)
+//   - internal/api      — the typed /v1 wire contract and fleet client
 //   - internal/horizon  — correlation-horizon estimation (Eq. 26, Fig. 14)
 //   - internal/markov   — Markovian (hyperexponential) equivalent models (§IV)
 //   - internal/source   — the model-agnostic traffic-source registry
@@ -69,6 +71,7 @@ import (
 	"lrd/internal/core"
 	"lrd/internal/dist"
 	"lrd/internal/errctl"
+	"lrd/internal/fit"
 	"lrd/internal/fluid"
 	"lrd/internal/horizon"
 	"lrd/internal/lrdest"
@@ -395,8 +398,53 @@ var (
 	MTVTrace = traces.MTV
 	// BellcoreTrace is the Bellcore Ethernet stand-in.
 	BellcoreTrace = traces.Bellcore
-	// EstimateHurst runs all four estimators on a series.
+	// EstimateHurst runs every estimator on a series, reporting each
+	// outcome independently (see lrdest.Estimates.Median for the
+	// consensus value).
 	EstimateHurst = lrdest.EstimateAll
+)
+
+// Trace→prediction pipeline: the end-to-end fit (histogram marginal,
+// mean-epoch θ calibration, Hurst estimation) and the inverse
+// capacity-planning solve over it — "what is the minimal buffer (or
+// service rate) meeting a loss SLO?" as a bracketed monotone root-find
+// over warm-started forward solves.
+type (
+	// FitOptions tunes FitTrace (histogram bins, estimator choice, Hurst
+	// override, cutoff, target model).
+	FitOptions = fit.Options
+	// FitResult is a completed fit: the wire-shaped summary plus the
+	// parsed ingredients; Reference/Realize rebuild the solvable source.
+	FitResult = fit.Result
+	// ProvisionOptions states the inverse problem: the SLO, the
+	// provisioned dimension, the fixed dimension, and the search bracket.
+	ProvisionOptions = core.ProvisionOptions
+	// Provisioned is the inverse solve's answer: the minimal feasible
+	// value, its proven loss bound, and the infeasible bracket point
+	// below it as proof of minimality.
+	Provisioned = core.Provisioned
+	// ProvisionInfeasibleError reports an SLO unreachable anywhere in the
+	// search bracket, with the best probed point as evidence.
+	ProvisionInfeasibleError = core.InfeasibleError
+)
+
+// Trace→prediction entry points and provisioning targets.
+var (
+	// FitTrace fits the paper's model ingredients to a binned rate trace.
+	FitTrace = fit.Trace
+	// Provision answers the capacity-planning question for a realized
+	// source: the minimal buffer (or service rate) meeting a loss SLO.
+	Provision = core.Provision
+)
+
+// Provisioning targets for ProvisionOptions.Target.
+const (
+	// ProvisionTargetBuffer provisions the minimal normalized buffer at a
+	// fixed utilization or service rate (the default target).
+	ProvisionTargetBuffer = core.TargetBuffer
+	// ProvisionTargetService provisions the minimal service rate at a
+	// fixed buffer.
+	ProvisionTargetService = core.TargetService
 )
 
 // Correlation-horizon analysis.
